@@ -1,0 +1,20 @@
+//! # baselines — the comparison systems CliqueMap is evaluated against
+//!
+//! * [`MemcacheGNode`] — "MemcacheG, a translation of Memcached using
+//!   Stubby RPC as its transport" (§2.1): a pure-RPC KVCS where every GET
+//!   pays the >50 CPU-µs framework floor on the serving path.
+//! * [`RpcKvcsClient`] — the matching client, paying the same framework
+//!   costs client-side.
+//!
+//! The MSG lookup strategy (two-sided messaging, Fig. 7) is implemented in
+//! `cliquemap` itself (`LookupStrategy::Msg`) since it shares CliqueMap's
+//! backend; this crate covers the fully separate RPC system.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod memcacheg;
+pub mod rpc_client;
+
+pub use memcacheg::{MemcacheGCfg, MemcacheGNode};
+pub use rpc_client::{RpcClientCfg, RpcKvcsClient};

@@ -1,0 +1,458 @@
+//! A pure-RPC KVCS client: drives [`ClientOp`] workloads against a set of
+//! MemcacheG shards, paying the full framework cost per operation on the
+//! client side too. The comparison point for CliqueMap's RMA read path.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use cliquemap::hash::{place, DefaultHasher, KeyHasher};
+use cliquemap::messages::{self, method};
+use cliquemap::version::VersionGen;
+use cliquemap::workload::{ClientOp, OpOutcome, Pacing, Workload};
+use rpc::{CallTable, RetryPolicy, RetryState, RpcCostModel, Status};
+use simnet::{Ctx, Deferred, Event, Node, NodeId, SimDuration};
+
+/// Configuration of the RPC-KVCS client.
+#[derive(Debug, Clone)]
+pub struct RpcClientCfg {
+    /// Version-nomination identity.
+    pub client_id: u32,
+    /// The MemcacheG shards, in shard order.
+    pub servers: Vec<NodeId>,
+    /// Framework cost model.
+    pub rpc_cost: RpcCostModel,
+    /// Retry policy.
+    pub retry: RetryPolicy,
+    /// Per-attempt timeout.
+    pub attempt_timeout: SimDuration,
+    /// Open or closed loop.
+    pub pacing: Pacing,
+    /// In-flight cap (open loop).
+    pub max_in_flight: usize,
+}
+
+impl Default for RpcClientCfg {
+    fn default() -> Self {
+        RpcClientCfg {
+            client_id: 1,
+            servers: Vec::new(),
+            rpc_cost: RpcCostModel::default(),
+            retry: RetryPolicy::default(),
+            attempt_timeout: SimDuration::from_millis(5),
+            pacing: Pacing::Open,
+            max_in_flight: 256,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct OpRec {
+    op: ClientOp,
+    retry: RetryState,
+    attempt: u64,
+}
+
+#[derive(Debug)]
+enum Work {
+    NextOp,
+    Start(u64),
+    Retry(u64),
+    /// Client-side marshalling CPU done; put the request on the wire.
+    SendCall(NodeId, Bytes, u64),
+}
+
+/// The client node.
+pub struct RpcKvcsClient {
+    cfg: RpcClientCfg,
+    workload: Box<dyn Workload>,
+    calls: CallTable,
+    work: Deferred<Work>,
+    versions: VersionGen,
+    hasher: DefaultHasher,
+    pending_start: HashMap<u64, ClientOp>,
+    ops: HashMap<u64, OpRec>,
+    next_op: u64,
+    in_flight: usize,
+    workload_done: bool,
+    /// Completed ops (outcome, latency ns), bounded.
+    pub completions: Vec<(OpOutcome, u64)>,
+}
+
+impl RpcKvcsClient {
+    /// Build a client driving `workload`.
+    pub fn new(cfg: RpcClientCfg, workload: Box<dyn Workload>) -> RpcKvcsClient {
+        assert!(!cfg.servers.is_empty(), "need at least one server");
+        RpcKvcsClient {
+            versions: VersionGen::new(cfg.client_id),
+            calls: CallTable::new(cfg.client_id as u64),
+            cfg,
+            workload,
+            work: Deferred::aux1(),
+            hasher: DefaultHasher,
+            pending_start: HashMap::new(),
+            ops: HashMap::new(),
+            next_op: 1,
+            in_flight: 0,
+            workload_done: false,
+            completions: Vec::new(),
+        }
+    }
+
+    fn schedule_next(&mut self, ctx: &mut Ctx<'_>) {
+        if self.workload_done {
+            return;
+        }
+        let now = ctx.now();
+        let res = {
+            let rng = ctx.rng();
+            self.workload.next(now, rng)
+        }; match res {
+            None => self.workload_done = true,
+            Some((gap, op)) => {
+                let id = self.next_op;
+                self.next_op += 1;
+                self.pending_start.insert(id, op);
+                let tok = self.work.defer(Work::Start(id));
+                ctx.set_timer(gap, tok);
+                if self.cfg.pacing == Pacing::Open {
+                    let tok = self.work.defer(Work::NextOp);
+                    ctx.set_timer(gap, tok);
+                }
+            }
+        }
+    }
+
+    fn server_for(&self, key: &[u8]) -> NodeId {
+        let hash = self.hasher.hash(key);
+        let shard = place(hash, self.cfg.servers.len() as u32, 1).shard;
+        self.cfg.servers[shard as usize]
+    }
+
+    fn start(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        let Some(op) = self.pending_start.remove(&id) else {
+            return;
+        };
+        if self.in_flight >= self.cfg.max_in_flight {
+            ctx.metrics().add("mcg.client.overload_drops", 1);
+            return;
+        }
+        self.in_flight += 1;
+        self.ops.insert(
+            id,
+            OpRec {
+                op,
+                retry: self.cfg.retry.start(ctx.now()),
+                attempt: 0,
+            },
+        );
+        self.issue(ctx, id);
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        let tt = ctx.truetime();
+        let (op, attempt) = {
+            let Some(rec) = self.ops.get_mut(&id) else {
+                return;
+            };
+            rec.attempt += 1;
+            (rec.op.clone(), rec.attempt)
+        };
+        let (m, dst, body) = match &op {
+            ClientOp::Get { key } => (
+                method::GET_RPC,
+                self.server_for(key),
+                messages::GetReq { key: key.clone() }.encode(),
+            ),
+            ClientOp::Set { key, value } => {
+                let version = self.versions.nominate(tt);
+                (
+                    method::SET,
+                    self.server_for(key),
+                    messages::SetReq {
+                        key: key.clone(),
+                        value: value.clone(),
+                        version,
+                    }
+                    .encode(),
+                )
+            }
+            ClientOp::Erase { key } => {
+                let version = self.versions.nominate(tt);
+                (
+                    method::ERASE,
+                    self.server_for(key),
+                    messages::EraseReq {
+                        key: key.clone(),
+                        version,
+                    }
+                    .encode(),
+                )
+            }
+            // MultiGet is not part of the memcached interface; serve the
+            // first key (enough for comparison workloads). CAS unsupported.
+            ClientOp::MultiGet { keys } if !keys.is_empty() => (
+                method::GET_RPC,
+                self.server_for(&keys[0]),
+                messages::GetReq {
+                    key: keys[0].clone(),
+                }
+                .encode(),
+            ),
+            _ => {
+                self.complete(ctx, id, OpOutcome::Error);
+                return;
+            }
+        };
+        // Client-side framework cost delays the send (the op's latency
+        // includes marshalling, auth, and framework bookkeeping).
+        let cost = self.cfg.rpc_cost.client_send + self.cfg.rpc_cost.marshal(body.len());
+        ctx.metrics().add("mcg.client.cpu_ns", cost.nanos());
+        let deadline = ctx.now().nanos() + self.cfg.attempt_timeout.nanos();
+        let tag = (id << 8) | (attempt & 0xFF);
+        let (call_id, wire) = self.calls.begin(dst, m, body, ctx.now(), deadline, tag);
+        let tok = self.work.defer(Work::SendCall(dst, wire, call_id));
+        ctx.spawn_cpu(cost, tok);
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx<'_>, id: u64, outcome: OpOutcome) {
+        let Some(rec) = self.ops.remove(&id) else {
+            return;
+        };
+        self.in_flight = self.in_flight.saturating_sub(1);
+        // The caller observes the response only after unmarshalling.
+        let latency = ctx.now().since(rec.retry.started_at) + self.cfg.rpc_cost.client_recv;
+        let is_get = matches!(rec.op, ClientOp::Get { .. } | ClientOp::MultiGet { .. });
+        let name = if is_get {
+            "mcg.get.latency_ns"
+        } else {
+            "mcg.set.latency_ns"
+        };
+        ctx.metrics().record(name, latency.nanos());
+        ctx.metrics().add(
+            if is_get {
+                "mcg.get.completed"
+            } else {
+                "mcg.set.completed"
+            },
+            1,
+        );
+        match outcome {
+            OpOutcome::Hit => ctx.metrics().add("mcg.get.hits", 1),
+            OpOutcome::Miss => ctx.metrics().add("mcg.get.misses", 1),
+            OpOutcome::Error => ctx.metrics().add("mcg.op_errors", 1),
+            _ => {}
+        }
+        if self.completions.len() < 100_000 {
+            self.completions.push((outcome, latency.nanos()));
+        }
+        if self.cfg.pacing == Pacing::Closed {
+            self.schedule_next(ctx);
+        }
+    }
+
+    fn fail_attempt(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        let policy = self.cfg.retry;
+        let now = ctx.now();
+        let Some(rec) = self.ops.get_mut(&id) else {
+            return;
+        };
+        match rec.retry.on_failure(&policy, now) {
+            rpc::RetryDecision::RetryAfter(backoff) => {
+                ctx.metrics().add("mcg.retries", 1);
+                let tok = self.work.defer(Work::Retry(id));
+                ctx.set_timer(backoff, tok);
+            }
+            rpc::RetryDecision::GiveUp => self.complete(ctx, id, OpOutcome::Error),
+        }
+    }
+}
+
+impl Node for RpcKvcsClient {
+    fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        match ev {
+            Event::Start => self.schedule_next(ctx),
+            Event::Frame(frame) => {
+                let Some(rpc::Envelope::Response(resp)) = rpc::decode(frame.payload) else {
+                    return;
+                };
+                let Some(done) = self.calls.complete(resp, ctx.now()) else {
+                    return;
+                };
+                let cost =
+                    self.cfg.rpc_cost.client_recv + self.cfg.rpc_cost.marshal(done.body.len());
+                ctx.charge_cpu(cost);
+                ctx.metrics().add("mcg.client.cpu_ns", cost.nanos());
+                let id = done.call.user_tag >> 8;
+                let attempt = done.call.user_tag & 0xFF;
+                let Some(rec) = self.ops.get(&id) else {
+                    return;
+                };
+                if rec.attempt & 0xFF != attempt {
+                    return;
+                }
+                match done.status {
+                    Status::Ok => {
+                        let outcome = if matches!(rec.op, ClientOp::Get { .. } | ClientOp::MultiGet { .. })
+                        {
+                            OpOutcome::Hit
+                        } else {
+                            OpOutcome::Done
+                        };
+                        self.complete(ctx, id, outcome);
+                    }
+                    Status::NotFound => self.complete(ctx, id, OpOutcome::Miss),
+                    Status::VersionRejected => self.complete(ctx, id, OpOutcome::Superseded),
+                    _ => self.fail_attempt(ctx, id),
+                }
+            }
+            Event::Timer(token) | Event::CpuDone(token) => {
+                if let Some(work) = self.work.take(token) {
+                    match work {
+                        Work::NextOp => self.schedule_next(ctx),
+                        Work::Start(id) => self.start(ctx, id),
+                        Work::Retry(id) => self.issue(ctx, id),
+                        Work::SendCall(dst, wire, call_id) => {
+                            ctx.metrics().add("mcg.rpc_bytes", wire.len() as u64);
+                            ctx.send(dst, wire);
+                            ctx.set_timer(
+                                self.cfg.attempt_timeout,
+                                CallTable::timer_token(call_id),
+                            );
+                        }
+                    }
+                } else if let Some(call_id) = CallTable::call_of_timer(token) {
+                    if let Some(call) = self.calls.expire(call_id) {
+                        ctx.metrics().add("mcg.client.rpc_timeouts", 1);
+                        let id = call.user_tag >> 8;
+                        self.fail_attempt(ctx, id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("rpc-kvcs-client[{}]", self.cfg.client_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memcacheg::{MemcacheGCfg, MemcacheGNode};
+    use cliquemap::workload::ScriptWorkload;
+    use simnet::{FabricCfg, HostCfg, Sim};
+
+    fn run_script(ops: Vec<(u64, ClientOp)>) -> (Sim, NodeId) {
+        let mut sim = Sim::new(FabricCfg::default(), 11);
+        let sh = sim.add_host(HostCfg::default());
+        let ch = sim.add_host(HostCfg::default());
+        let server = sim.add_node(sh, Box::new(MemcacheGNode::new(MemcacheGCfg::default())));
+        let workload = ScriptWorkload::new(
+            ops.into_iter()
+                .map(|(us, op)| (SimDuration::from_micros(us), op))
+                .collect(),
+        );
+        let client = sim.add_node(
+            ch,
+            Box::new(RpcKvcsClient::new(
+                RpcClientCfg {
+                    servers: vec![server],
+                    ..RpcClientCfg::default()
+                },
+                Box::new(workload),
+            )),
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        (sim, client)
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let (mut sim, client) = run_script(vec![
+            (
+                0,
+                ClientOp::Set {
+                    key: Bytes::from_static(b"k"),
+                    value: Bytes::from_static(b"v"),
+                },
+            ),
+            (
+                500,
+                ClientOp::Get {
+                    key: Bytes::from_static(b"k"),
+                },
+            ),
+            (
+                600,
+                ClientOp::Get {
+                    key: Bytes::from_static(b"missing"),
+                },
+            ),
+        ]);
+        let done = sim
+            .with_node::<RpcKvcsClient, _>(client, |c| c.completions.clone())
+            .unwrap();
+        assert_eq!(done.len(), 3, "{done:?}");
+        assert_eq!(done[0].0, OpOutcome::Done);
+        assert_eq!(done[1].0, OpOutcome::Hit);
+        assert_eq!(done[2].0, OpOutcome::Miss);
+        // Every op pays at least the ~50us framework floor in latency.
+        assert!(done[0].1 > 50_000, "SET latency {} too low", done[0].1);
+        assert!(done[1].1 > 50_000, "GET latency {} too low", done[1].1);
+    }
+
+    #[test]
+    fn rpc_get_far_slower_than_fabric_rtt() {
+        // The motivating observation: RPC cost eclipses the network time.
+        let (sim, _) = run_script(vec![(
+            0,
+            ClientOp::Get {
+                key: Bytes::from_static(b"x"),
+            },
+        )]);
+        let h = sim.metrics().hist_ref("mcg.get.latency_ns").unwrap();
+        // Fabric RTT is ~4-5us; the RPC GET should be an order of magnitude
+        // above it.
+        assert!(h.percentile(50.0) > 40_000);
+    }
+
+    #[test]
+    fn timeout_retries_against_dead_server() {
+        let mut sim = Sim::new(FabricCfg::default(), 12);
+        let sh = sim.add_host(HostCfg::default());
+        let ch = sim.add_host(HostCfg::default());
+        let server = sim.add_node(sh, Box::new(MemcacheGNode::new(MemcacheGCfg::default())));
+        sim.crash(server);
+        let workload = ScriptWorkload::new(vec![(
+            SimDuration::ZERO,
+            ClientOp::Get {
+                key: Bytes::from_static(b"k"),
+            },
+        )]);
+        let client = sim.add_node(
+            ch,
+            Box::new(RpcKvcsClient::new(
+                RpcClientCfg {
+                    servers: vec![server],
+                    retry: RetryPolicy {
+                        max_attempts: 3,
+                        ..RetryPolicy::default()
+                    },
+                    attempt_timeout: SimDuration::from_millis(1),
+                    ..RpcClientCfg::default()
+                },
+                Box::new(workload),
+            )),
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        let done = sim
+            .with_node::<RpcKvcsClient, _>(client, |c| c.completions.clone())
+            .unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, OpOutcome::Error);
+        assert!(sim.metrics().counter("mcg.retries") >= 1);
+        assert!(sim.metrics().counter("mcg.client.rpc_timeouts") >= 2);
+    }
+}

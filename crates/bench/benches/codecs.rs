@@ -1,0 +1,103 @@
+//! Microbenchmarks of the wire codecs and the self-validation path —
+//! these run on every GET/SET, so their cost bounds the simulator's
+//! fidelity and, in a real deployment, the client library's CPU floor.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use bytes::Bytes;
+
+use cliquemap::layout::{checksum, encode_data_entry, parse_data_entry, scan_bucket};
+use cliquemap::version::VersionNumber;
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum");
+    for size in [64usize, 1024, 4096, 65536] {
+        let data = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("fnv64a/{size}B"), |b| {
+            b.iter(|| checksum(black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_data_entry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("data_entry");
+    let version = VersionNumber::new(1, 2, 3);
+    for size in [64usize, 4096] {
+        let value = vec![7u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("encode/{size}B"), |b| {
+            b.iter(|| encode_data_entry(black_box(b"bench-key"), black_box(&value), version))
+        });
+        let encoded = encode_data_entry(b"bench-key", &value, version);
+        g.bench_function(format!("parse_validate/{size}B"), |b| {
+            b.iter(|| parse_data_entry(black_box(&encoded)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_bucket_scan(c: &mut Criterion) {
+    use cliquemap::layout::{bucket_size, IndexEntry, Pointer};
+    let assoc = 14;
+    let mut bucket = vec![0u8; bucket_size(assoc)];
+    for i in 0..assoc {
+        let e = IndexEntry {
+            key_hash: (i as u128 + 1) * 0x1234_5678_9ABC,
+            version: VersionNumber::new(1, 1, 1),
+            ptr: Pointer::default(),
+        };
+        e.encode_into(cliquemap::layout::bucket_slot_mut(&mut bucket, i));
+    }
+    let hit_hash = 7 * 0x1234_5678_9ABC;
+    c.bench_function("bucket_scan/hit_mid", |b| {
+        b.iter(|| scan_bucket(black_box(&bucket), black_box(hit_hash)))
+    });
+    c.bench_function("bucket_scan/miss_full", |b| {
+        b.iter(|| scan_bucket(black_box(&bucket), black_box(0xDEAD)))
+    });
+}
+
+fn bench_rpc_codec(c: &mut Criterion) {
+    let req = rpc::Request {
+        version: rpc::PROTOCOL_VERSION,
+        method: 2,
+        id: 42,
+        auth: 7,
+        deadline_ns: 1_000_000,
+        body: Bytes::from(vec![1u8; 512]),
+    };
+    c.bench_function("rpc/encode_request", |b| {
+        b.iter(|| rpc::encode_request(black_box(&req)))
+    });
+    let wire = rpc::encode_request(&req);
+    c.bench_function("rpc/decode_request", |b| {
+        b.iter(|| rpc::decode(black_box(wire.clone())).unwrap())
+    });
+}
+
+fn bench_rma_codec(c: &mut Criterion) {
+    let resp = rma::ReadResp {
+        op_id: 9,
+        status: rma::RmaStatus::Ok,
+        data: Bytes::from(vec![0u8; 4096]),
+    };
+    c.bench_function("rma/encode_read_resp_4k", |b| {
+        b.iter(|| rma::encode_read_resp(black_box(&resp)))
+    });
+    let wire = rma::encode_read_resp(&resp);
+    c.bench_function("rma/decode_read_resp_4k", |b| {
+        b.iter(|| rma::decode(black_box(wire.clone())).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_checksum,
+    bench_data_entry,
+    bench_bucket_scan,
+    bench_rpc_codec,
+    bench_rma_codec
+);
+criterion_main!(benches);

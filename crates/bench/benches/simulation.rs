@@ -1,0 +1,105 @@
+//! Simulator throughput benchmarks: raw event-loop rate and end-to-end
+//! simulated-GET rate. These bound how large an experiment the harness can
+//! run per wall-clock second.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use bytes::Bytes;
+
+use cliquemap::cell::{Cell, CellSpec};
+use cliquemap::client::LookupStrategy;
+use cliquemap::config::ReplicationMode;
+use cliquemap::workload::{UniformWorkload, Workload};
+use simnet::{Ctx, Event, FabricCfg, HostCfg, Node, NodeId, Sim, SimDuration};
+use workloads::SizeDist;
+
+/// Two nodes exchanging frames as fast as the fabric allows.
+struct PingPong {
+    peer: NodeId,
+    remaining: u64,
+}
+
+impl Node for PingPong {
+    fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        match ev {
+            Event::Start
+                if self.peer.0 > ctx.self_id().0 => {
+                    ctx.send(self.peer, Bytes::from_static(b"ping"));
+                }
+            Event::Frame(f)
+                if self.remaining > 0 => {
+                    self.remaining -= 1;
+                    ctx.send(f.src, f.payload);
+                }
+            _ => {}
+        }
+    }
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet");
+    let exchanges = 10_000u64;
+    g.throughput(Throughput::Elements(exchanges));
+    g.bench_function("ping_pong_10k_frames", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(FabricCfg::default(), 1);
+            let h1 = sim.add_host(HostCfg::default().no_cstates());
+            let h2 = sim.add_host(HostCfg::default().no_cstates());
+            // Ids are assigned sequentially; peer ids are known up front.
+            let a = NodeId(0);
+            let b2 = NodeId(1);
+            sim.add_node(
+                h1,
+                Box::new(PingPong {
+                    peer: b2,
+                    remaining: exchanges / 2,
+                }),
+            );
+            sim.add_node(
+                h2,
+                Box::new(PingPong {
+                    peer: a,
+                    remaining: exchanges / 2,
+                }),
+            );
+            sim.run_to_completion(10_000_000);
+            black_box(sim.now())
+        })
+    });
+    g.finish();
+}
+
+fn bench_cell_get_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cell");
+    g.sample_size(10);
+    for (name, strategy, replication) in [
+        ("scar_r1", LookupStrategy::Scar, ReplicationMode::R1),
+        ("scar_r32", LookupStrategy::Scar, ReplicationMode::R32),
+        ("2xr_r32", LookupStrategy::TwoR, ReplicationMode::R32),
+    ] {
+        g.throughput(Throughput::Elements(5_000));
+        g.bench_function(format!("simulate_5k_gets/{name}"), |b| {
+            b.iter(|| {
+                let mut spec = CellSpec {
+                    replication,
+                    num_backends: 4,
+                    host: HostCfg::default().no_cstates(),
+                    ..CellSpec::default()
+                };
+                spec.backend.scan_interval = None;
+                spec.client.strategy = strategy;
+                spec.client.access_flush = None;
+                let workloads: Vec<Box<dyn Workload>> =
+                    vec![Box::new(UniformWorkload::gets(500, 100_000.0, 5_000))];
+                let mut cell = Cell::build(spec, workloads);
+                bench::populate_cell(&mut cell, "key-", 500, &SizeDist::fixed(256));
+                cell.run_for(SimDuration::from_millis(200));
+                black_box(cell.hits())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_loop, bench_cell_get_rate);
+criterion_main!(benches);

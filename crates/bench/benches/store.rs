@@ -1,0 +1,137 @@
+//! Microbenchmarks of the backend store's hot paths (prepare/commit SET,
+//! fetch, eviction pressure) and the slab allocator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cliquemap::hash::{DefaultHasher, KeyHasher};
+use cliquemap::policy::LruPolicy;
+use cliquemap::slab::SlabAllocator;
+use cliquemap::store::{BackendStore, StoreCfg};
+use cliquemap::version::VersionNumber;
+
+fn fresh_store() -> BackendStore {
+    BackendStore::new(
+        StoreCfg {
+            num_buckets: 4096,
+            assoc: 14,
+            data_capacity: 64 << 20,
+            max_data_capacity: 64 << 20,
+            ..StoreCfg::default()
+        },
+        Box::new(LruPolicy::new()),
+    )
+}
+
+fn bench_set_path(c: &mut Criterion) {
+    let mut store = fresh_store();
+    let hasher = DefaultHasher;
+    let value = vec![9u8; 1024];
+    let mut i: u64 = 0;
+    c.bench_function("store/set_1k", |b| {
+        b.iter(|| {
+            i += 1;
+            let key = i.to_le_bytes();
+            let hash = hasher.hash(&key);
+            let p = store
+                .prepare_set(&key, &value, hash, VersionNumber::new(i, 1, 1))
+                .unwrap();
+            store.write_data(p.data_offset, &p.entry_bytes);
+            black_box(store.commit_set(&p));
+        })
+    });
+}
+
+fn bench_fetch(c: &mut Criterion) {
+    let mut store = fresh_store();
+    let hasher = DefaultHasher;
+    let value = vec![9u8; 1024];
+    let keys: Vec<[u8; 8]> = (0..10_000u64).map(|i| i.to_le_bytes()).collect();
+    for (i, key) in keys.iter().enumerate() {
+        let hash = hasher.hash(key);
+        let p = store
+            .prepare_set(key, &value, hash, VersionNumber::new(i as u64 + 1, 1, 1))
+            .unwrap();
+        store.write_data(p.data_offset, &p.entry_bytes);
+        store.commit_set(&p);
+    }
+    let mut i = 0usize;
+    c.bench_function("store/fetch_hit_1k", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            let hash = hasher.hash(&keys[i]);
+            black_box(store.fetch(hash)).unwrap()
+        })
+    });
+    c.bench_function("store/lookup_index_only", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            let hash = hasher.hash(&keys[i]);
+            black_box(store.lookup(hash))
+        })
+    });
+}
+
+fn bench_set_under_eviction_pressure(c: &mut Criterion) {
+    // A store that is always full: every SET evicts.
+    let mut store = BackendStore::new(
+        StoreCfg {
+            num_buckets: 1024,
+            assoc: 14,
+            data_capacity: 1 << 20,
+            max_data_capacity: 1 << 20,
+            ..StoreCfg::default()
+        },
+        Box::new(LruPolicy::new()),
+    );
+    let hasher = DefaultHasher;
+    let value = vec![3u8; 2048];
+    let mut i: u64 = 0;
+    c.bench_function("store/set_2k_with_eviction", |b| {
+        b.iter(|| {
+            i += 1;
+            let key = i.to_le_bytes();
+            let hash = hasher.hash(&key);
+            if let Ok(p) = store.prepare_set(&key, &value, hash, VersionNumber::new(i, 1, 1)) {
+                store.write_data(p.data_offset, &p.entry_bytes);
+                black_box(store.commit_set(&p));
+            }
+        })
+    });
+}
+
+fn bench_slab(c: &mut Criterion) {
+    let mut a = SlabAllocator::new(256 << 20);
+    c.bench_function("slab/alloc_free_1k", |b| {
+        b.iter(|| {
+            let off = a.alloc(black_box(1000)).unwrap();
+            a.free(off, 1000);
+        })
+    });
+    // Steady churn across size classes with a standing population, the
+    // realistic backend pattern.
+    let mut held: Vec<(u64, usize)> = Vec::new();
+    c.bench_function("slab/churn_mixed_sizes", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let len = 64 + (i * 97) % 8000;
+            i += 1;
+            if held.len() >= 1000 {
+                let (off, l) = held.swap_remove(i % held.len());
+                a.free(off, l);
+            }
+            if let Ok(off) = a.alloc(len) {
+                held.push((off, len));
+            }
+            black_box(held.len());
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_set_path,
+    bench_fetch,
+    bench_set_under_eviction_pressure,
+    bench_slab
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures -- all
+//! cargo run --release -p bench --bin figures -- f7 f11 f15
+//! cargo run --release -p bench --bin figures -- all --jobs 4
+//! cargo run --release -p bench --bin figures -- all --csv out/
+//! ```
+//!
+//! Experiments are independent, deterministic simulations; `--jobs N` runs
+//! them on N threads without changing any result.
+
+use std::sync::Mutex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = 1usize;
+    let mut csv_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs N");
+            }
+            "--csv" => {
+                csv_dir = Some(it.next().expect("--csv DIR"));
+            }
+            "--list" => {
+                for id in bench::ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        ids = bench::ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+
+    let queue: Mutex<Vec<(usize, String)>> =
+        Mutex::new(ids.iter().cloned().enumerate().rev().collect());
+    let reports: Mutex<Vec<(usize, bench::Report, f64)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.max(1) {
+            scope.spawn(|| loop {
+                let next = queue.lock().unwrap().pop();
+                let Some((order, id)) = next else { break };
+                let start = std::time::Instant::now();
+                let report = bench::run_experiment(&id);
+                reports
+                    .lock()
+                    .unwrap()
+                    .push((order, report, start.elapsed().as_secs_f64()));
+            });
+        }
+    });
+    let mut reports = reports.into_inner().unwrap();
+    reports.sort_by_key(|(order, _, _)| *order);
+    for (_, report, secs) in &reports {
+        report.print();
+        eprintln!("[{} took {secs:.1}s]", report.id);
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{}.csv", report.id);
+            std::fs::write(&path, report.to_csv()).expect("write csv");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 10: Ads and Geo object size CDFs.
+//!
+//! "Objects tend to be small, typically at most a few KB (importantly,
+//! smaller than our typical MTU size), but there is a tail of larger
+//! objects."
+
+use workloads::SizeDist;
+
+use crate::harness::Report;
+
+/// Regenerate Figure 10.
+pub fn run() -> Report {
+    let mut report = Report::new("f10", "Ads and Geo object size distribution (CDF)");
+    let ads = SizeDist::ads().cdf(100_000, 101);
+    let geo = SizeDist::geo().cdf(100_000, 101);
+    report.line(format!(
+        "{:>10} {:>14} {:>14}",
+        "quantile", "ads_bytes", "geo_bytes"
+    ));
+    for ((a_size, q), (g_size, _)) in ads.iter().zip(geo.iter()) {
+        report.line(format!("{q:>10.3} {a_size:>14} {g_size:>14}"));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_corpora_mostly_sub_mtu() {
+        let r = run();
+        // Median row (quantile 0.5).
+        let median = r
+            .lines
+            .iter()
+            .find(|l| l.trim_start().starts_with("0.500"))
+            .expect("median row");
+        let cols: Vec<u64> = median
+            .split_whitespace()
+            .skip(1)
+            .map(|v| v.parse().unwrap())
+            .collect();
+        // Both medians below the 5 KB MTU.
+        assert!(cols[0] < 5_000, "ads median {}", cols[0]);
+        assert!(cols[1] < 5_000, "geo median {}", cols[1]);
+        // But tails exceed it (the paper's "tail of larger objects").
+        let tail = r
+            .lines
+            .iter()
+            .find(|l| l.trim_start().starts_with("0.999"))
+            .expect("tail row");
+        let cols: Vec<u64> = tail
+            .split_whitespace()
+            .skip(1)
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert!(cols[0] > 5_000, "ads p99.9 {}", cols[0]);
+    }
+}

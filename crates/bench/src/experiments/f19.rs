@@ -1,0 +1,54 @@
+//! Figure 19: backend CPU cost under varying GET/SET mixes.
+//!
+//! The RPC mutation path burns server CPU; the RMA read path burns almost
+//! none. Backend CPU therefore *falls* as the GET share rises — the CPU
+//! argument for the whole hybrid design.
+
+use simnet::SimDuration;
+
+use crate::experiments::f18::run_mix;
+use crate::harness::Report;
+
+/// Backend host CPU seconds consumed per wall second, measured across the
+/// mix window.
+pub(crate) fn backend_cpu_s_per_s(get_fraction: f64, seed: u64) -> f64 {
+    let cell = run_mix(get_fraction, 4096, seed);
+    let busy: u64 = cell
+        .backend_hosts
+        .iter()
+        .map(|&h| cell.sim.host(h).cpu_busy_ns)
+        .sum();
+    // run_mix runs 20ms warm-up + 300ms measured; treat total as the
+    // denominator (warm-up CPU is negligible next to steady state).
+    let elapsed = SimDuration::from_millis(320).as_secs_f64();
+    busy as f64 / 1e9 / elapsed
+}
+
+/// Regenerate Figure 19.
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "f19",
+        "Backend CPU cost under varying GET/SET mixes (fixed 4KB values)",
+    );
+    report.line(format!("{:>10} {:>16}", "mix", "cpu_s_per_s"));
+    for (label, frac) in [("5% GETs", 0.05), ("50% GETs", 0.50), ("95% GETs", 0.95)] {
+        let cpu = backend_cpu_s_per_s(frac, 67);
+        report.line(format!("{label:>10} {cpu:>16.4}"));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_falls_as_get_share_rises() {
+        let writes_heavy = backend_cpu_s_per_s(0.05, 71);
+        let reads_heavy = backend_cpu_s_per_s(0.95, 71);
+        assert!(
+            writes_heavy > reads_heavy * 3.0,
+            "5% GETs: {writes_heavy:.4}, 95% GETs: {reads_heavy:.4}"
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 20: performance under varying value sizes at a fixed GET rate.
+//!
+//! "For value sizes common in our production workloads, individual GET and
+//! SET performance are dominated by fixed costs — i.e., costs per op, not
+//! costs per byte."
+
+use crate::experiments::f18::{pctl, run_mix};
+use crate::harness::Report;
+
+/// Regenerate Figure 20.
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "f20",
+        "Latencies under varying value sizes (fixed GET rate, 50/50 mix)",
+    );
+    report.line(format!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10}",
+        "size", "get_p50", "get_p99", "set_p50", "set_p99"
+    ));
+    for (label, bytes) in [("32B", 32), ("256B", 256), ("2KB", 2048), ("16KB", 16384)] {
+        let cell = run_mix(0.5, bytes, 73);
+        report.line(format!(
+            "{label:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            pctl(&cell, "cm.get.latency_ns", 50.0),
+            pctl(&cell, "cm.get.latency_ns", 99.0),
+            pctl(&cell, "cm.set.latency_ns", 50.0),
+            pctl(&cell, "cm.set.latency_ns", 99.0),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_dominated_by_fixed_costs() {
+        let tiny = run_mix(0.5, 32, 79);
+        let small = run_mix(0.5, 2048, 79);
+        let tiny_p50 = pctl(&tiny, "cm.get.latency_ns", 50.0);
+        let small_p50 = pctl(&small, "cm.get.latency_ns", 50.0);
+        // 64x more bytes, but latency moves by far less than 2x: per-op
+        // fixed costs dominate at production sizes.
+        assert!(
+            small_p50 < tiny_p50 * 2.0,
+            "32B {tiny_p50}us vs 2KB {small_p50}us"
+        );
+        // Very large values do pay for bytes.
+        let big = run_mix(0.5, 16384, 79);
+        let big_p50 = pctl(&big, "cm.get.latency_ns", 50.0);
+        assert!(big_p50 > tiny_p50, "16KB {big_p50}us vs 32B {tiny_p50}us");
+    }
+}

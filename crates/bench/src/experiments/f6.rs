@@ -1,0 +1,114 @@
+//! Figure 6: CliqueMap performance by client language.
+//!
+//! (a) peak GET op rate, (b) CPU-µs per op, (c) median latency at a paced
+//! 1K GETs/sec/client — for the native C++ client and the Java/Go/Python
+//! shims (§6.2: a language shim talks to the C++ client subprocess over
+//! named pipes, paying marshalling CPU and two pipe traversals per op).
+
+use cliquemap::cell::{Cell, CellSpec};
+use cliquemap::client::LookupStrategy;
+use cliquemap::config::ReplicationMode;
+use cliquemap::shim::ShimSpec;
+use cliquemap::workload::{Pacing, UniformWorkload, Workload};
+use simnet::SimDuration;
+use workloads::SizeDist;
+
+use crate::experiments::base_spec;
+use crate::harness::{populate_cell, Report};
+
+const KEYS: u64 = 2_000;
+const BACKENDS: u32 = 8;
+const CLIENTS: usize = 8;
+
+fn cell_for(lang: &str, peak: bool, seed: u64) -> Cell {
+    let mut spec: CellSpec =
+        base_spec(LookupStrategy::Scar, ReplicationMode::R1, BACKENDS);
+    spec.seed = seed;
+    spec.client.shim = ShimSpec::by_name(lang);
+    spec.client.pacing = if peak { Pacing::Closed } else { Pacing::Open };
+    spec.clients_per_host = 4;
+    let workloads: Vec<Box<dyn Workload>> = (0..CLIENTS)
+        .map(|_| {
+            let rate = if peak { 1e9 } else { 1_000.0 };
+            Box::new(UniformWorkload::gets(KEYS, rate, u64::MAX)) as Box<dyn Workload>
+        })
+        .collect();
+    let mut cell = Cell::build(spec, workloads);
+    populate_cell(&mut cell, "key-", KEYS, &SizeDist::fixed(64));
+    cell
+}
+
+struct LangResult {
+    rate_kops: f64,
+    cpu_us_per_op: f64,
+    median_us: f64,
+}
+
+fn measure(lang: &str) -> LangResult {
+    // Peak rate + CPU cost (closed loop, as fast as the stack allows).
+    let mut cell = cell_for(lang, true, 7);
+    let dur = SimDuration::from_millis(300);
+    cell.run_for(dur);
+    let ops = cell.sim.metrics().counter("cm.get.completed").max(1);
+    let cpu = cell.sim.metrics().counter("cm.client.cpu_ns");
+    let rate_kops = ops as f64 / dur.as_secs_f64() / 1e3;
+    let cpu_us_per_op = cpu as f64 / ops as f64 / 1e3;
+    // Latency at 1K GETs/sec/client (open loop, unloaded).
+    let mut cell = cell_for(lang, false, 8);
+    cell.run_for(SimDuration::from_millis(400));
+    let median_us = cell
+        .sim
+        .metrics()
+        .hist_ref("cm.get.latency_ns")
+        .map(|h| h.percentile(50.0) as f64 / 1e3)
+        .unwrap_or(0.0);
+    LangResult {
+        rate_kops,
+        cpu_us_per_op,
+        median_us,
+    }
+}
+
+/// Regenerate Figure 6 (a, b, c).
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "f6",
+        "CliqueMap performance by client language (op rate / CPU per op / median latency)",
+    );
+    report.line(format!(
+        "{:>8} {:>16} {:>14} {:>16}",
+        "lang", "op_rate_kops/s", "cpu_us_per_op", "median_lat_us"
+    ));
+    for lang in ["cpp", "java", "go", "py"] {
+        let r = measure(lang);
+        report.line(format!(
+            "{lang:>8} {:>16.1} {:>14.2} {:>16.1}",
+            r.rate_kops, r.cpu_us_per_op, r.median_us
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpp_dominates_and_python_trails() {
+        let cpp = measure("cpp");
+        let py = measure("py");
+        assert!(
+            cpp.rate_kops > py.rate_kops * 2.0,
+            "cpp {} vs py {}",
+            cpp.rate_kops,
+            py.rate_kops
+        );
+        assert!(
+            py.cpu_us_per_op > cpp.cpu_us_per_op * 5.0,
+            "cpu: cpp {} py {}",
+            cpp.cpu_us_per_op,
+            py.cpu_us_per_op
+        );
+        assert!(py.median_us > cpp.median_us + 50.0);
+    }
+}

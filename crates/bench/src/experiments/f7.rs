@@ -1,0 +1,117 @@
+//! Figure 7: client and Pony Express CPU efficiency under the three lookup
+//! strategies — 2×R, SCAR, and two-sided messaging (MSG).
+//!
+//! The paper's bars: an individual SCAR op costs about as much engine CPU
+//! as a plain RMA read, but halves the op count per GET, so SCAR roughly
+//! halves Pony CPU relative to 2×R; waking server application threads
+//! (MSG) costs far more than either.
+
+use cliquemap::cell::{Cell, CellSpec};
+use cliquemap::client::LookupStrategy;
+use cliquemap::config::ReplicationMode;
+use cliquemap::workload::{UniformWorkload, Workload};
+use simnet::SimDuration;
+use workloads::SizeDist;
+
+use crate::experiments::base_spec;
+use crate::harness::{pony_cpu_ns, populate_cell, Report};
+
+const KEYS: u64 = 2_000;
+
+struct StrategyCost {
+    client_ns: f64,
+    pony_ns: f64,
+    server_thread_ns: f64,
+}
+
+fn measure(strategy: LookupStrategy) -> StrategyCost {
+    let mut spec: CellSpec = base_spec(strategy, ReplicationMode::R1, 4);
+    spec.seed = 17;
+    let workloads: Vec<Box<dyn Workload>> = (0..4)
+        .map(|_| {
+            Box::new(UniformWorkload::gets(KEYS, 50_000.0, u64::MAX)) as Box<dyn Workload>
+        })
+        .collect();
+    let mut cell = Cell::build(spec, workloads);
+    populate_cell(&mut cell, "key-", KEYS, &SizeDist::fixed(64));
+    // Measure from a warm start so CONNECT setup doesn't skew per-op cost.
+    cell.run_for(SimDuration::from_millis(20));
+    let ops0 = cell.sim.metrics().counter("cm.get.completed");
+    let cpu0 = cell.sim.metrics().counter("cm.client.cpu_ns");
+    let nodes: Vec<_> = cell
+        .backends
+        .iter()
+        .chain(cell.clients.iter())
+        .copied()
+        .collect();
+    let pony0 = pony_cpu_ns(&mut cell, &nodes);
+    let host_busy = |cell: &Cell| -> u64 {
+        cell.backend_hosts
+            .iter()
+            .map(|&h| cell.sim.host(h).cpu_busy_ns)
+            .sum()
+    };
+    let busy0 = host_busy(&cell);
+    cell.run_for(SimDuration::from_millis(300));
+    let ops = (cell.sim.metrics().counter("cm.get.completed") - ops0).max(1);
+    let cpu = cell.sim.metrics().counter("cm.client.cpu_ns") - cpu0;
+    let pony = pony_cpu_ns(&mut cell, &nodes) - pony0;
+    let busy = host_busy(&cell) - busy0;
+    StrategyCost {
+        client_ns: cpu as f64 / ops as f64,
+        pony_ns: pony as f64 / ops as f64,
+        server_thread_ns: busy as f64 / ops as f64,
+    }
+}
+
+/// Regenerate Figure 7.
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "f7",
+        "CliqueMap client and Pony Express CPU-ns/op under 2xR, SCAR, and MSG lookups",
+    );
+    report.line(format!(
+        "{:>8} {:>14} {:>12} {:>18}",
+        "strategy", "client_ns/op", "pony_ns/op", "server_thread_ns"
+    ));
+    for (name, strategy) in [
+        ("2xR", LookupStrategy::TwoR),
+        ("SCAR", LookupStrategy::Scar),
+        ("MSG", LookupStrategy::Msg),
+    ] {
+        let c = measure(strategy);
+        report.line(format!(
+            "{name:>8} {:>14.0} {:>12.0} {:>18.0}",
+            c.client_ns, c.pony_ns, c.server_thread_ns
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scar_halves_pony_cpu_and_msg_wakes_threads() {
+        let two_r = measure(LookupStrategy::TwoR);
+        let scar = measure(LookupStrategy::Scar);
+        let msg = measure(LookupStrategy::Msg);
+        // SCAR substantially cheaper than 2xR on the engine (one op, not two).
+        assert!(
+            scar.pony_ns < two_r.pony_ns * 0.75,
+            "scar {} vs 2xR {}",
+            scar.pony_ns,
+            two_r.pony_ns
+        );
+        // SCAR also trims client CPU (one completion, not two).
+        assert!(scar.client_ns < two_r.client_ns);
+        // Waking server threads dwarfs the NIC-side scan.
+        assert!(
+            msg.server_thread_ns > scar.server_thread_ns + 1_000.0,
+            "msg {} vs scar {}",
+            msg.server_thread_ns,
+            scar.server_thread_ns
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Figure 8: the Ads production workload — a week of latency percentiles
+//! and op rates.
+//!
+//! Highly batched GETs (tail batches of 30–300 keys) against an R=3.2
+//! cell, with a steady write stream plus periodic backfill bursts. GET
+//! rate dwarfs SET rate; the 99.9p tail is driven by response incast on
+//! large batches.
+
+use cliquemap::cell::{Cell, CellSpec};
+use cliquemap::client::LookupStrategy;
+use cliquemap::config::ReplicationMode;
+use cliquemap::workload::Workload;
+use simnet::{SimDuration, SimTime};
+use workloads::{ProductionGets, ProductionSets, SizeDist};
+
+use crate::experiments::base_spec;
+use crate::harness::{populate_cell, Report, WindowSampler};
+
+/// Shared driver for the two production-workload figures.
+pub(crate) struct ProductionRun {
+    /// Keys in the corpus.
+    pub keys: u64,
+    /// One simulated "day".
+    pub day: SimDuration,
+    /// Days simulated.
+    pub days: u32,
+    /// Windows sampled per day.
+    pub windows_per_day: u32,
+    /// Reader clients.
+    pub readers: usize,
+    /// Writer clients.
+    pub writers: usize,
+    /// Size distribution.
+    pub sizes: SizeDist,
+    /// Factory for one reader workload.
+    pub make_reader: fn(u64, SimDuration) -> Box<dyn Workload>,
+    /// Factory for one writer workload.
+    pub make_writer: fn(u64, SizeDist) -> Box<dyn Workload>,
+}
+
+impl ProductionRun {
+    pub(crate) fn execute(self, report: &mut Report) {
+        let mut spec: CellSpec = base_spec(LookupStrategy::Scar, ReplicationMode::R32, 8);
+        spec.seed = 31;
+        spec.clients_per_host = 2;
+        spec.client.max_in_flight = 2048;
+        let mut workloads: Vec<Box<dyn Workload>> = Vec::new();
+        for _ in 0..self.readers {
+            workloads.push((self.make_reader)(self.keys, self.day));
+        }
+        for _ in 0..self.writers {
+            workloads.push((self.make_writer)(self.keys, self.sizes.clone()));
+        }
+        let mut cell = Cell::build(spec, workloads);
+        populate_cell(&mut cell, "k", self.keys, &self.sizes);
+        report.line(format!(
+            "{:>8} {:>9} {:>9} {:>9} {:>10} {:>12} {:>12}",
+            "day", "p50_us", "p90_us", "p99_us", "p99.9_us", "get_per_s", "set_per_s"
+        ));
+        let mut sampler = WindowSampler::new(
+            &["cm.get.latency_ns"],
+            &["cm.get.completed", "cm.get.batches", "cm.set.completed"],
+        );
+        // Warm-up window (connections) not reported.
+        cell.run_for(SimDuration::from_millis(10));
+        sampler.sample(&mut cell);
+        let window = SimDuration(self.day.nanos() / self.windows_per_day as u64);
+        let start = cell.sim.now();
+        for w in 0..(self.days * self.windows_per_day) {
+            let deadline = SimTime(start.nanos() + (w as u64 + 1) * window.nanos());
+            cell.sim.run_until(deadline);
+            let snap = sampler.sample(&mut cell);
+            let p = snap.hists[0].1;
+            let secs = window.as_secs_f64();
+            let gets = (snap.counters[0].1 + snap.counters[1].1) as f64 / secs;
+            let sets = snap.counters[2].1 as f64 / secs;
+            report.line(format!(
+                "{:>8.2} {:>9.1} {:>9.1} {:>9.1} {:>10.1} {:>12.0} {:>12.0}",
+                (w + 1) as f64 / self.windows_per_day as f64,
+                p[0] as f64 / 1e3,
+                p[1] as f64 / 1e3,
+                p[2] as f64 / 1e3,
+                p[3] as f64 / 1e3,
+                gets,
+                sets
+            ));
+        }
+        report.line(format!(
+            "errors={} retries={}",
+            cell.op_errors(),
+            cell.sim.metrics().counter("cm.retries")
+        ));
+    }
+}
+
+/// Regenerate Figure 8.
+pub fn run() -> Report {
+    let mut report = Report::new("f8", "Ads workload: a simulated week of batched serving");
+    ProductionRun {
+        keys: 4_000,
+        day: SimDuration::from_millis(150),
+        days: 7,
+        windows_per_day: 4,
+        readers: 6,
+        writers: 2,
+        sizes: SizeDist {
+            // Scaled-down Ads corpus (keeps the populated cell small).
+            mu: (700f64).ln(),
+            sigma: 1.0,
+            min: 64,
+            max: 64 << 10,
+        },
+        make_reader: |keys, day| Box::new(ProductionGets::ads("k", keys, 2_500.0, day)),
+        make_writer: |keys, sizes| {
+            let mut w = ProductionSets::steady("k", keys, sizes, 1_500.0);
+            // Nightly backfill bursts (the Fig. 8 "SET Rate (Backfill)").
+            w.backfill_multiplier = 6.0;
+            w.backfill_period = SimDuration::from_millis(150);
+            w.backfill_len = SimDuration::from_millis(15);
+            Box::new(w)
+        },
+    }
+    .execute(&mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gets_dominate_and_tail_exceeds_median() {
+        let r = run();
+        let rows: Vec<Vec<f64>> = r
+            .lines
+            .iter()
+            .skip(1)
+            .filter(|l| !l.starts_with("errors"))
+            .map(|l| {
+                l.split_whitespace()
+                    .map(|v| v.parse().unwrap())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(rows.len(), 28);
+        let mean = |col: usize| -> f64 {
+            rows.iter().map(|r| r[col]).sum::<f64>() / rows.len() as f64
+        };
+        // GET rate well above SET rate (the design target).
+        assert!(mean(5) > mean(6) * 1.5, "gets {} sets {}", mean(5), mean(6));
+        // Tail latency far above median (batch incast).
+        assert!(mean(4) > mean(1) * 3.0, "p99.9 {} p50 {}", mean(4), mean(1));
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 9: the Geo production workload.
+//!
+//! Road-traffic predictions keyed by road segment: highly diurnal GET
+//! traffic (3× swing over a day) intermixed with a steady background
+//! corpus-update stream from separate writer jobs. "Despite the 3x
+//! variation in GET rate over the course of a day, 99.9% tail latency
+//! varies minimally."
+
+use simnet::SimDuration;
+use workloads::{ProductionGets, ProductionSets, SizeDist};
+
+use crate::experiments::f8::ProductionRun;
+use crate::harness::Report;
+
+/// Regenerate Figure 9.
+pub fn run() -> Report {
+    let mut report = Report::new("f9", "Geo workload: diurnal GETs with a steady update stream");
+    ProductionRun {
+        keys: 4_000,
+        day: SimDuration::from_millis(150),
+        days: 7,
+        windows_per_day: 4,
+        readers: 6,
+        writers: 2,
+        sizes: SizeDist::geo(),
+        make_reader: |keys, day| Box::new(ProductionGets::geo("k", keys, 2_000.0, day)),
+        make_writer: |keys, sizes| {
+            Box::new(ProductionSets::steady("k", keys, sizes, 2_500.0))
+        },
+    }
+    .execute(&mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_swing_with_stable_tail() {
+        let r = run();
+        let rows: Vec<Vec<f64>> = r
+            .lines
+            .iter()
+            .skip(1)
+            .filter(|l| !l.starts_with("errors"))
+            .map(|l| l.split_whitespace().map(|v| v.parse().unwrap()).collect())
+            .collect();
+        let get_rates: Vec<f64> = rows.iter().map(|r| r[5]).collect();
+        let max = get_rates.iter().cloned().fold(0.0, f64::max);
+        let min = get_rates.iter().cloned().fold(f64::MAX, f64::min);
+        // The diurnal swing shows up in GET rate...
+        assert!(max / min > 2.0, "swing {:.2}", max / min);
+        // ...while tail latency stays comparatively stable (peak window
+        // within a small multiple of the quietest window).
+        let tails: Vec<f64> = rows.iter().map(|r| r[4]).collect();
+        let tmax = tails.iter().cloned().fold(0.0, f64::max);
+        let tmin = tails.iter().cloned().fold(f64::MAX, f64::min).max(1.0);
+        assert!(tmax / tmin < 6.0, "tail varies {:.1}x", tmax / tmin);
+    }
+}

@@ -1,0 +1,54 @@
+//! One module per regenerated figure. Each exposes `run() -> Report`.
+//!
+//! Shared conventions: cells are sized down from the paper's 500-backend
+//! testbed to keep single-process simulation fast, experiments disable
+//! background machinery that the figure does not exercise, and every run
+//! is seeded so reports are bit-identical across invocations.
+
+pub mod ablations;
+pub mod f10;
+pub mod f11;
+pub mod f12;
+pub mod f13;
+pub mod f14;
+pub mod f15;
+pub mod f16;
+pub mod f17;
+pub mod f18;
+pub mod f19;
+pub mod f20;
+pub mod f3;
+pub mod f6;
+pub mod f7;
+pub mod f8;
+pub mod f9;
+pub mod xa;
+pub mod xb;
+
+use cliquemap::cell::CellSpec;
+use cliquemap::client::LookupStrategy;
+use cliquemap::config::ReplicationMode;
+use simnet::HostCfg;
+
+/// A tuned baseline spec shared by the controlled experiments: C-states off
+/// (except where the figure is about them), cohort scans off (except the
+/// repair figures), modest store geometry.
+pub fn base_spec(
+    strategy: LookupStrategy,
+    replication: ReplicationMode,
+    num_backends: u32,
+) -> CellSpec {
+    let mut spec = CellSpec {
+        replication,
+        num_backends,
+        host: HostCfg::with_gbps(50.0).no_cstates(),
+        ..CellSpec::default()
+    };
+    spec.backend.store.num_buckets = 4096;
+    spec.backend.store.data_capacity = 32 << 20;
+    spec.backend.store.max_data_capacity = 128 << 20;
+    spec.backend.scan_interval = None;
+    spec.client.strategy = strategy;
+    spec.client.access_flush = None;
+    spec
+}

@@ -1,0 +1,50 @@
+//! X-A: the §4 retry-rate claim — "although rarely triggered in practice
+//! (less than 0.01% of all ops), such retries grant the backend code
+//! significant freedom".
+//!
+//! Under a steady mixed workload with concurrent mutations, measure the
+//! fraction of logical ops that needed any retry (torn reads, races,
+//! speculation misses) — it should be tiny.
+
+use simnet::SimDuration;
+
+use crate::experiments::f18::run_mix;
+use crate::harness::Report;
+
+/// Retry fraction under a 50/50 mix.
+pub(crate) fn retry_fraction() -> (f64, u64, u64) {
+    let mut cell = run_mix(0.5, 1024, 83);
+    cell.run_for(SimDuration::from_millis(200));
+    let ops = cell.sim.metrics().counter("cm.get.completed")
+        + cell.sim.metrics().counter("cm.set.completed");
+    let retries = cell.sim.metrics().counter("cm.retries");
+    (retries as f64 / ops.max(1) as f64, retries, ops)
+}
+
+/// Regenerate the X-A claim check.
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "xa",
+        "Retry rate under a mixed workload (paper: <0.01% of ops need retries)",
+    );
+    let (frac, retries, ops) = retry_fraction();
+    report.line(format!(
+        "ops={ops} retries={retries} retry_fraction={:.6}%",
+        frac * 100.0
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retries_are_rare() {
+        let (frac, _, ops) = retry_fraction();
+        assert!(ops > 10_000, "too few ops: {ops}");
+        // The paper says <0.01%; allow an order of magnitude of headroom
+        // for our scaled-down cell.
+        assert!(frac < 0.001, "retry fraction {frac}");
+    }
+}

@@ -1,0 +1,1675 @@
+//! The CliqueMap client library, as a simulation node.
+//!
+//! The client owns the paper's read path end to end:
+//!
+//! * **2×R GETs** (§3): bucket fetch → client-side scan → data fetch →
+//!   self-validation (checksum, full-key compare, config id);
+//! * **SCAR GETs** (§6.3): one Scan-and-Read per replica, single RTT;
+//! * **R=3.2 quoruming** (§5.1): index fetch from all three replicas, data
+//!   from the *first responder* (preferred backend), hit iff ≥2 replicas
+//!   agree on VersionNumber and the data came from a quorum member;
+//! * **mutations** (§5.2): SET/ERASE/CAS RPCs to every replica with a
+//!   client-nominated `{TrueTime, ClientId, Seq}` version, success on a
+//!   write quorum, retried with a *fresh, higher* version;
+//! * **layered retries** (§3, §9): checksum failures retry the RMA ops,
+//!   failed RMAs re-CONNECT (geometry refresh), config-id mismatches
+//!   refresh the cell config from the config store;
+//! * **batched access records** (§4.2) so backends can run LRU/ARC without
+//!   seeing the reads.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use rma::{PonyCfg, RmaOpTable, RmaStatus, Transport, TransportKind, WindowId};
+use rpc::{CallTable, RetryPolicy, RetryState, RpcCostModel, Status};
+use simnet::{Ctx, Deferred, Event, Node, NodeId, SimDuration, SimTime};
+
+use crate::config::{CellConfig, ReplicationMode};
+use crate::hash::{place, DefaultHasher, KeyHash, KeyHasher};
+use crate::layout::{self, bucket_size, parse_data_entry, Pointer};
+use crate::messages::{self, method, Geometry};
+use crate::shim::ShimSpec;
+use crate::version::{VersionGen, VersionNumber};
+use crate::workload::{ClientOp, OpOutcome, Pacing, VersionMemo, Workload};
+
+/// How the client performs lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupStrategy {
+    /// Two sequential one-sided reads (index, then data).
+    TwoR,
+    /// Scan-and-Read: one programmable-NIC op per replica.
+    Scar,
+    /// Two-sided messaging (the MSG comparison point / WAN fallback).
+    Msg,
+}
+
+/// Client configuration.
+#[derive(Clone)]
+pub struct ClientCfg {
+    /// Identity baked into nominated versions.
+    pub client_id: u32,
+    /// Lookup strategy.
+    pub strategy: LookupStrategy,
+    /// Client-side RMA transport (engine model for Pony).
+    pub transport: TransportKind,
+    /// Pony engine configuration.
+    pub pony: PonyCfg,
+    /// Full RPC cost model (mutations, control RPCs).
+    pub rpc_cost: RpcCostModel,
+    /// Lean messaging cost model (MSG lookups).
+    pub msg_cost: RpcCostModel,
+    /// Retry budget shared by all op types.
+    pub retry: RetryPolicy,
+    /// Per-attempt sub-op timeout (RMA and RPC).
+    pub attempt_timeout: SimDuration,
+    /// The cell's config store.
+    pub config_store: NodeId,
+    /// Key hasher (must match the backends').
+    pub hasher: Arc<dyn KeyHasher>,
+    /// Fixed client-library CPU per GET attempt.
+    pub get_cpu: SimDuration,
+    /// Fixed client-library CPU per mutation attempt.
+    pub set_cpu: SimDuration,
+    /// Per-RMA-op client CPU (issue + completion handling).
+    pub rma_op_cpu: SimDuration,
+    /// Access-record flush period (`None` disables recency reporting).
+    pub access_flush: Option<SimDuration>,
+    /// Open- or closed-loop issue pacing.
+    pub pacing: Pacing,
+    /// Maximum concurrently outstanding logical ops (open loop).
+    pub max_in_flight: usize,
+    /// RPC fallback on overflowed buckets (§4.2).
+    pub rpc_fallback_on_overflow: bool,
+    /// Fetch data from the first replica whose index response arrives
+    /// (§5.1 preferred-backend selection). Disabling it always fetches
+    /// from the key's primary replica — the ablation showing why the
+    /// paper chose quoruming over primary/backup.
+    pub prefer_first_responder: bool,
+    /// Language-shim cost model (`None` = native C++ client).
+    pub shim: Option<ShimSpec>,
+    /// Host-level Pony engine pool shared with co-located nodes.
+    pub shared_pony: Option<std::rc::Rc<std::cell::RefCell<rma::PonyHost>>>,
+}
+
+impl Default for ClientCfg {
+    fn default() -> Self {
+        ClientCfg {
+            client_id: 1,
+            strategy: LookupStrategy::TwoR,
+            transport: TransportKind::PonyExpress,
+            pony: PonyCfg::default(),
+            rpc_cost: RpcCostModel::default(),
+            msg_cost: RpcCostModel::default().scaled(0.06),
+            retry: RetryPolicy::default(),
+            attempt_timeout: SimDuration::from_millis(2),
+            config_store: NodeId(0),
+            hasher: Arc::new(DefaultHasher),
+            get_cpu: SimDuration::from_nanos(900),
+            set_cpu: SimDuration::from_micros(2),
+            rma_op_cpu: SimDuration::from_nanos(350),
+            access_flush: Some(SimDuration::from_millis(50)),
+            pacing: Pacing::Open,
+            max_in_flight: 256,
+            rpc_fallback_on_overflow: false,
+            prefer_first_responder: true,
+            shim: None,
+            shared_pony: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ClientCfg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientCfg")
+            .field("client_id", &self.client_id)
+            .field("strategy", &self.strategy)
+            .finish()
+    }
+}
+
+/// An index-fetch result from one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Vote {
+    /// The bucket holds the key at this version.
+    Entry(VersionNumber, Pointer),
+    /// The bucket does not hold the key.
+    Absent,
+    /// The replica failed (RMA error, timeout, torn bucket).
+    Failed,
+}
+
+#[derive(Debug)]
+struct GetState {
+    key: Bytes,
+    hash: KeyHash,
+    batch: Option<u64>,
+    retry: RetryState,
+    attempt: u64,
+    replicas: Vec<NodeId>,
+    /// Index-fetch results in arrival order (first responder first).
+    votes: Vec<(NodeId, Vote)>,
+    data_requested: bool,
+    data: Option<(NodeId, VersionNumber, Bytes)>,
+    /// Preferred-backend speculation failed last attempt; avoid this node.
+    avoid: Option<NodeId>,
+    /// Bucket overflow observed (RPC-fallback candidate).
+    saw_overflow: bool,
+    /// Waiting for geometry (re-CONNECT in flight) before the next attempt.
+    waiting_geometry: bool,
+    /// Outstanding overflow-fallback RPCs (one per replica).
+    fallback_pending: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MutationKind {
+    Set,
+    Erase,
+    Cas,
+}
+
+#[derive(Debug)]
+struct MutationState {
+    kind: MutationKind,
+    key: Bytes,
+    value: Bytes,
+    expected: Option<VersionNumber>,
+    version: VersionNumber,
+    batch: Option<u64>,
+    retry: RetryState,
+    attempt: u64,
+    replicas: Vec<NodeId>,
+    acks: u32,
+    rejects: u32,
+    failures: u32,
+    completed: bool,
+}
+
+#[derive(Debug)]
+enum OpState {
+    /// Waiting for config and/or geometry.
+    Parked(ClientOp, Option<u64>),
+    Get(GetState),
+    Mutation(MutationState),
+}
+
+#[derive(Debug)]
+struct BatchState {
+    remaining: usize,
+    started: SimTime,
+    failed: bool,
+}
+
+/// Client-internal deferred work.
+#[derive(Debug)]
+enum Work {
+    /// Pacing timer: pull the next op from the workload.
+    NextOp,
+    /// Issue a parked/new logical op (after shim ingress).
+    Start(u64),
+    /// Retry a logical op after backoff.
+    Retry(u64),
+    /// Flush batched access records.
+    AccessFlush,
+    /// Send pre-encoded bytes (after transport issue delay).
+    SendWire(NodeId, Bytes),
+    /// Client-library CPU for a GET attempt finished; issue its sub-ops.
+    IssueAttempt(u64),
+}
+
+/// The client node.
+pub struct ClientNode {
+    cfg: ClientCfg,
+    workload: Box<dyn Workload>,
+    /// Client-side transport (public for harness engine sampling).
+    pub transport: Transport,
+    rma: RmaOpTable,
+    calls: CallTable,
+    work: Deferred<Work>,
+    versions: VersionGen,
+    memo: VersionMemo,
+    config: Option<CellConfig>,
+    config_refreshing: bool,
+    geometry: HashMap<NodeId, Geometry>,
+    connecting: HashSet<NodeId>,
+    pending_start: HashMap<u64, ClientOp>,
+    ops: BTreeMap<u64, OpState>,
+    batches: HashMap<u64, BatchState>,
+    next_op_id: u64,
+    in_flight: usize,
+    workload_done: bool,
+    access_buffer: BTreeMap<NodeId, Vec<KeyHash>>,
+    /// Completed-op log for tests (bounded).
+    pub completions: Vec<(OpOutcome, u64)>,
+}
+
+impl std::fmt::Debug for ClientNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientNode")
+            .field("cfg", &self.cfg)
+            .field("in_flight", &self.in_flight)
+            .finish()
+    }
+}
+
+const COMPLETION_LOG_CAP: usize = 100_000;
+
+impl ClientNode {
+    /// Build a client that will drive `workload`.
+    pub fn new(cfg: ClientCfg, workload: Box<dyn Workload>) -> ClientNode {
+        let transport = match (cfg.transport, cfg.shared_pony.clone()) {
+            (TransportKind::PonyExpress, Some(pool)) => Transport::pony_shared(pool),
+            (TransportKind::PonyExpress, None) => Transport::pony(cfg.pony.clone()),
+            (TransportKind::OneRma, _) => Transport::one_rma(),
+            (TransportKind::Rdma, _) => Transport::rdma(),
+        };
+        ClientNode {
+            versions: VersionGen::new(cfg.client_id),
+            calls: CallTable::new(cfg.client_id as u64),
+            cfg,
+            workload,
+            transport,
+            rma: RmaOpTable::new(),
+            work: Deferred::aux1(),
+            memo: VersionMemo::default(),
+            config: None,
+            config_refreshing: false,
+            geometry: HashMap::new(),
+            connecting: HashSet::new(),
+            pending_start: HashMap::new(),
+            ops: BTreeMap::new(),
+            batches: HashMap::new(),
+            next_op_id: 1,
+            in_flight: 0,
+            workload_done: false,
+            access_buffer: BTreeMap::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    // ---- op intake -------------------------------------------------------
+
+    fn schedule_next(&mut self, ctx: &mut Ctx<'_>) {
+        if self.workload_done {
+            return;
+        }
+        let now = ctx.now();
+        let res = {
+            let rng = ctx.rng();
+            self.workload.next(now, rng)
+        }; match res {
+            None => {
+                self.workload_done = true;
+            }
+            Some((gap, op)) => {
+                let op_id = self.admit(op);
+                let tok = self.work.defer(Work::Start(op_id));
+                ctx.set_timer(gap, tok);
+                if self.cfg.pacing == Pacing::Open {
+                    let tok = self.work.defer(Work::NextOp);
+                    ctx.set_timer(gap, tok);
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, op: ClientOp) -> u64 {
+        let op_id = self.next_op_id;
+        self.next_op_id += 1;
+        self.pending_start.insert(op_id, op);
+        op_id
+    }
+
+    fn start_op(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        // An op may arrive here via its start timer (from pending_start) or
+        // via MultiGet expansion (already parked with a batch id).
+        let parked = match self.pending_start.remove(&op_id) {
+            Some(op) => (op, None),
+            None => match self.ops.remove(&op_id) {
+                Some(OpState::Parked(op, batch)) => (op, batch),
+                Some(other) => {
+                    self.ops.insert(op_id, other);
+                    return;
+                }
+                None => return,
+            },
+        };
+        if self.in_flight >= self.cfg.max_in_flight {
+            ctx.metrics().add("cm.client.overload_drops", 1);
+            return;
+        }
+        let (op, batch) = parked;
+        if let Some(shim) = &self.cfg.shim {
+            let cost = shim.per_op_cpu(Self::op_bytes(&op));
+            ctx.charge_cpu(cost);
+            ctx.metrics().add("cm.client.cpu_ns", cost.nanos());
+        }
+        match op {
+            ClientOp::MultiGet { keys } => {
+                // Expand into per-key GETs sharing a batch.
+                self.batches.insert(
+                    op_id,
+                    BatchState {
+                        remaining: keys.len(),
+                        started: ctx.now(),
+                        failed: false,
+                    },
+                );
+                for key in keys {
+                    let sub = self.next_op_id;
+                    self.next_op_id += 1;
+                    self.ops
+                        .insert(sub, OpState::Parked(ClientOp::Get { key }, Some(op_id)));
+                    self.start_op(ctx, sub);
+                }
+            }
+            other => {
+                self.in_flight += 1;
+                self.ops.insert(op_id, OpState::Parked(other, batch));
+                self.try_issue(ctx, op_id);
+            }
+        }
+    }
+
+    fn op_bytes(op: &ClientOp) -> usize {
+        match op {
+            ClientOp::Set { value, .. } | ClientOp::Cas { value, .. } => value.len(),
+            _ => 64,
+        }
+    }
+
+    /// Try to move a parked op into flight; parks again if config or
+    /// geometry is missing (re-tried when they arrive).
+    fn try_issue(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let Some(OpState::Parked(op, batch)) = self.ops.get(&op_id) else {
+            return;
+        };
+        let op = op.clone();
+        let batch = *batch;
+        let Some(config) = self.config.clone() else {
+            self.refresh_config(ctx);
+            return; // stays parked; released by config arrival
+        };
+        let key = match &op {
+            ClientOp::Get { key }
+            | ClientOp::Set { key, .. }
+            | ClientOp::Erase { key }
+            | ClientOp::Cas { key, .. } => key.clone(),
+            ClientOp::MultiGet { .. } => unreachable!("expanded in start_op"),
+        };
+        let hash = self.cfg.hasher.hash(&key);
+        let shard = place(hash, config.num_shards(), 1).shard;
+        let replicas = config.replicas_for(shard);
+        // GETs need geometry for every replica (RMA addressing); mutations
+        // are plain RPCs and can go immediately.
+        let is_get = matches!(op, ClientOp::Get { .. });
+        let needs_geometry = is_get && self.cfg.strategy != LookupStrategy::Msg;
+        if needs_geometry {
+            let missing: Vec<NodeId> = replicas
+                .iter()
+                .copied()
+                .filter(|r| !self.geometry.contains_key(r))
+                .collect();
+            // Proceed once a read quorum's worth of connections exist; a
+            // dead replica must not park reads forever (its vote simply
+            // fails). Keep trying to connect to the stragglers.
+            let quorum = config.replication.read_quorum() as usize;
+            if replicas.len() - missing.len() < quorum {
+                for m in missing {
+                    self.ensure_connect(ctx, m);
+                }
+                return; // stays parked; released by CONNECT completion
+            }
+            for m in missing {
+                self.ensure_connect(ctx, m);
+            }
+        }
+        match op {
+            ClientOp::Get { key } => {
+                let state = GetState {
+                    key,
+                    hash,
+                    batch,
+                    retry: self.cfg.retry.start(ctx.now()),
+                    attempt: 0,
+                    replicas,
+                    votes: Vec::new(),
+                    data_requested: false,
+                    data: None,
+                    avoid: None,
+                    saw_overflow: false,
+                    waiting_geometry: false,
+                    fallback_pending: 0,
+                };
+                self.ops.insert(op_id, OpState::Get(state));
+                self.issue_get_attempt(ctx, op_id);
+            }
+            ClientOp::Set { key, value } => {
+                self.start_mutation(ctx, op_id, MutationKind::Set, key, value, None, batch, replicas);
+            }
+            ClientOp::Erase { key } => {
+                self.start_mutation(
+                    ctx,
+                    op_id,
+                    MutationKind::Erase,
+                    key,
+                    Bytes::new(),
+                    None,
+                    batch,
+                    replicas,
+                );
+            }
+            ClientOp::Cas { key, value } => {
+                let Some(expected) = self.memo.get(&key) else {
+                    self.complete_op(ctx, op_id, OpOutcome::Error, ctx.now());
+                    return;
+                };
+                self.start_mutation(
+                    ctx,
+                    op_id,
+                    MutationKind::Cas,
+                    key,
+                    value,
+                    Some(expected),
+                    batch,
+                    replicas,
+                );
+            }
+            ClientOp::MultiGet { .. } => unreachable!(),
+        }
+    }
+
+    // ---- GET path --------------------------------------------------------
+
+    /// A GET attempt first pays client-library CPU on a real core (so op
+    /// rate is CPU-bound at saturation and idle hosts pay C-state exits —
+    /// the Fig. 16/17 low-load latency hump), then issues its sub-ops.
+    fn issue_get_attempt(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        ctx.metrics()
+            .add("cm.client.cpu_ns", self.cfg.get_cpu.nanos());
+        let tok = self.work.defer(Work::IssueAttempt(op_id));
+        ctx.spawn_cpu(self.cfg.get_cpu, tok);
+    }
+
+    fn do_issue_attempt(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let now = ctx.now();
+        let policy = self.cfg.retry;
+        // A retry whose geometry was invalidated (reshape, growth, restart)
+        // must re-learn it before burning another attempt — "failed RMA
+        // operations may retry on new connections" (§3).
+        let needs_geometry = self.cfg.strategy != LookupStrategy::Msg;
+        if needs_geometry {
+            let (missing, have): (Vec<NodeId>, usize) = match self.ops.get(&op_id) {
+                Some(OpState::Get(get)) => {
+                    let missing: Vec<NodeId> = get
+                        .replicas
+                        .iter()
+                        .copied()
+                        .filter(|r| !self.geometry.contains_key(r))
+                        .collect();
+                    (missing.clone(), get.replicas.len() - missing.len())
+                }
+                _ => return,
+            };
+            let quorum = self
+                .config
+                .as_ref()
+                .map(|c| c.replication.read_quorum() as usize)
+                .unwrap_or(1);
+            if have < quorum && !missing.is_empty() {
+                let deadline_passed = match self.ops.get(&op_id) {
+                    Some(OpState::Get(get)) => now >= get.retry.deadline(&policy),
+                    _ => true,
+                };
+                if deadline_passed {
+                    ctx.metrics().add("cm.op_errors", 1);
+                    self.complete_op(ctx, op_id, crate::workload::OpOutcome::Error, now);
+                    return;
+                }
+                for m in missing {
+                    self.ensure_connect(ctx, m);
+                }
+                if let Some(OpState::Get(get)) = self.ops.get_mut(&op_id) {
+                    get.waiting_geometry = true;
+                }
+                return;
+            }
+            // Quorum-sufficient: proceed, but keep healing the stragglers
+            // in the background (a revived replica rejoins this way).
+            for m in missing {
+                self.ensure_connect(ctx, m);
+            }
+        }
+        let Some(OpState::Get(get)) = self.ops.get_mut(&op_id) else {
+            return;
+        };
+        get.votes.clear();
+        get.data_requested = false;
+        get.data = None;
+        get.saw_overflow = false;
+        get.fallback_pending = 0;
+        get.attempt += 1;
+        let attempt = get.attempt;
+        let hash = get.hash;
+        let key = get.key.clone();
+        let replicas: Vec<NodeId> = match self.config.as_ref().map(|c| c.replication) {
+            Some(ReplicationMode::R2Immutable) => {
+                // Immutable mode: consult one replica, alternating on retry.
+                let idx = ((attempt - 1) as usize) % get.replicas.len();
+                vec![get.replicas[idx]]
+            }
+            _ => get.replicas.clone(),
+        };
+        match self.cfg.strategy {
+            LookupStrategy::TwoR => {
+                for r in replicas {
+                    self.issue_index_read(ctx, op_id, attempt, r, hash);
+                }
+            }
+            LookupStrategy::Scar => {
+                for r in replicas {
+                    self.issue_scar(ctx, op_id, attempt, r, hash);
+                }
+            }
+            LookupStrategy::Msg => {
+                let primary = replicas[0];
+                #[cfg(feature = "dbg")]
+                eprintln!("[{}] msg_get key={:?} -> {:?}", ctx.now(), key, primary);
+                let body = messages::GetReq { key }.encode();
+                ctx.charge_cpu(self.cfg.msg_cost.client_send);
+                ctx.metrics()
+                    .add("cm.client.cpu_ns", self.cfg.msg_cost.client_send.nanos());
+                self.rpc_call(ctx, primary, method::MSG_GET, body, op_id, attempt, 0);
+            }
+        }
+        let _ = now;
+    }
+
+    fn geometry_of(&self, node: NodeId) -> Option<&Geometry> {
+        self.geometry.get(&node)
+    }
+
+    fn issue_index_read(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        attempt: u64,
+        replica: NodeId,
+        hash: KeyHash,
+    ) {
+        let Some(geom) = self.geometry_of(replica).copied() else {
+            self.record_vote(ctx, op_id, attempt, replica, Vote::Failed);
+            return;
+        };
+        let bb = bucket_size(geom.assoc as usize) as u64;
+        let bucket = (hash as u64) % geom.num_buckets;
+        let tag = sub_tag(op_id, attempt, 0);
+        let (rma_id, wire) = self.rma.begin_read(
+            replica,
+            WindowId(geom.index_window),
+            geom.index_generation,
+            bucket * bb,
+            bb as u32,
+            ctx.now(),
+            tag,
+        );
+        self.charge_rma_op(ctx);
+        self.send_rma(ctx, replica, wire, rma_id);
+    }
+
+    fn issue_data_read(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        attempt: u64,
+        replica: NodeId,
+        ptr: Pointer,
+    ) {
+        let tag = sub_tag(op_id, attempt, 1);
+        let (rma_id, wire) = self.rma.begin_read(
+            replica,
+            WindowId(ptr.window),
+            ptr.generation,
+            ptr.offset,
+            ptr.len,
+            ctx.now(),
+            tag,
+        );
+        self.charge_rma_op(ctx);
+        self.send_rma(ctx, replica, wire, rma_id);
+    }
+
+    fn issue_scar(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        attempt: u64,
+        replica: NodeId,
+        hash: KeyHash,
+    ) {
+        let Some(geom) = self.geometry_of(replica).copied() else {
+            self.record_vote(ctx, op_id, attempt, replica, Vote::Failed);
+            return;
+        };
+        let bb = bucket_size(geom.assoc as usize) as u64;
+        let bucket = (hash as u64) % geom.num_buckets;
+        let tag = sub_tag(op_id, attempt, 0);
+        let (rma_id, wire) = self.rma.begin_scar(
+            replica,
+            WindowId(geom.index_window),
+            geom.index_generation,
+            bucket * bb,
+            bb as u32,
+            hash,
+            ctx.now(),
+            tag,
+        );
+        self.charge_rma_op(ctx);
+        self.send_rma(ctx, replica, wire, rma_id);
+    }
+
+    fn charge_rma_op(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.charge_cpu(self.cfg.rma_op_cpu);
+        ctx.metrics()
+            .add("cm.client.cpu_ns", self.cfg.rma_op_cpu.nanos());
+    }
+
+    fn send_rma(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, wire: Bytes, rma_id: u64) {
+        // Client-side transport issue cost (engine queueing on Pony).
+        let ready = self.transport.admit_issue(ctx.now());
+        let delay = ready.since(ctx.now());
+        if delay == SimDuration::ZERO {
+            ctx.send(dst, wire);
+        } else {
+            let tok = self.work.defer(Work::SendWire(dst, wire));
+            ctx.set_timer(delay, tok);
+        }
+        ctx.set_timer(self.cfg.attempt_timeout, RmaOpTable::timer_token(rma_id));
+    }
+
+    /// Feed one replica's index result into the op and evaluate quorum.
+    fn record_vote(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        attempt: u64,
+        replica: NodeId,
+        vote: Vote,
+    ) {
+        let Some(OpState::Get(get)) = self.ops.get_mut(&op_id) else {
+            return;
+        };
+        if get.attempt != attempt {
+            return; // stale sub-op from an earlier attempt
+        }
+        if let Some(slot) = get.votes.iter_mut().find(|(n, _)| *n == replica) {
+            slot.1 = vote;
+        } else {
+            get.votes.push((replica, vote));
+        }
+        self.evaluate_get(ctx, op_id);
+    }
+
+    fn evaluate_get(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let Some(config) = self.config.clone() else {
+            return;
+        };
+        let read_quorum = config.replication.read_quorum();
+        let Some(OpState::Get(get)) = self.ops.get_mut(&op_id) else {
+            return;
+        };
+        let expected_votes = match config.replication {
+            ReplicationMode::R2Immutable => 1,
+            _ => get.replicas.len(),
+        };
+        // 1. If we have validated data, try to quorum on its version.
+        if let Some((from, version, _)) = &get.data {
+            let agree = get
+                .votes
+                .iter()
+                .filter(|(_, v)| matches!(v, Vote::Entry(ver, _) if ver == version))
+                .count() as u32;
+            let from_is_member = get.votes.iter().any(
+                |(n, v)| n == from && matches!(v, Vote::Entry(ver, _) if ver == version),
+            );
+            if agree >= read_quorum && from_is_member {
+                let (_, version, value) = get.data.take().expect("checked");
+                let key = get.key.clone();
+                self.memo.remember(&key, version);
+                self.note_access(op_id);
+                ctx.metrics().add("cm.get.hits", 1);
+                self.complete_op(ctx, op_id, OpOutcome::Hit, ctx.now());
+                let _ = value;
+                return;
+            }
+        }
+        // 2. Miss quorum: enough replicas affirmatively lack the key.
+        let absents = get
+            .votes
+            .iter()
+            .filter(|(_, v)| matches!(v, Vote::Absent))
+            .count() as u32;
+        if absents >= read_quorum {
+            // Optional RPC fallback: an overflowed bucket may hide a
+            // server-side hit in some replica's overflow table (§4.2).
+            if get.saw_overflow && self.cfg.rpc_fallback_on_overflow {
+                let replicas = get.replicas.clone();
+                let key = get.key.clone();
+                let attempt = get.attempt;
+                get.saw_overflow = false; // only once per attempt
+                get.fallback_pending = replicas.len() as u8;
+                ctx.metrics().add("cm.get.overflow_fallbacks", 1);
+                for replica in replicas {
+                    let body = messages::GetReq { key: key.clone() }.encode();
+                    self.rpc_call(ctx, replica, method::GET_RPC, body, op_id, attempt, 2);
+                }
+                return;
+            }
+            if get.fallback_pending > 0 {
+                return; // fallback verdicts still arriving
+            }
+            ctx.metrics().add("cm.get.misses", 1);
+            self.complete_op(ctx, op_id, OpOutcome::Miss, ctx.now());
+            return;
+        }
+        // 3. Preferred-backend selection: fetch data from the first entry
+        // vote (2xR only; SCAR responses carry data inline).
+        if self.cfg.strategy == LookupStrategy::TwoR && !get.data_requested {
+            let avoid = get.avoid;
+            let primary = get.replicas.first().copied();
+            let prefer_first = self.cfg.prefer_first_responder;
+            let candidate = get
+                .votes
+                .iter()
+                .filter_map(|(n, v)| match v {
+                    Vote::Entry(ver, ptr) => Some((*n, *ver, *ptr)),
+                    _ => None,
+                })
+                // Ablation hook: without first-responder preference, only
+                // the primary replica may serve the data fetch.
+                .filter(|(n, _, _)| prefer_first || Some(*n) == primary)
+                .find(|(n, _, _)| Some(*n) != avoid)
+                .or_else(|| {
+                    // Everyone has voted and the filters left no candidate
+                    // (only the avoided node has the entry, or the primary
+                    // failed in the no-preference ablation): fall back to
+                    // any entry vote.
+                    get.votes
+                        .iter()
+                        .filter_map(|(n, v)| match v {
+                            Vote::Entry(ver, ptr) => Some((*n, *ver, *ptr)),
+                            _ => None,
+                        })
+                        .next()
+                        .filter(|_| get.votes.len() >= expected_votes)
+                });
+            if let Some((node, _ver, ptr)) = candidate {
+                get.data_requested = true;
+                let attempt = get.attempt;
+                self.issue_data_read(ctx, op_id, attempt, node, ptr);
+                return;
+            }
+        }
+        // 4. All votes in but no quorum achievable -> inquorate; retry.
+        if get.votes.len() >= expected_votes {
+            let entry_or_absent = get
+                .votes
+                .iter()
+                .filter(|(_, v)| !matches!(v, Vote::Failed))
+                .count() as u32;
+            let data_pending = get.data_requested && get.data.is_none();
+            if entry_or_absent < read_quorum {
+                // Too many failures: cannot reach quorum this attempt.
+                self.fail_attempt(ctx, op_id, "inquorate");
+            } else if !data_pending && get.data_requested {
+                // Data fetched but didn't quorum (speculation failed or
+                // torn): retry, avoiding the preferred backend.
+                self.fail_attempt(ctx, op_id, "speculation");
+            } else if !get.data_requested && self.cfg.strategy == LookupStrategy::Scar {
+                // SCAR: all responses in, no data, no miss quorum.
+                self.fail_attempt(ctx, op_id, "inquorate");
+            }
+        }
+    }
+
+    fn note_access(&mut self, op_id: u64) {
+        if self.cfg.access_flush.is_none() {
+            return;
+        }
+        let Some(OpState::Get(get)) = self.ops.get(&op_id) else {
+            return;
+        };
+        let hash = get.hash;
+        for &r in &get.replicas {
+            self.access_buffer.entry(r).or_default().push(hash);
+        }
+    }
+
+    fn fail_attempt(&mut self, ctx: &mut Ctx<'_>, op_id: u64, reason: &str) {
+        ctx.metrics().add(&format!("cm.retry.{reason}"), 1);
+        let now = ctx.now();
+        let policy = self.cfg.retry;
+        let Some(state) = self.ops.get_mut(&op_id) else {
+            return;
+        };
+        let retry = match state {
+            OpState::Get(g) => {
+                // Avoid the backend whose data failed to quorum.
+                if let Some((from, _, _)) = &g.data {
+                    g.avoid = Some(*from);
+                }
+                &mut g.retry
+            }
+            OpState::Mutation(m) => &mut m.retry,
+            OpState::Parked(..) => return,
+        };
+        match retry.on_failure(&policy, now) {
+            rpc::RetryDecision::RetryAfter(backoff) => {
+                ctx.metrics().add("cm.retries", 1);
+                let tok = self.work.defer(Work::Retry(op_id));
+                ctx.set_timer(backoff, tok);
+            }
+            rpc::RetryDecision::GiveUp => {
+                ctx.metrics().add("cm.op_errors", 1);
+                self.complete_op(ctx, op_id, OpOutcome::Error, now);
+            }
+        }
+    }
+
+    fn retry_op(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        match self.ops.get(&op_id) {
+            Some(OpState::Get(_)) => self.issue_get_attempt(ctx, op_id),
+            Some(OpState::Mutation(_)) => self.issue_mutation_attempt(ctx, op_id),
+            Some(OpState::Parked(..)) => self.try_issue(ctx, op_id),
+            None => {}
+        }
+    }
+
+    // ---- mutations -------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_mutation(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        kind: MutationKind,
+        key: Bytes,
+        value: Bytes,
+        expected: Option<VersionNumber>,
+        batch: Option<u64>,
+        replicas: Vec<NodeId>,
+    ) {
+        let state = MutationState {
+            kind,
+            key,
+            value,
+            expected,
+            version: VersionNumber::ZERO,
+            batch,
+            retry: self.cfg.retry.start(ctx.now()),
+            attempt: 0,
+            replicas,
+            acks: 0,
+            rejects: 0,
+            failures: 0,
+            completed: false,
+        };
+        self.ops.insert(op_id, OpState::Mutation(state));
+        self.issue_mutation_attempt(ctx, op_id);
+    }
+
+    fn issue_mutation_attempt(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        ctx.charge_cpu(self.cfg.set_cpu);
+        ctx.metrics()
+            .add("cm.client.cpu_ns", self.cfg.set_cpu.nanos());
+        let tt = ctx.truetime();
+        let Some(OpState::Mutation(m)) = self.ops.get_mut(&op_id) else {
+            return;
+        };
+        m.attempt += 1;
+        m.acks = 0;
+        m.rejects = 0;
+        m.failures = 0;
+        // Every attempt nominates a fresh, higher version (§5.2): retried
+        // mutations eventually win.
+        m.version = self.versions.nominate(tt);
+        let attempt = m.attempt;
+        let kind = m.kind;
+        let replicas = m.replicas.clone();
+        #[cfg(feature = "dbg")]
+        let (m_key_dbg, m_version_dbg) = (m.key.clone(), m.version);
+        let body = match kind {
+            MutationKind::Set => messages::SetReq {
+                key: m.key.clone(),
+                value: m.value.clone(),
+                version: m.version,
+            }
+            .encode(),
+            MutationKind::Erase => messages::EraseReq {
+                key: m.key.clone(),
+                version: m.version,
+            }
+            .encode(),
+            MutationKind::Cas => messages::CasReq {
+                key: m.key.clone(),
+                value: m.value.clone(),
+                expected: m.expected.unwrap_or(VersionNumber::ZERO),
+                new_version: m.version,
+            }
+            .encode(),
+        };
+        let method_id = match kind {
+            MutationKind::Set => method::SET,
+            MutationKind::Erase => method::ERASE,
+            MutationKind::Cas => method::CAS,
+        };
+        for r in replicas {
+            #[cfg(feature = "dbg")]
+            eprintln!("[{}] mutation {:?} key={:?} -> {:?} v={}", ctx.now(), kind, m_key_dbg, r, m_version_dbg);
+            ctx.charge_cpu(self.cfg.rpc_cost.client_send);
+            ctx.metrics()
+                .add("cm.client.cpu_ns", self.cfg.rpc_cost.client_send.nanos());
+            self.rpc_call(ctx, r, method_id, body.clone(), op_id, attempt, 0);
+        }
+    }
+
+    fn on_mutation_response(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        attempt: u64,
+        status: Status,
+    ) {
+        let Some(config) = self.config.as_ref() else {
+            return;
+        };
+        let wq = config.replication.write_quorum();
+        let Some(OpState::Mutation(m)) = self.ops.get_mut(&op_id) else {
+            return;
+        };
+        if m.attempt != attempt || m.completed {
+            return;
+        }
+        match status {
+            Status::Ok => m.acks += 1,
+            Status::VersionRejected | Status::NotFound => m.rejects += 1,
+            _ => m.failures += 1,
+        }
+        let copies = m.replicas.len() as u32;
+        if m.acks >= wq {
+            m.completed = true;
+            let key = m.key.clone();
+            let version = m.version;
+            let kind = m.kind;
+            match kind {
+                MutationKind::Erase => self.memo.forget(&key),
+                _ => self.memo.remember(&key, version),
+            }
+            ctx.metrics().add("cm.set.acked", 1);
+            self.complete_op(ctx, op_id, OpOutcome::Done, ctx.now());
+        } else if m.rejects > copies - wq {
+            // A write quorum of acks is no longer possible: a newer version
+            // exists (or CAS expectation failed).
+            m.completed = true;
+            ctx.metrics().add("cm.set.superseded", 1);
+            self.complete_op(ctx, op_id, OpOutcome::Superseded, ctx.now());
+        } else if m.acks + m.rejects + m.failures >= copies {
+            // All responded, quorum unreachable due to failures: retry with
+            // a fresh version.
+            self.fail_attempt(ctx, op_id, "mutation_failures");
+        }
+    }
+
+    // ---- RPC plumbing ----------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn rpc_call(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: NodeId,
+        m: u16,
+        body: Bytes,
+        op_id: u64,
+        attempt: u64,
+        phase: u8,
+    ) {
+        let deadline = ctx.now().nanos() + self.cfg.attempt_timeout.nanos();
+        let tag = sub_tag(op_id, attempt, phase);
+        let (id, wire) = self.calls.begin(dst, m, body, ctx.now(), deadline, tag);
+        ctx.metrics().add("cm.rpc_bytes", wire.len() as u64);
+        ctx.send(dst, wire);
+        ctx.set_timer(self.cfg.attempt_timeout, CallTable::timer_token(id));
+    }
+
+    fn ensure_connect(&mut self, ctx: &mut Ctx<'_>, backend: NodeId) {
+        if self.connecting.contains(&backend) {
+            return;
+        }
+        self.connecting.insert(backend);
+        let deadline = ctx.now().nanos() + self.cfg.attempt_timeout.nanos();
+        let (id, wire) = self.calls.begin(
+            backend,
+            method::CONNECT,
+            Bytes::new(),
+            ctx.now(),
+            deadline,
+            CONNECT_TAG,
+        );
+        ctx.metrics().add("cm.rpc_bytes", wire.len() as u64);
+        ctx.send(backend, wire);
+        ctx.set_timer(self.cfg.attempt_timeout, CallTable::timer_token(id));
+    }
+
+    fn refresh_config(&mut self, ctx: &mut Ctx<'_>) {
+        if self.config_refreshing {
+            return;
+        }
+        self.config_refreshing = true;
+        ctx.metrics().add("cm.client.config_refreshes", 1);
+        let deadline = ctx.now().nanos() + self.cfg.attempt_timeout.nanos();
+        let (id, wire) = self.calls.begin(
+            self.cfg.config_store,
+            method::GET_CONFIG,
+            Bytes::new(),
+            ctx.now(),
+            deadline,
+            CONFIG_TAG,
+        );
+        ctx.send(self.cfg.config_store, wire);
+        ctx.set_timer(self.cfg.attempt_timeout, CallTable::timer_token(id));
+    }
+
+    fn release_parked(&mut self, ctx: &mut Ctx<'_>) {
+        let parked: Vec<u64> = self
+            .ops
+            .iter()
+            .filter(|(_, s)| matches!(s, OpState::Parked(..)))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in parked {
+            self.try_issue(ctx, id);
+        }
+        // GET attempts stalled on geometry re-learning.
+        let waiting: Vec<u64> = self
+            .ops
+            .iter()
+            .filter(|(_, s)| matches!(s, OpState::Get(g) if g.waiting_geometry))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in waiting {
+            if let Some(OpState::Get(g)) = self.ops.get_mut(&id) {
+                g.waiting_geometry = false;
+            }
+            self.do_issue_attempt(ctx, id);
+        }
+    }
+
+    fn on_rpc_completion(&mut self, ctx: &mut Ctx<'_>, done: rpc::Completion) {
+        match done.call.user_tag {
+            CONFIG_TAG => {
+                self.config_refreshing = false;
+                if done.status == Status::Ok {
+                    if let Some(config) = CellConfig::decode(done.body) {
+                        // A new config invalidates geometry learned from
+                        // nodes that changed roles.
+                        let changed = self
+                            .config
+                            .as_ref()
+                            .map(|old| old.config_id != config.config_id)
+                            .unwrap_or(true);
+                        if changed {
+                            self.geometry.clear();
+                            self.connecting.clear();
+                        }
+                        self.config = Some(config);
+                        self.release_parked(ctx);
+                    }
+                }
+            }
+            CONNECT_TAG => {
+                self.connecting.remove(&done.call.dst);
+                if done.status == Status::Ok {
+                    if let Some(geom) = Geometry::decode(done.body) {
+                        // Validate the backend agrees with our config.
+                        let ours = self.config.as_ref().map(|c| c.config_id);
+                        if ours == Some(geom.config_id) {
+                            self.geometry.insert(done.call.dst, geom);
+                        } else {
+                            self.refresh_config(ctx);
+                        }
+                    }
+                } else if done.status == Status::WrongShard {
+                    self.refresh_config(ctx);
+                }
+                self.release_parked(ctx);
+            }
+            tag => {
+                let (op_id, attempt, phase) = split_tag(tag);
+                ctx.charge_cpu(self.cfg.rpc_cost.client_recv);
+                match phase {
+                    0 => {
+                        // Mutation response or MSG lookup.
+                        if let Some(OpState::Mutation(_)) = self.ops.get(&op_id) {
+                            self.on_mutation_response(ctx, op_id, attempt, done.status);
+                        } else if let Some(OpState::Get(_)) = self.ops.get(&op_id) {
+                            self.on_msg_get_response(ctx, op_id, attempt, done);
+                        }
+                    }
+                    2 => {
+                        // Overflow RPC fallback result.
+                        self.on_fallback_response(ctx, op_id, attempt, done);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn on_msg_get_response(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        attempt: u64,
+        done: rpc::Completion,
+    ) {
+        let Some(OpState::Get(get)) = self.ops.get(&op_id) else {
+            return;
+        };
+        if get.attempt != attempt {
+            return;
+        }
+        ctx.charge_cpu(self.cfg.msg_cost.client_recv);
+        ctx.metrics()
+            .add("cm.client.cpu_ns", self.cfg.msg_cost.client_recv.nanos());
+        match done.status {
+            Status::Ok => {
+                if let Some(resp) = messages::GetResp::decode(done.body) {
+                    let key = resp.key.clone();
+                    self.memo.remember(&key, resp.version);
+                    ctx.metrics().add("cm.get.hits", 1);
+                    self.complete_op(ctx, op_id, OpOutcome::Hit, ctx.now());
+                } else {
+                    self.fail_attempt(ctx, op_id, "msg_decode");
+                }
+            }
+            Status::NotFound => {
+                ctx.metrics().add("cm.get.misses", 1);
+                self.complete_op(ctx, op_id, OpOutcome::Miss, ctx.now());
+            }
+            _ => self.fail_attempt(ctx, op_id, "msg_error"),
+        }
+    }
+
+    fn on_fallback_response(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        attempt: u64,
+        done: rpc::Completion,
+    ) {
+        let Some(OpState::Get(get)) = self.ops.get_mut(&op_id) else {
+            return;
+        };
+        if get.attempt != attempt || get.fallback_pending == 0 {
+            return;
+        }
+        get.fallback_pending -= 1;
+        let exhausted = get.fallback_pending == 0;
+        match done.status {
+            Status::Ok => {
+                if let Some(resp) = messages::GetResp::decode(done.body) {
+                    get.fallback_pending = 0;
+                    let key = resp.key.clone();
+                    self.memo.remember(&key, resp.version);
+                    ctx.metrics().add("cm.get.hits", 1);
+                    ctx.metrics().add("cm.get.overflow_hits", 1);
+                    self.complete_op(ctx, op_id, OpOutcome::Hit, ctx.now());
+                    return;
+                }
+                if exhausted {
+                    self.fail_attempt(ctx, op_id, "fallback_decode");
+                }
+            }
+            Status::NotFound => {
+                // Affirmatively absent everywhere consulted.
+                if exhausted {
+                    ctx.metrics().add("cm.get.misses", 1);
+                    self.complete_op(ctx, op_id, OpOutcome::Miss, ctx.now());
+                }
+            }
+            _ => {
+                if exhausted {
+                    self.fail_attempt(ctx, op_id, "fallback_error");
+                }
+            }
+        }
+    }
+
+    // ---- RMA completions ---------------------------------------------------
+
+    fn on_rma_completion(&mut self, ctx: &mut Ctx<'_>, done: rma::OpCompletion) {
+        // Client-side transport completion processing cost.
+        let ready = self.transport.admit_completion(
+            ctx.now(),
+            done.data.len() + done.bucket.len(),
+        );
+        let _ = ready; // engine occupancy is tracked; latency impact is
+                       // folded into rma_op_cpu to keep the event count low.
+        self.charge_rma_op(ctx);
+        // Fabric + target-serve round trip, as a hardware timestamper on
+        // the NIC would report it (the Fig. 16 quantity).
+        ctx.metrics().record("cm.rma.rtt_ns", done.rtt_ns);
+        let (op_id, attempt, phase) = split_tag(done.op.user_tag);
+        let replica = done.op.dst;
+        match done.status {
+            RmaStatus::Ok | RmaStatus::NoMatch => {}
+            RmaStatus::WindowRevoked | RmaStatus::BadGeneration | RmaStatus::OutOfBounds => {
+                // Stale geometry (reshape, growth, restart): drop it and
+                // re-learn via CONNECT on the retry path (§4.1).
+                ctx.metrics().add("cm.client.geometry_invalidations", 1);
+                self.geometry.remove(&replica);
+                self.record_vote(ctx, op_id, attempt, replica, Vote::Failed);
+                return;
+            }
+            RmaStatus::Unsupported => {
+                self.record_vote(ctx, op_id, attempt, replica, Vote::Failed);
+                return;
+            }
+        }
+        match (self.cfg.strategy, phase) {
+            (LookupStrategy::TwoR, 0) => self.on_index_response(ctx, op_id, attempt, replica, done),
+            (LookupStrategy::TwoR, 1) => self.on_data_response(ctx, op_id, attempt, replica, done),
+            (LookupStrategy::Scar, 0) => self.on_scar_response(ctx, op_id, attempt, replica, done),
+            _ => {}
+        }
+    }
+
+    /// Validate a fetched bucket (config id) and extract this replica's
+    /// vote. Returns `None` if the whole op failed (config refresh).
+    fn parse_bucket_vote(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        bucket: &[u8],
+    ) -> Option<Vote> {
+        if bucket.len() < layout::BUCKET_HEADER_BYTES {
+            return Some(Vote::Failed);
+        }
+        let expected = self.config.as_ref().map(|c| c.config_id).unwrap_or(0);
+        let got = layout::bucket_config_id(bucket);
+        if got > expected {
+            // The backend knows a newer configuration than we do (e.g. it
+            // migrated its shard away): refresh and retry (§6.1).
+            ctx.metrics().add("cm.client.config_mismatches", 1);
+            self.refresh_config(ctx);
+            return None;
+        }
+        if got < expected {
+            // The backend is lagging behind a config update that doesn't
+            // concern it (we selected it from the *current* config, so its
+            // data is still authoritative). Tolerate the stale stamp.
+            ctx.metrics().add("cm.client.stale_backend_config", 1);
+        }
+        let Some(OpState::Get(get)) = self.ops.get_mut(&op_id) else {
+            return Some(Vote::Failed);
+        };
+        if layout::bucket_overflowed(bucket) {
+            get.saw_overflow = true;
+        }
+        let (hit, _) = layout::scan_bucket(bucket, get.hash);
+        Some(match hit {
+            Some((_, e)) => Vote::Entry(e.version, e.ptr),
+            None => Vote::Absent,
+        })
+    }
+
+    fn on_index_response(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        attempt: u64,
+        replica: NodeId,
+        done: rma::OpCompletion,
+    ) {
+        match self.parse_bucket_vote(ctx, op_id, &done.data) {
+            Some(vote) => self.record_vote(ctx, op_id, attempt, replica, vote),
+            None => self.fail_attempt(ctx, op_id, "config_mismatch"),
+        }
+    }
+
+    fn on_data_response(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        attempt: u64,
+        replica: NodeId,
+        done: rma::OpCompletion,
+    ) {
+        let Some(OpState::Get(get)) = self.ops.get_mut(&op_id) else {
+            return;
+        };
+        if get.attempt != attempt {
+            return;
+        }
+        // End-to-end self-validation (§3 step 5): checksum, then full key.
+        match parse_data_entry(&done.data) {
+            Err(_) => {
+                // Torn read — rare, but normal (§3).
+                ctx.metrics().add("cm.get.torn_reads", 1);
+                self.fail_attempt(ctx, op_id, "torn_read");
+            }
+            Ok(entry) => {
+                if entry.key != &get.key[..] {
+                    // 128-bit hash collision: affirmatively not our key.
+                    ctx.metrics().add("cm.get.hash_collisions", 1);
+                    ctx.metrics().add("cm.get.misses", 1);
+                    self.complete_op(ctx, op_id, OpOutcome::Miss, ctx.now());
+                    return;
+                }
+                get.data = Some((
+                    replica,
+                    entry.version,
+                    Bytes::copy_from_slice(entry.data),
+                ));
+                self.evaluate_get(ctx, op_id);
+            }
+        }
+    }
+
+    fn on_scar_response(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        attempt: u64,
+        replica: NodeId,
+        done: rma::OpCompletion,
+    ) {
+        let Some(vote) = self.parse_bucket_vote(ctx, op_id, &done.bucket) else {
+            self.fail_attempt(ctx, op_id, "config_mismatch");
+            return;
+        };
+        // Inline data: first valid response becomes the preferred copy.
+        if done.status == RmaStatus::Ok && !done.data.is_empty() {
+            if let Some(OpState::Get(get)) = self.ops.get_mut(&op_id) {
+                if get.attempt == attempt && get.data.is_none() {
+                    match parse_data_entry(&done.data) {
+                        Ok(entry) if entry.key == &get.key[..] => {
+                            get.data = Some((
+                                replica,
+                                entry.version,
+                                Bytes::copy_from_slice(entry.data),
+                            ));
+                        }
+                        Ok(_) => {
+                            ctx.metrics().add("cm.get.hash_collisions", 1);
+                        }
+                        Err(_) => {
+                            ctx.metrics().add("cm.get.torn_reads", 1);
+                        }
+                    }
+                }
+            }
+        }
+        self.record_vote(ctx, op_id, attempt, replica, vote);
+    }
+
+    // ---- completion ------------------------------------------------------
+
+    fn complete_op(&mut self, ctx: &mut Ctx<'_>, op_id: u64, outcome: OpOutcome, at: SimTime) {
+        let Some(state) = self.ops.remove(&op_id) else {
+            return;
+        };
+        self.in_flight = self.in_flight.saturating_sub(1);
+        let (started, batch, is_get) = match &state {
+            OpState::Get(g) => (g.retry.started_at, g.batch, true),
+            OpState::Mutation(m) => (m.retry.started_at, m.batch, false),
+            OpState::Parked(..) => (at, None, false),
+        };
+        let latency = at.since(started);
+        // The application-side caller observes pipe traversals in both
+        // directions plus shim marshalling on the way in and out.
+        let shim_overhead = self
+            .cfg
+            .shim
+            .as_ref()
+            .map(|s| s.round_trip_overhead() + s.per_op_cpu(0).saturating_mul(2))
+            .unwrap_or(SimDuration::ZERO);
+        let observed = latency + shim_overhead;
+        if let Some(shim) = &self.cfg.shim {
+            let cost = shim.per_op_cpu(0);
+            ctx.charge_cpu(cost);
+            ctx.metrics().add("cm.client.cpu_ns", cost.nanos());
+        }
+        match batch {
+            Some(batch_id) => {
+                let finished = {
+                    let Some(b) = self.batches.get_mut(&batch_id) else {
+                        return;
+                    };
+                    b.remaining -= 1;
+                    if !outcome.ok() {
+                        b.failed = true;
+                    }
+                    b.remaining == 0
+                };
+                if is_get {
+                    ctx.metrics().record("cm.getkey.latency_ns", observed.nanos());
+                }
+                if finished {
+                    let b = self.batches.remove(&batch_id).expect("batch exists");
+                    let batch_latency = at.since(b.started) + shim_overhead;
+                    ctx.metrics().record("cm.get.latency_ns", batch_latency.nanos());
+                    ctx.metrics().add("cm.get.batches", 1);
+                    self.log_completion(
+                        if b.failed { OpOutcome::Error } else { outcome },
+                        batch_latency.nanos(),
+                    );
+                    self.on_op_finished(ctx);
+                }
+            }
+            None => {
+                let name = if is_get {
+                    "cm.get.latency_ns"
+                } else {
+                    "cm.set.latency_ns"
+                };
+                ctx.metrics().record(name, observed.nanos());
+                ctx.metrics().add(
+                    if is_get { "cm.get.completed" } else { "cm.set.completed" },
+                    1,
+                );
+                self.log_completion(outcome, observed.nanos());
+                self.on_op_finished(ctx);
+            }
+        }
+    }
+
+    fn log_completion(&mut self, outcome: OpOutcome, latency_ns: u64) {
+        if self.completions.len() < COMPLETION_LOG_CAP {
+            self.completions.push((outcome, latency_ns));
+        }
+    }
+
+    fn on_op_finished(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cfg.pacing == Pacing::Closed {
+            match &self.cfg.shim {
+                // Closed-loop callers behind a shim can't issue the next op
+                // until the response crosses the pipe back and the next
+                // request is marshalled — the Fig. 6a rate gap.
+                Some(shim) => {
+                    let delay =
+                        shim.round_trip_overhead() + shim.per_op_cpu(0).saturating_mul(2);
+                    let tok = self.work.defer(Work::NextOp);
+                    ctx.set_timer(delay, tok);
+                }
+                None => self.schedule_next(ctx),
+            }
+        }
+    }
+
+    fn flush_access_records(&mut self, ctx: &mut Ctx<'_>) {
+        let buffered = std::mem::take(&mut self.access_buffer);
+        for (backend, hashes) in buffered {
+            if hashes.is_empty() {
+                continue;
+            }
+            ctx.metrics().add("cm.client.access_flushes", 1);
+            let body = messages::AccessRecords { hashes }.encode();
+            let deadline = ctx.now().nanos() + self.cfg.attempt_timeout.nanos();
+            let (id, wire) =
+                self.calls
+                    .begin(backend, method::ACCESS_RECORDS, body, ctx.now(), deadline, IGNORE_TAG);
+            ctx.metrics().add("cm.rpc_bytes", wire.len() as u64);
+            ctx.send(backend, wire);
+            ctx.set_timer(self.cfg.attempt_timeout, CallTable::timer_token(id));
+        }
+        if let Some(interval) = self.cfg.access_flush {
+            let tok = self.work.defer(Work::AccessFlush);
+            ctx.set_timer(interval, tok);
+        }
+    }
+}
+
+const CONFIG_TAG: u64 = u64::MAX;
+const CONNECT_TAG: u64 = u64::MAX - 1;
+const IGNORE_TAG: u64 = u64::MAX - 2;
+
+/// Pack (op, attempt, phase) into a sub-op tag.
+fn sub_tag(op_id: u64, attempt: u64, phase: u8) -> u64 {
+    (op_id << 10) | ((attempt & 0xFF) << 2) | phase as u64
+}
+
+fn split_tag(tag: u64) -> (u64, u64, u8) {
+    (tag >> 10, (tag >> 2) & 0xFF, (tag & 0b11) as u8)
+}
+
+impl Node for ClientNode {
+    fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        match ev {
+            Event::Start => {
+                self.refresh_config(ctx);
+                self.schedule_next(ctx);
+                if let Some(interval) = self.cfg.access_flush {
+                    let tok = self.work.defer(Work::AccessFlush);
+                    ctx.set_timer(interval, tok);
+                }
+            }
+            Event::Frame(frame) => {
+                if let Some(env) = rma::decode(frame.payload.clone()) {
+                    if let Some(done) = self.rma.complete(env, ctx.now()) {
+                        self.on_rma_completion(ctx, done);
+                    }
+                    return;
+                }
+                if let Some(rpc::Envelope::Response(resp)) = rpc::decode(frame.payload) {
+                    if let Some(done) = self.calls.complete(resp, ctx.now()) {
+                        self.on_rpc_completion(ctx, done);
+                    }
+                }
+            }
+            Event::Timer(token) | Event::CpuDone(token) => {
+                if let Some(work) = self.work.take(token) {
+                    match work {
+                        Work::NextOp => self.schedule_next(ctx),
+                        Work::Start(op) => self.start_op(ctx, op),
+                        Work::Retry(op) => self.retry_op(ctx, op),
+                        Work::AccessFlush => self.flush_access_records(ctx),
+                        Work::SendWire(dst, wire) => ctx.send(dst, wire),
+                        Work::IssueAttempt(op) => self.do_issue_attempt(ctx, op),
+                    }
+                } else if let Some(rma_id) = RmaOpTable::op_of_timer(token) {
+                    if let Some(op) = self.rma.expire(rma_id) {
+                        ctx.metrics().add("cm.client.rma_timeouts", 1);
+                        let (op_id, attempt, _) = split_tag(op.user_tag);
+                        self.record_vote(ctx, op_id, attempt, op.dst, Vote::Failed);
+                    }
+                } else if let Some(call_id) = CallTable::call_of_timer(token) {
+                    if let Some(call) = self.calls.expire(call_id) {
+                        ctx.metrics().add("cm.client.rpc_timeouts", 1);
+                        match call.user_tag {
+                            CONFIG_TAG => {
+                                self.config_refreshing = false;
+                                self.refresh_config(ctx);
+                            }
+                            CONNECT_TAG => {
+                                self.connecting.remove(&call.dst);
+                                // A dead backend: refresh config in case the
+                                // cell moved the shard.
+                                self.refresh_config(ctx);
+                            }
+                            IGNORE_TAG => {}
+                            tag => {
+                                let (op_id, attempt, phase) = split_tag(tag);
+                                match self.ops.get(&op_id) {
+                                    Some(OpState::Mutation(_)) => self.on_mutation_response(
+                                        ctx,
+                                        op_id,
+                                        attempt,
+                                        Status::Internal,
+                                    ),
+                                    Some(OpState::Get(_)) if phase == 0 => {
+                                        // MSG lookup timeout.
+                                        self.fail_attempt(ctx, op_id, "msg_timeout");
+                                    }
+                                    Some(OpState::Get(_)) => {
+                                        self.fail_attempt(ctx, op_id, "fallback_timeout");
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("client[{}]", self.cfg.client_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_tag_roundtrip() {
+        for op in [1u64, 255, 1 << 20, (1 << 40) - 1] {
+            for attempt in [1u64, 7, 255] {
+                for phase in [0u8, 1, 2] {
+                    let tag = sub_tag(op, attempt, phase);
+                    assert_eq!(split_tag(tag), (op, attempt, phase));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attempt_wraps_at_256_without_op_collision() {
+        let a = sub_tag(5, 256, 0);
+        let b = sub_tag(5, 0, 0);
+        assert_eq!(a, b, "attempt is mod-256 by design");
+        assert_ne!(sub_tag(5, 1, 0), sub_tag(6, 1, 0));
+    }
+
+    #[test]
+    fn control_tags_outside_sub_tag_space() {
+        // Reserved control tags must never collide with op tags for any
+        // plausible op id.
+        for tag in [CONFIG_TAG, CONNECT_TAG, IGNORE_TAG] {
+            let (op, _, _) = split_tag(tag);
+            assert!(op > (1 << 50), "control tag decodes to plausible op {op}");
+        }
+    }
+
+    #[test]
+    fn default_cfg_is_sane() {
+        let cfg = ClientCfg::default();
+        assert!(cfg.prefer_first_responder);
+        assert!(cfg.max_in_flight > 0);
+        assert!(cfg.retry.max_attempts > 1);
+        assert_eq!(cfg.strategy, LookupStrategy::TwoR);
+    }
+}

@@ -1,0 +1,308 @@
+//! Cell configuration and the external high-availability config store.
+//!
+//! A CliqueMap *cell* is a set of backends serving shards, plus warm
+//! spares. The mapping from logical shard number to physical node lives in
+//! a [`CellConfig`] with a monotonically increasing `config_id`. Clients
+//! cache the configuration; backends stamp the id into every bucket header,
+//! so a client whose RMA read returns an unexpected config id knows to
+//! refresh "from an external high-availability storage system" (§6.1) —
+//! modelled here by [`ConfigStoreNode`], our Chubby stand-in.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use simnet::{Ctx, Event, Node, NodeId, SimDuration};
+
+use crate::hash::replicas;
+
+/// How a cell replicates data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// Single copy. Fast and cheap; warm spares cover maintenance.
+    R1,
+    /// Two copies of an immutable corpus (§6.4): read one, fail over to the
+    /// other.
+    R2Immutable,
+    /// Three replicas, client-side quorum of two (§5): "R=3.2".
+    R32,
+}
+
+impl ReplicationMode {
+    /// Copies stored per key.
+    pub fn copies(self) -> u32 {
+        match self {
+            ReplicationMode::R1 => 1,
+            ReplicationMode::R2Immutable => 2,
+            ReplicationMode::R32 => 3,
+        }
+    }
+
+    /// Index responses that must agree for a quorate GET.
+    pub fn read_quorum(self) -> u32 {
+        match self {
+            ReplicationMode::R1 => 1,
+            ReplicationMode::R2Immutable => 1,
+            ReplicationMode::R32 => 2,
+        }
+    }
+
+    /// Mutation acks needed before a SET/ERASE reports success.
+    pub fn write_quorum(self) -> u32 {
+        match self {
+            ReplicationMode::R1 => 1,
+            ReplicationMode::R2Immutable => 2,
+            ReplicationMode::R32 => 2,
+        }
+    }
+
+    /// Wire encoding.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            ReplicationMode::R1 => 1,
+            ReplicationMode::R2Immutable => 2,
+            ReplicationMode::R32 => 3,
+        }
+    }
+
+    /// Wire decoding.
+    pub fn from_u8(v: u8) -> Option<ReplicationMode> {
+        match v {
+            1 => Some(ReplicationMode::R1),
+            2 => Some(ReplicationMode::R2Immutable),
+            3 => Some(ReplicationMode::R32),
+            _ => None,
+        }
+    }
+}
+
+/// The shard → physical-node mapping for one cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellConfig {
+    /// Monotonically increasing configuration generation.
+    pub config_id: u32,
+    /// Replication mode.
+    pub replication: ReplicationMode,
+    /// `shards[i]` is the NodeId serving logical backend number `i`.
+    pub shards: Vec<u32>,
+    /// Warm spares not currently serving a shard.
+    pub spares: Vec<u32>,
+}
+
+impl CellConfig {
+    /// Number of logical shards (== backend count).
+    pub fn num_shards(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// Physical nodes holding copies of keys whose primary shard is
+    /// `shard` (replicas at shard, shard+1, ... mod N, per §5.1).
+    pub fn replicas_for(&self, shard: u32) -> Vec<NodeId> {
+        replicas(shard, self.replication.copies(), self.num_shards())
+            .into_iter()
+            .map(|s| NodeId(self.shards[s as usize]))
+            .collect()
+    }
+
+    /// The physical node serving a logical shard.
+    pub fn node_for(&self, shard: u32) -> NodeId {
+        NodeId(self.shards[shard as usize])
+    }
+
+    /// Replace the node serving `shard` (spare takeover / restart on a new
+    /// task) and bump the configuration id.
+    pub fn reassign(&mut self, shard: u32, node: NodeId) {
+        self.shards[shard as usize] = node.0;
+        self.config_id += 1;
+    }
+
+    /// Encode to an RPC body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(13 + 4 * (self.shards.len() + self.spares.len()));
+        b.put_u32_le(self.config_id);
+        b.put_u8(self.replication.to_u8());
+        b.put_u32_le(self.shards.len() as u32);
+        for s in &self.shards {
+            b.put_u32_le(*s);
+        }
+        b.put_u32_le(self.spares.len() as u32);
+        for s in &self.spares {
+            b.put_u32_le(*s);
+        }
+        b.freeze()
+    }
+
+    /// Decode from an RPC body.
+    pub fn decode(mut body: Bytes) -> Option<CellConfig> {
+        if body.len() < 9 {
+            return None;
+        }
+        let config_id = body.get_u32_le();
+        let replication = ReplicationMode::from_u8(body.get_u8())?;
+        let n = body.get_u32_le() as usize;
+        if body.len() < n.saturating_mul(4) + 4 {
+            return None;
+        }
+        let shards = (0..n).map(|_| body.get_u32_le()).collect();
+        let m = body.get_u32_le() as usize;
+        if body.len() < m.saturating_mul(4) {
+            return None;
+        }
+        let spares = (0..m).map(|_| body.get_u32_le()).collect();
+        Some(CellConfig {
+            config_id,
+            replication,
+            shards,
+            spares,
+        })
+    }
+}
+
+/// The external high-availability configuration service (Chubby stand-in).
+///
+/// Serves `GET_CONFIG` and accepts `UPDATE_CONFIG` (only if the proposed
+/// config id is strictly newer). Costs a modest fixed CPU per request —
+/// clients hit it rarely (connection setup, post-failure refresh), so its
+/// performance is not on any hot path.
+#[derive(Debug)]
+pub struct ConfigStoreNode {
+    config: CellConfig,
+    pending: simnet::Deferred<(NodeId, Bytes)>,
+    serve_cost: SimDuration,
+}
+
+impl ConfigStoreNode {
+    /// Create a store with an initial configuration.
+    pub fn new(config: CellConfig) -> ConfigStoreNode {
+        ConfigStoreNode {
+            config,
+            pending: simnet::Deferred::responses(),
+            serve_cost: SimDuration::from_micros(15),
+        }
+    }
+
+    /// Read the current config (harness inspection).
+    pub fn config(&self) -> &CellConfig {
+        &self.config
+    }
+
+    /// Replace the configuration directly (cell bootstrap / harness).
+    pub fn set_config(&mut self, config: CellConfig) {
+        self.config = config;
+    }
+}
+
+impl Node for ConfigStoreNode {
+    fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        match ev {
+            Event::Frame(frame) => {
+                let Some(rpc::Envelope::Request(req)) = rpc::decode(frame.payload) else {
+                    return;
+                };
+                let (status, body) = match req.method {
+                    crate::messages::method::GET_CONFIG => {
+                        (rpc::Status::Ok, self.config.encode())
+                    }
+                    crate::messages::method::UPDATE_CONFIG => {
+                        match CellConfig::decode(req.body) {
+                            Some(new_cfg) if new_cfg.config_id > self.config.config_id => {
+                                self.config = new_cfg;
+                                ctx.metrics().add("config_store.updates", 1);
+                                (rpc::Status::Ok, Bytes::new())
+                            }
+                            Some(_) => (rpc::Status::VersionRejected, Bytes::new()),
+                            None => (rpc::Status::Internal, Bytes::new()),
+                        }
+                    }
+                    _ => (rpc::Status::Internal, Bytes::new()),
+                };
+                let resp = rpc::encode_response(&rpc::Response {
+                    version: rpc::PROTOCOL_VERSION,
+                    status,
+                    id: req.id,
+                    body,
+                });
+                let tok = self.pending.defer((frame.src, resp));
+                ctx.spawn_cpu(self.serve_cost, tok);
+            }
+            Event::CpuDone(tok) => {
+                if let Some((dst, resp)) = self.pending.take(tok) {
+                    ctx.send(dst, resp);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn label(&self) -> String {
+        "config-store".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CellConfig {
+        CellConfig {
+            config_id: 5,
+            replication: ReplicationMode::R32,
+            shards: vec![10, 11, 12, 13, 14],
+            spares: vec![20, 21],
+        }
+    }
+
+    #[test]
+    fn config_roundtrip() {
+        let c = sample();
+        assert_eq!(CellConfig::decode(c.encode()), Some(c));
+        assert_eq!(CellConfig::decode(Bytes::from_static(b"xx")), None);
+    }
+
+    #[test]
+    fn replica_mapping_follows_paper() {
+        let c = sample();
+        assert_eq!(
+            c.replicas_for(3),
+            vec![NodeId(13), NodeId(14), NodeId(10)]
+        );
+        assert_eq!(c.replicas_for(0), vec![NodeId(10), NodeId(11), NodeId(12)]);
+    }
+
+    #[test]
+    fn r1_has_single_replica() {
+        let mut c = sample();
+        c.replication = ReplicationMode::R1;
+        assert_eq!(c.replicas_for(2), vec![NodeId(12)]);
+    }
+
+    #[test]
+    fn reassign_bumps_config_id() {
+        let mut c = sample();
+        c.reassign(1, NodeId(20));
+        assert_eq!(c.config_id, 6);
+        assert_eq!(c.node_for(1), NodeId(20));
+    }
+
+    #[test]
+    fn quorum_parameters() {
+        assert_eq!(ReplicationMode::R32.copies(), 3);
+        assert_eq!(ReplicationMode::R32.read_quorum(), 2);
+        assert_eq!(ReplicationMode::R32.write_quorum(), 2);
+        assert_eq!(ReplicationMode::R1.copies(), 1);
+        assert_eq!(ReplicationMode::R1.read_quorum(), 1);
+        assert_eq!(ReplicationMode::R2Immutable.copies(), 2);
+        assert_eq!(ReplicationMode::R2Immutable.read_quorum(), 1);
+    }
+
+    #[test]
+    fn replication_mode_wire() {
+        for m in [
+            ReplicationMode::R1,
+            ReplicationMode::R2Immutable,
+            ReplicationMode::R32,
+        ] {
+            assert_eq!(ReplicationMode::from_u8(m.to_u8()), Some(m));
+        }
+        assert_eq!(ReplicationMode::from_u8(0), None);
+        assert_eq!(ReplicationMode::from_u8(9), None);
+    }
+}

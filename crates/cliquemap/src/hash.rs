@@ -1,0 +1,182 @@
+//! 128-bit key hashing and shard/bucket placement.
+//!
+//! §3: "the client computes a hash mapping the Key (an arbitrary string) to
+//! a fixed-size KeyHash, which uniquely identifies a backend and Bucket".
+//! The hash is 128 bits so collisions are vanishingly rare — but the GET
+//! path still verifies the *full key* in the DataEntry, "guarding against a
+//! (very) rare 128-bit hash collision".
+//!
+//! Hash functions are pluggable ([`KeyHasher`]): §6.5 notes customizable
+//! hash functions were added for disaggregated serving stacks that need to
+//! co-locate related keys.
+
+/// A 128-bit key hash. Never zero for a real key (zero marks vacant index
+/// entries).
+pub type KeyHash = u128;
+
+/// Pluggable key-hash function.
+pub trait KeyHasher: Send + Sync {
+    /// Hash an arbitrary key to a nonzero 128-bit value.
+    fn hash(&self, key: &[u8]) -> KeyHash;
+}
+
+/// The default hasher: FNV-1a folded to 128 bits with avalanche finishing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultHasher;
+
+impl KeyHasher for DefaultHasher {
+    fn hash(&self, key: &[u8]) -> KeyHash {
+        let h = fnv128(key);
+        if h == 0 {
+            1
+        } else {
+            h
+        }
+    }
+}
+
+/// A hasher that routes all keys sharing a user-defined prefix to the same
+/// shard (the "customizable hash function" escape hatch of §6.5: related
+/// keys co-locate, enabling locality-aware serving stacks).
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixShardHasher {
+    /// How many leading key bytes determine the shard.
+    pub prefix_len: usize,
+}
+
+impl KeyHasher for PrefixShardHasher {
+    fn hash(&self, key: &[u8]) -> KeyHash {
+        let split = self.prefix_len.min(key.len());
+        // Shard-determining bits from the prefix, entry bits from the rest.
+        let hi = fnv128(&key[..split]) as u64;
+        let lo = fnv128(key) as u64;
+        let h = ((hi as u128) << 64) | lo as u128;
+        if h == 0 {
+            1
+        } else {
+            h
+        }
+    }
+}
+
+fn fnv128(key: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+    let mut h = OFFSET;
+    for &b in key {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    // Finish with a 128-bit avalanche (xor-shift-multiply) so low bits are
+    // well distributed even for short keys.
+    h ^= h >> 67;
+    h = h.wrapping_mul(0x9E3779B97F4A7C15F39CC0605CEDC835);
+    h ^= h >> 71;
+    h
+}
+
+/// Placement of a key within a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Logical primary shard (backend number as if unreplicated).
+    pub shard: u32,
+    /// Bucket index within each backend's index region.
+    pub bucket: u64,
+}
+
+/// Map a key hash to its shard and bucket. The shard comes from the upper
+/// bits and the bucket from the lower bits so the two are independent.
+pub fn place(hash: KeyHash, num_shards: u32, num_buckets: u64) -> Placement {
+    debug_assert!(num_shards > 0 && num_buckets > 0);
+    let shard = ((hash >> 96) as u64 % num_shards as u64) as u32;
+    let bucket = (hash as u64) % num_buckets;
+    Placement { shard, bucket }
+}
+
+/// Replica set for a shard under R-way replication: physical backends
+/// `shard, shard+1, ..., shard+r-1 (mod n)` (§5.1).
+pub fn replicas(shard: u32, r: u32, num_backends: u32) -> Vec<u32> {
+    (0..r.min(num_backends))
+        .map(|i| (shard + i) % num_backends)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_deterministic_and_nonzero() {
+        let h = DefaultHasher;
+        assert_eq!(h.hash(b"key1"), h.hash(b"key1"));
+        assert_ne!(h.hash(b"key1"), h.hash(b"key2"));
+        assert_ne!(h.hash(b""), 0);
+        assert_ne!(h.hash(b"\0"), 0);
+    }
+
+    #[test]
+    fn hash_distributes_buckets() {
+        let h = DefaultHasher;
+        let buckets = 64u64;
+        let mut counts = vec![0u32; buckets as usize];
+        for i in 0..64_000u64 {
+            let key = format!("user:{i}");
+            let p = place(h.hash(key.as_bytes()), 16, buckets);
+            counts[p.bucket as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min > 700, "bucket skew: min {min}");
+        assert!(max < 1300, "bucket skew: max {max}");
+    }
+
+    #[test]
+    fn hash_distributes_shards() {
+        let h = DefaultHasher;
+        let shards = 10u32;
+        let mut counts = vec![0u32; shards as usize];
+        for i in 0..50_000u64 {
+            let key = format!("item-{i}");
+            let p = place(h.hash(key.as_bytes()), shards, 128);
+            counts[p.shard as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min > 4_300 && max < 5_700, "shard skew min={min} max={max}");
+    }
+
+    #[test]
+    fn replica_sets_wrap() {
+        assert_eq!(replicas(0, 3, 5), vec![0, 1, 2]);
+        assert_eq!(replicas(3, 3, 5), vec![3, 4, 0]);
+        assert_eq!(replicas(4, 3, 5), vec![4, 0, 1]);
+        assert_eq!(replicas(0, 1, 5), vec![0]);
+        // Degenerate: more replicas than backends.
+        assert_eq!(replicas(0, 3, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn prefix_hasher_coalesces_shards() {
+        let h = PrefixShardHasher { prefix_len: 4 };
+        let a = place(h.hash(b"geo:road-1"), 16, 64);
+        let b = place(h.hash(b"geo:road-2"), 16, 64);
+        assert_eq!(a.shard, b.shard, "same prefix must share a shard");
+        // But different buckets remain possible.
+        assert_ne!(h.hash(b"geo:road-1"), h.hash(b"geo:road-2"));
+    }
+
+    #[test]
+    fn shard_and_bucket_independent() {
+        // Keys in the same shard should still spread across buckets.
+        let h = DefaultHasher;
+        let mut buckets_seen = std::collections::HashSet::new();
+        for i in 0..2_000u64 {
+            let key = format!("k{i}");
+            let p = place(h.hash(key.as_bytes()), 4, 256);
+            if p.shard == 0 {
+                buckets_seen.insert(p.bucket);
+            }
+        }
+        assert!(buckets_seen.len() > 150, "{}", buckets_seen.len());
+    }
+}

@@ -1,0 +1,77 @@
+//! # cliquemap — a hybrid RMA/RPC distributed in-memory key-value cache
+//!
+//! A from-scratch Rust implementation of the system described in
+//! *"CliqueMap: Productionizing an RMA-Based Distributed Caching System"*
+//! (Singhvi et al., SIGCOMM 2021), running over the deterministic
+//! [`simnet`] fabric simulator.
+//!
+//! ## The design, in one paragraph
+//!
+//! GETs travel the **RMA fast path**: one-sided reads of an associative
+//! hash table ([`layout`]: Buckets of IndexEntries pointing into a data
+//! region of checksummed DataEntries), either as two sequential reads
+//! (2×R) or a single programmable-NIC Scan-and-Read (SCAR). Everything
+//! else — mutations, memory management, repair, migration, configuration —
+//! rides on **RPC**, where server-side code can use ordinary logic. The
+//! glue that makes the combination safe is **self-validating responses
+//! plus client retries**: every DataEntry carries an end-to-end checksum,
+//! every bucket carries the cell's config id, every window carries a
+//! generation, and a client that reads something stale, torn, or moved
+//! simply detects it and retries at the right layer.
+//!
+//! ## Module map
+//!
+//! | paper section | module |
+//! |---|---|
+//! | §3 layout & self-validation | [`layout`], [`hash`] |
+//! | §3 GET/SET basics | [`client`], [`backend`] |
+//! | §4.1 allocation & reshaping | [`slab`], [`store`] |
+//! | §4.2 eviction | [`policy`], [`tombstone`] |
+//! | §5 replication & quorums | [`config`], [`version`], [`client`] |
+//! | §5.4 repairs | [`backend`] (cohort scans) |
+//! | §6.1 warm spares | [`backend`] (migration), [`cell`] |
+//! | §6.2 language shims | [`shim`] |
+//! | §6.3 SCAR | [`store`] (resolver), [`client`] |
+//! | §6.4 R=2/Immutable | [`config`], [`client`] |
+//! | deployment wiring | [`cell`], [`workload`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cliquemap::cell::{Cell, CellSpec};
+//! use cliquemap::workload::{ClientOp, ScriptWorkload};
+//! use bytes::Bytes;
+//! use simnet::SimDuration;
+//!
+//! let spec = CellSpec::default(); // 3 backends, R=3.2
+//! let script = ScriptWorkload::new(vec![
+//!     (SimDuration::ZERO, ClientOp::Set {
+//!         key: Bytes::from_static(b"hello"),
+//!         value: Bytes::from_static(b"world"),
+//!     }),
+//!     (SimDuration::from_micros(500), ClientOp::Get {
+//!         key: Bytes::from_static(b"hello"),
+//!     }),
+//! ]);
+//! let mut cell = Cell::build(spec, vec![Box::new(script)]);
+//! cell.run_for(SimDuration::from_secs(1));
+//! assert_eq!(cell.hits(), 1);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod cell;
+pub mod client;
+pub mod config;
+pub mod hash;
+pub mod layout;
+pub mod messages;
+pub mod policy;
+pub mod shim;
+pub mod slab;
+pub mod store;
+pub mod tombstone;
+pub mod version;
+pub mod workload;

@@ -1,0 +1,693 @@
+//! CliqueMap's RPC method ids and message bodies.
+//!
+//! Everything that is *not* a GET travels as one of these messages inside
+//! an [`rpc`] envelope: mutations (SET/ERASE/CAS), connection setup
+//! (geometry exchange), the RPC lookup fallback, batched access records,
+//! cohort scans and repairs, warm-spare migration, and configuration
+//! traffic. Bodies are hand-encoded over `bytes`, length-prefixed, and
+//! tolerant of trailing extensions (the same evolution posture as the RPC
+//! envelope itself).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::hash::KeyHash;
+use crate::version::VersionNumber;
+
+/// RPC method ids.
+pub mod method {
+    /// Geometry/connection handshake.
+    pub const CONNECT: u16 = 1;
+    /// SET mutation.
+    pub const SET: u16 = 2;
+    /// ERASE mutation.
+    pub const ERASE: u16 = 3;
+    /// Compare-and-set mutation.
+    pub const CAS: u16 = 4;
+    /// RPC-path lookup (WAN fallback, bucket-overflow fallback, MSG mode).
+    pub const GET_RPC: u16 = 5;
+    /// Batched client access records for eviction recency.
+    pub const ACCESS_RECORDS: u16 = 6;
+    /// Cohort scan page (KeyHash + version exchange).
+    pub const SCAN: u16 = 7;
+    /// Repair-SET from a cohort backend (§5.4).
+    pub const REPAIR_SET: u16 = 8;
+    /// Warm-spare migration chunk (§6.1).
+    pub const MIGRATE_CHUNK: u16 = 9;
+    /// Operator notification of planned maintenance.
+    pub const PREPARE_MAINTENANCE: u16 = 10;
+    /// Fetch the cell configuration from the config store.
+    pub const GET_CONFIG: u16 = 11;
+    /// Install a new cell configuration at the config store.
+    pub const UPDATE_CONFIG: u16 = 12;
+    /// Fetch a full KV pair by KeyHash (repair data sourcing).
+    pub const FETCH_BY_HASH: u16 = 13;
+    /// Two-sided messaging lookup (the MSG strategy of Fig. 7): same body
+    /// as GET_RPC but served on the lean messaging path, waking a server
+    /// thread instead of running the full RPC framework.
+    pub const MSG_GET: u16 = 14;
+}
+
+fn put_bytes(b: &mut BytesMut, v: &[u8]) {
+    b.put_u32_le(v.len() as u32);
+    b.put_slice(v);
+}
+
+fn get_bytes(b: &mut Bytes) -> Option<Bytes> {
+    if b.len() < 4 {
+        return None;
+    }
+    let len = b.get_u32_le() as usize;
+    if b.len() < len {
+        return None;
+    }
+    Some(b.split_to(len))
+}
+
+/// SET request body: install `key -> value` at `version`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetReq {
+    /// The key.
+    pub key: Bytes,
+    /// The value.
+    pub value: Bytes,
+    /// Client-nominated version.
+    pub version: VersionNumber,
+}
+
+impl SetReq {
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(24 + self.key.len() + self.value.len());
+        b.put_u128_le(self.version.0);
+        put_bytes(&mut b, &self.key);
+        put_bytes(&mut b, &self.value);
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<SetReq> {
+        if body.len() < 16 {
+            return None;
+        }
+        let version = VersionNumber(body.get_u128_le());
+        let key = get_bytes(&mut body)?;
+        let value = get_bytes(&mut body)?;
+        Some(SetReq {
+            key,
+            value,
+            version,
+        })
+    }
+}
+
+/// ERASE request body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EraseReq {
+    /// The key.
+    pub key: Bytes,
+    /// Client-nominated version for the tombstone.
+    pub version: VersionNumber,
+}
+
+impl EraseReq {
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(20 + self.key.len());
+        b.put_u128_le(self.version.0);
+        put_bytes(&mut b, &self.key);
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<EraseReq> {
+        if body.len() < 16 {
+            return None;
+        }
+        let version = VersionNumber(body.get_u128_le());
+        let key = get_bytes(&mut body)?;
+        Some(EraseReq { key, version })
+    }
+}
+
+/// CAS request body: install `value` at `new_version` iff the stored
+/// version equals `expected`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CasReq {
+    /// The key.
+    pub key: Bytes,
+    /// The replacement value.
+    pub value: Bytes,
+    /// Version the caller believes is stored (memoized from a prior op).
+    pub expected: VersionNumber,
+    /// Version to install on success.
+    pub new_version: VersionNumber,
+}
+
+impl CasReq {
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(40 + self.key.len() + self.value.len());
+        b.put_u128_le(self.expected.0);
+        b.put_u128_le(self.new_version.0);
+        put_bytes(&mut b, &self.key);
+        put_bytes(&mut b, &self.value);
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<CasReq> {
+        if body.len() < 32 {
+            return None;
+        }
+        let expected = VersionNumber(body.get_u128_le());
+        let new_version = VersionNumber(body.get_u128_le());
+        let key = get_bytes(&mut body)?;
+        let value = get_bytes(&mut body)?;
+        Some(CasReq {
+            key,
+            value,
+            expected,
+            new_version,
+        })
+    }
+}
+
+/// GET_RPC / FETCH_BY_HASH response body: the stored pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetResp {
+    /// The full key (echoed so hash-based fetches learn it).
+    pub key: Bytes,
+    /// The value.
+    pub value: Bytes,
+    /// The stored version.
+    pub version: VersionNumber,
+}
+
+impl GetResp {
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(24 + self.key.len() + self.value.len());
+        b.put_u128_le(self.version.0);
+        put_bytes(&mut b, &self.key);
+        put_bytes(&mut b, &self.value);
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<GetResp> {
+        if body.len() < 16 {
+            return None;
+        }
+        let version = VersionNumber(body.get_u128_le());
+        let key = get_bytes(&mut body)?;
+        let value = get_bytes(&mut body)?;
+        Some(GetResp {
+            key,
+            value,
+            version,
+        })
+    }
+}
+
+/// GET_RPC request body: lookup by full key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetReq {
+    /// The key to look up.
+    pub key: Bytes,
+}
+
+impl GetReq {
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(4 + self.key.len());
+        put_bytes(&mut b, &self.key);
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<GetReq> {
+        Some(GetReq {
+            key: get_bytes(&mut body)?,
+        })
+    }
+}
+
+/// FETCH_BY_HASH request body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchByHashReq {
+    /// KeyHash to fetch.
+    pub key_hash: KeyHash,
+}
+
+impl FetchByHashReq {
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u128_le(self.key_hash);
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<FetchByHashReq> {
+        if body.len() < 16 {
+            return None;
+        }
+        Some(FetchByHashReq {
+            key_hash: body.get_u128_le(),
+        })
+    }
+}
+
+/// Batched access records: the KeyHashes a client recently read via RMA.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessRecords {
+    /// Touched hashes.
+    pub hashes: Vec<KeyHash>,
+}
+
+impl AccessRecords {
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(4 + 16 * self.hashes.len());
+        b.put_u32_le(self.hashes.len() as u32);
+        for h in &self.hashes {
+            b.put_u128_le(*h);
+        }
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<AccessRecords> {
+        if body.len() < 4 {
+            return None;
+        }
+        let n = body.get_u32_le() as usize;
+        if body.len() < n.saturating_mul(16) {
+            return None;
+        }
+        let mut hashes = Vec::with_capacity(n);
+        for _ in 0..n {
+            hashes.push(body.get_u128_le());
+        }
+        Some(AccessRecords { hashes })
+    }
+}
+
+/// One page of a cohort scan: (KeyHash, version) pairs (§5.4 — "detected
+/// via KeyHash exchange to minimize overhead").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanPage {
+    /// Page being returned.
+    pub page: u32,
+    /// Whether this is the final page.
+    pub done: bool,
+    /// The (hash, version) pairs in this page.
+    pub pairs: Vec<(KeyHash, VersionNumber)>,
+}
+
+impl ScanPage {
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(9 + 32 * self.pairs.len());
+        b.put_u32_le(self.page);
+        b.put_u8(self.done as u8);
+        b.put_u32_le(self.pairs.len() as u32);
+        for (h, v) in &self.pairs {
+            b.put_u128_le(*h);
+            b.put_u128_le(v.0);
+        }
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<ScanPage> {
+        if body.len() < 9 {
+            return None;
+        }
+        let page = body.get_u32_le();
+        let done = body.get_u8() != 0;
+        let n = body.get_u32_le() as usize;
+        if body.len() < n.saturating_mul(32) {
+            return None;
+        }
+        let mut pairs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let h = body.get_u128_le();
+            let v = VersionNumber(body.get_u128_le());
+            pairs.push((h, v));
+        }
+        Some(ScanPage { page, done, pairs })
+    }
+}
+
+/// A scan request: which page of the shard's key space to return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanReq {
+    /// Page number (fixed page size at the server).
+    pub page: u32,
+}
+
+impl ScanReq {
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_u32_le(self.page);
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<ScanReq> {
+        if body.len() < 4 {
+            return None;
+        }
+        Some(ScanReq {
+            page: body.get_u32_le(),
+        })
+    }
+}
+
+/// A chunk of KV pairs migrating to a warm spare (§6.1) or repairing a
+/// restarted backend. The final chunk carries the identity the receiver
+/// adopts: the shard number and the new cell config id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MigrateChunk {
+    /// Whether this is the final chunk.
+    pub last: bool,
+    /// Shard identity the receiver adopts on the final chunk.
+    pub shard: u32,
+    /// New config id the receiver stamps into its buckets on the final
+    /// chunk.
+    pub new_config_id: u32,
+    /// Full KV pairs with their versions.
+    pub entries: Vec<(Bytes, Bytes, VersionNumber)>,
+}
+
+impl MigrateChunk {
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_u8(self.last as u8);
+        b.put_u32_le(self.shard);
+        b.put_u32_le(self.new_config_id);
+        b.put_u32_le(self.entries.len() as u32);
+        for (k, v, ver) in &self.entries {
+            b.put_u128_le(ver.0);
+            put_bytes(&mut b, k);
+            put_bytes(&mut b, v);
+        }
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<MigrateChunk> {
+        if body.len() < 13 {
+            return None;
+        }
+        let last = body.get_u8() != 0;
+        let shard = body.get_u32_le();
+        let new_config_id = body.get_u32_le();
+        let n = body.get_u32_le() as usize;
+        // Each entry needs at least version(16) + two length prefixes(8);
+        // reject wire counts the body cannot possibly hold before trusting
+        // them for allocation.
+        if body.len() < n.saturating_mul(24) {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            if body.len() < 16 {
+                return None;
+            }
+            let ver = VersionNumber(body.get_u128_le());
+            let k = get_bytes(&mut body)?;
+            let v = get_bytes(&mut body)?;
+            entries.push((k, v, ver));
+        }
+        Some(MigrateChunk {
+            last,
+            shard,
+            new_config_id,
+            entries,
+        })
+    }
+}
+
+/// PREPARE_MAINTENANCE body: where to migrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrepareMaintenance {
+    /// NodeId of the warm spare that will take over this shard.
+    pub spare_node: u32,
+}
+
+impl PrepareMaintenance {
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_u32_le(self.spare_node);
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<PrepareMaintenance> {
+        if body.len() < 4 {
+            return None;
+        }
+        Some(PrepareMaintenance {
+            spare_node: body.get_u32_le(),
+        })
+    }
+}
+
+/// Geometry advertised at CONNECT time: everything a client needs to issue
+/// RMA reads against this backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Cell configuration id the backend believes in.
+    pub config_id: u32,
+    /// Index region window.
+    pub index_window: u32,
+    /// Index window generation.
+    pub index_generation: u32,
+    /// Number of buckets in the index.
+    pub num_buckets: u64,
+    /// Entries per bucket.
+    pub assoc: u16,
+    /// Data region window.
+    pub data_window: u32,
+    /// Data window generation.
+    pub data_generation: u32,
+    /// Logical shard this backend serves.
+    pub shard: u32,
+}
+
+impl Geometry {
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(34);
+        b.put_u32_le(self.config_id);
+        b.put_u32_le(self.index_window);
+        b.put_u32_le(self.index_generation);
+        b.put_u64_le(self.num_buckets);
+        b.put_u16_le(self.assoc);
+        b.put_u32_le(self.data_window);
+        b.put_u32_le(self.data_generation);
+        b.put_u32_le(self.shard);
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<Geometry> {
+        if body.len() < 34 {
+            return None;
+        }
+        Some(Geometry {
+            config_id: body.get_u32_le(),
+            index_window: body.get_u32_le(),
+            index_generation: body.get_u32_le(),
+            num_buckets: body.get_u64_le(),
+            assoc: body.get_u16_le(),
+            data_window: body.get_u32_le(),
+            data_generation: body.get_u32_le(),
+            shard: body.get_u32_le(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_roundtrip() {
+        let m = SetReq {
+            key: Bytes::from_static(b"k"),
+            value: Bytes::from_static(b"v-bytes"),
+            version: VersionNumber::new(1, 2, 3),
+        };
+        assert_eq!(SetReq::decode(m.encode()), Some(m));
+        assert_eq!(SetReq::decode(Bytes::from_static(b"xx")), None);
+    }
+
+    #[test]
+    fn erase_roundtrip() {
+        let m = EraseReq {
+            key: Bytes::from_static(b"gone"),
+            version: VersionNumber::new(9, 9, 9),
+        };
+        assert_eq!(EraseReq::decode(m.encode()), Some(m));
+    }
+
+    #[test]
+    fn cas_roundtrip() {
+        let m = CasReq {
+            key: Bytes::from_static(b"key"),
+            value: Bytes::from_static(b"new"),
+            expected: VersionNumber::new(1, 1, 1),
+            new_version: VersionNumber::new(2, 2, 2),
+        };
+        assert_eq!(CasReq::decode(m.encode()), Some(m));
+    }
+
+    #[test]
+    fn get_roundtrips() {
+        let req = GetReq {
+            key: Bytes::from_static(b"lookup-me"),
+        };
+        assert_eq!(GetReq::decode(req.encode()), Some(req));
+        let resp = GetResp {
+            key: Bytes::from_static(b"lookup-me"),
+            value: Bytes::from_static(b"found"),
+            version: VersionNumber::new(5, 5, 5),
+        };
+        assert_eq!(GetResp::decode(resp.encode()), Some(resp));
+    }
+
+    #[test]
+    fn fetch_by_hash_roundtrip() {
+        let m = FetchByHashReq { key_hash: 0xF00D };
+        assert_eq!(FetchByHashReq::decode(m.encode()), Some(m));
+        assert_eq!(FetchByHashReq::decode(Bytes::from_static(b"short")), None);
+    }
+
+    #[test]
+    fn access_records_roundtrip() {
+        let m = AccessRecords {
+            hashes: vec![1, 2, 3, u128::MAX],
+        };
+        assert_eq!(AccessRecords::decode(m.encode()), Some(m));
+        let empty = AccessRecords::default();
+        assert_eq!(AccessRecords::decode(empty.encode()), Some(empty));
+    }
+
+    #[test]
+    fn scan_roundtrips() {
+        let req = ScanReq { page: 7 };
+        assert_eq!(ScanReq::decode(req.encode()), Some(req));
+        let page = ScanPage {
+            page: 7,
+            done: true,
+            pairs: vec![(1, VersionNumber::new(1, 1, 1)), (2, VersionNumber::ZERO)],
+        };
+        assert_eq!(ScanPage::decode(page.encode()), Some(page));
+    }
+
+    #[test]
+    fn migrate_chunk_roundtrip() {
+        let m = MigrateChunk {
+            last: false,
+            shard: 3,
+            new_config_id: 9,
+            entries: vec![
+                (
+                    Bytes::from_static(b"a"),
+                    Bytes::from_static(b"1"),
+                    VersionNumber::new(1, 1, 1),
+                ),
+                (
+                    Bytes::from_static(b"b"),
+                    Bytes::from_static(b"2"),
+                    VersionNumber::new(2, 2, 2),
+                ),
+            ],
+        };
+        assert_eq!(MigrateChunk::decode(m.encode()), Some(m));
+        // Truncated chunk fails cleanly.
+        let wire = MigrateChunk {
+            last: true,
+            shard: 0,
+            new_config_id: 0,
+            entries: vec![(
+                Bytes::from_static(b"k"),
+                Bytes::from_static(b"v"),
+                VersionNumber::ZERO,
+            )],
+        }
+        .encode();
+        assert_eq!(MigrateChunk::decode(wire.slice(0..wire.len() - 1)), None);
+    }
+
+    #[test]
+    fn geometry_roundtrip() {
+        let g = Geometry {
+            config_id: 1,
+            index_window: 2,
+            index_generation: 3,
+            num_buckets: 1 << 20,
+            assoc: 14,
+            data_window: 4,
+            data_generation: 5,
+            shard: 6,
+        };
+        assert_eq!(Geometry::decode(g.encode()), Some(g));
+        assert_eq!(Geometry::decode(Bytes::from_static(b"tiny")), None);
+    }
+
+    #[test]
+    fn decoders_tolerate_trailing_extensions() {
+        // Post-deployment evolution (§6): a newer peer may append fields;
+        // older decoders parse the prefix they understand and ignore the
+        // rest — this is how the paper shipped "over a hundred" protocol
+        // changes without lockstep upgrades.
+        let set = SetReq {
+            key: Bytes::from_static(b"k"),
+            value: Bytes::from_static(b"v"),
+            version: VersionNumber::new(1, 2, 3),
+        };
+        let mut wire = BytesMut::from(&set.encode()[..]);
+        wire.extend_from_slice(b"\x09future-proof-extension");
+        assert_eq!(SetReq::decode(wire.freeze()), Some(set));
+
+        let geom = Geometry {
+            config_id: 1,
+            index_window: 2,
+            index_generation: 3,
+            num_buckets: 64,
+            assoc: 14,
+            data_window: 4,
+            data_generation: 5,
+            shard: 6,
+        };
+        let mut wire = BytesMut::from(&geom.encode()[..]);
+        wire.extend_from_slice(&[0xFF; 32]);
+        assert_eq!(Geometry::decode(wire.freeze()), Some(geom));
+    }
+
+    #[test]
+    fn adversarial_length_fields_rejected_cheaply() {
+        // A frame claiming 2^31 entries in 30 bytes must fail fast (no
+        // allocation) — regression test for the fuzz finding.
+        let mut b = BytesMut::new();
+        b.put_u8(0); // not last
+        b.put_u32_le(0); // shard
+        b.put_u32_le(0); // config id
+        b.put_u32_le(u32::MAX); // entry count lie
+        b.extend_from_slice(&[0u8; 16]);
+        assert_eq!(MigrateChunk::decode(b.freeze()), None);
+    }
+
+    #[test]
+    fn prepare_maintenance_roundtrip() {
+        let m = PrepareMaintenance { spare_node: 42 };
+        assert_eq!(PrepareMaintenance::decode(m.encode()), Some(m));
+    }
+}

@@ -1,0 +1,130 @@
+//! Language shims: Java/Go/Python access to CliqueMap (§6.2).
+//!
+//! "We provide a lightweight shim for each language, which in turn launches
+//! the CliqueMap C++ client as a Linux subprocess. We communicate between
+//! these processes using named pipes." The shim is a cost model, not a
+//! semantic change: every op pays (a) shim-side marshalling CPU and (b) a
+//! pipe traversal in each direction, on top of the native client's work.
+//! Those two costs are what separate the four bars in Figure 6.
+
+use simnet::SimDuration;
+
+/// Cost model of one language shim.
+#[derive(Debug, Clone)]
+pub struct ShimSpec {
+    /// Language label (reporting).
+    pub language: &'static str,
+    /// Shim-side CPU per op (serialize the request, parse the response —
+    /// runtime-dependent: JSON-ish marshalling in Python, protos in Java).
+    pub per_op_base: SimDuration,
+    /// Marginal shim CPU per KiB of payload.
+    pub per_kb: SimDuration,
+    /// Named-pipe traversal latency, one direction (includes scheduler
+    /// wakeup of the subprocess).
+    pub pipe_oneway: SimDuration,
+}
+
+impl ShimSpec {
+    /// The Java shim (paper note 4: a shared-memory fast path exists for
+    /// Java; this models the improved variant).
+    pub fn java() -> ShimSpec {
+        ShimSpec {
+            language: "java",
+            per_op_base: SimDuration::from_micros(6),
+            per_kb: SimDuration::from_nanos(400),
+            pipe_oneway: SimDuration::from_micros(9),
+        }
+    }
+
+    /// The Go shim.
+    pub fn go() -> ShimSpec {
+        ShimSpec {
+            language: "go",
+            per_op_base: SimDuration::from_micros(5),
+            per_kb: SimDuration::from_nanos(350),
+            pipe_oneway: SimDuration::from_micros(12),
+        }
+    }
+
+    /// The Python shim (interpreter marshalling dominates).
+    pub fn python() -> ShimSpec {
+        ShimSpec {
+            language: "python",
+            per_op_base: SimDuration::from_micros(35),
+            per_kb: SimDuration::from_micros(2),
+            pipe_oneway: SimDuration::from_micros(15),
+        }
+    }
+
+    /// Lookup by name; `cpp` (the native client) returns `None`.
+    pub fn by_name(name: &str) -> Option<ShimSpec> {
+        match name {
+            "cpp" | "c++" => None,
+            "java" => Some(ShimSpec::java()),
+            "go" => Some(ShimSpec::go()),
+            "py" | "python" => Some(ShimSpec::python()),
+            other => panic!("unknown client language {other:?}"),
+        }
+    }
+
+    /// Request-path pipe latency (app -> subprocess).
+    pub fn ingress_latency(&self) -> SimDuration {
+        self.pipe_oneway
+    }
+
+    /// Response-path pipe latency (subprocess -> app).
+    pub fn egress_latency(&self) -> SimDuration {
+        self.pipe_oneway
+    }
+
+    /// Shim CPU for an op carrying `bytes` of payload.
+    pub fn per_op_cpu(&self, bytes: usize) -> SimDuration {
+        self.per_op_base
+            + SimDuration(self.per_kb.nanos() * (bytes as u64).div_ceil(1024))
+    }
+
+    /// Total extra latency a shim adds to an op (both pipe directions),
+    /// excluding CPU queueing.
+    pub fn round_trip_overhead(&self) -> SimDuration {
+        self.ingress_latency() + self.egress_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_ranked_cpp_fastest() {
+        let java = ShimSpec::java();
+        let go = ShimSpec::go();
+        let py = ShimSpec::python();
+        // Python pays the most CPU per op.
+        assert!(py.per_op_cpu(64) > java.per_op_cpu(64));
+        assert!(py.per_op_cpu(64) > go.per_op_cpu(64));
+        // Every shim adds positive round-trip overhead (cpp adds none).
+        for s in [java, go, py] {
+            assert!(s.round_trip_overhead() > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn by_name_resolves() {
+        assert!(ShimSpec::by_name("cpp").is_none());
+        assert_eq!(ShimSpec::by_name("java").unwrap().language, "java");
+        assert_eq!(ShimSpec::by_name("go").unwrap().language, "go");
+        assert_eq!(ShimSpec::by_name("python").unwrap().language, "python");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown client language")]
+    fn unknown_language_panics() {
+        ShimSpec::by_name("cobol");
+    }
+
+    #[test]
+    fn payload_scales_cpu() {
+        let py = ShimSpec::python();
+        assert!(py.per_op_cpu(64 * 1024) > py.per_op_cpu(1024));
+    }
+}

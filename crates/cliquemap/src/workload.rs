@@ -1,0 +1,299 @@
+//! The workload interface a client node drives.
+//!
+//! A [`Workload`] is a deterministic generator of client operations: the
+//! client node asks it for the next op and the delay before issuing it.
+//! Rich generators (Ads, Geo, mixes, sweeps) live in the `workloads` crate;
+//! this module defines the interface plus small built-ins used by tests and
+//! the quickstart example.
+
+use bytes::Bytes;
+
+use simnet::{SimDuration, SimRng, SimTime};
+
+use crate::version::VersionNumber;
+
+/// One logical client operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientOp {
+    /// Point lookup.
+    Get {
+        /// Key to read.
+        key: Bytes,
+    },
+    /// Batched lookup (Ads/Geo style): completes when every key resolves.
+    MultiGet {
+        /// Keys to read concurrently.
+        keys: Vec<Bytes>,
+    },
+    /// Install a value.
+    Set {
+        /// Key to write.
+        key: Bytes,
+        /// Value to install.
+        value: Bytes,
+    },
+    /// Remove a key.
+    Erase {
+        /// Key to erase.
+        key: Bytes,
+    },
+    /// Conditional update using the client's memoized version for the key.
+    Cas {
+        /// Key to update.
+        key: Bytes,
+        /// Replacement value.
+        value: Bytes,
+    },
+}
+
+/// How a completed operation went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// GET found the key (quorate, validated).
+    Hit,
+    /// GET concluded the key is absent.
+    Miss,
+    /// Mutation applied.
+    Done,
+    /// A newer version exists (SET superseded / CAS failed).
+    Superseded,
+    /// Retries/deadline exhausted.
+    Error,
+}
+
+impl OpOutcome {
+    /// Whether this outcome counts as success for rate accounting.
+    pub fn ok(self) -> bool {
+        !matches!(self, OpOutcome::Error)
+    }
+}
+
+/// Deterministic generator of client operations.
+pub trait Workload: Send {
+    /// The next operation and the delay before issuing it (from now for
+    /// open-loop pacing, from the previous completion for closed-loop).
+    /// `None` ends the workload.
+    fn next(&mut self, now: SimTime, rng: &mut SimRng) -> Option<(SimDuration, ClientOp)>;
+}
+
+/// Closed-loop: issue the next op as soon as the previous completes.
+/// Open-loop: issue ops on a fixed schedule regardless of completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// Timer-driven arrivals (load ramps, production-like traffic).
+    Open,
+    /// One op at a time (peak-rate measurement, simple tests).
+    Closed,
+}
+
+/// A trivial workload: a fixed script of operations with fixed gaps.
+#[derive(Debug, Default)]
+pub struct ScriptWorkload {
+    ops: std::collections::VecDeque<(SimDuration, ClientOp)>,
+}
+
+impl ScriptWorkload {
+    /// Build from a list of (delay, op).
+    pub fn new(ops: Vec<(SimDuration, ClientOp)>) -> ScriptWorkload {
+        ScriptWorkload {
+            ops: ops.into(),
+        }
+    }
+
+    /// Remaining operations.
+    pub fn remaining(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+impl Workload for ScriptWorkload {
+    fn next(&mut self, _now: SimTime, _rng: &mut SimRng) -> Option<(SimDuration, ClientOp)> {
+        self.ops.pop_front()
+    }
+}
+
+/// Uniform-random GET/SET mix over a fixed key population at a constant
+/// rate — the basic synthetic workload.
+#[derive(Debug)]
+pub struct UniformWorkload {
+    /// Number of keys (`key-0` .. `key-{n-1}`).
+    pub keys: u64,
+    /// Value size for SETs.
+    pub value_len: usize,
+    /// Fraction of ops that are GETs.
+    pub get_fraction: f64,
+    /// Mean inter-op gap (exponential); zero = back-to-back.
+    pub mean_gap: SimDuration,
+    /// Ops to issue; `u64::MAX` = unbounded.
+    pub count: u64,
+    issued: u64,
+}
+
+impl UniformWorkload {
+    /// A pure-GET workload at a given rate (ops/sec).
+    pub fn gets(keys: u64, rate_per_sec: f64, count: u64) -> UniformWorkload {
+        UniformWorkload {
+            keys,
+            value_len: 64,
+            get_fraction: 1.0,
+            mean_gap: SimDuration::from_secs_f64(1.0 / rate_per_sec.max(1e-9)),
+            count,
+            issued: 0,
+        }
+    }
+
+    /// A GET/SET mix at a given rate.
+    pub fn mix(
+        keys: u64,
+        value_len: usize,
+        get_fraction: f64,
+        rate_per_sec: f64,
+        count: u64,
+    ) -> UniformWorkload {
+        UniformWorkload {
+            keys,
+            value_len,
+            get_fraction,
+            mean_gap: SimDuration::from_secs_f64(1.0 / rate_per_sec.max(1e-9)),
+            count,
+            issued: 0,
+        }
+    }
+
+    /// Deterministic value for a key (verifiable content).
+    pub fn value_for(key: &[u8], len: usize) -> Bytes {
+        let mut out = Vec::with_capacity(len);
+        let mut h = crate::layout::checksum(key);
+        while out.len() < len {
+            h = h.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            out.extend_from_slice(&h.to_le_bytes());
+        }
+        out.truncate(len);
+        Bytes::from(out)
+    }
+}
+
+impl Workload for UniformWorkload {
+    fn next(&mut self, _now: SimTime, rng: &mut SimRng) -> Option<(SimDuration, ClientOp)> {
+        if self.issued >= self.count {
+            return None;
+        }
+        self.issued += 1;
+        let key = Bytes::from(format!("key-{}", rng.gen_range(self.keys)));
+        let gap = SimDuration::from_secs_f64(
+            rng.exponential(self.mean_gap.as_secs_f64()),
+        );
+        let op = if rng.next_f64() < self.get_fraction {
+            ClientOp::Get { key }
+        } else {
+            let value = Self::value_for(&key, self.value_len);
+            ClientOp::Set { key, value }
+        };
+        Some((gap, op))
+    }
+}
+
+/// Tracks memoized versions for CAS (`expected` comes from the last version
+/// this client observed for the key).
+#[derive(Debug, Default)]
+pub struct VersionMemo {
+    map: std::collections::HashMap<Bytes, VersionNumber>,
+}
+
+impl VersionMemo {
+    /// Remember the version last observed for `key`.
+    pub fn remember(&mut self, key: &Bytes, version: VersionNumber) {
+        if self.map.len() > 100_000 {
+            self.map.clear();
+        }
+        self.map.insert(key.clone(), version);
+    }
+
+    /// The memoized version, if any.
+    pub fn get(&self, key: &Bytes) -> Option<VersionNumber> {
+        self.map.get(key).copied()
+    }
+
+    /// Forget a key (after ERASE).
+    pub fn forget(&mut self, key: &Bytes) {
+        self.map.remove(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_workload_drains() {
+        let mut w = ScriptWorkload::new(vec![
+            (
+                SimDuration::ZERO,
+                ClientOp::Set {
+                    key: Bytes::from_static(b"a"),
+                    value: Bytes::from_static(b"1"),
+                },
+            ),
+            (
+                SimDuration::from_micros(5),
+                ClientOp::Get {
+                    key: Bytes::from_static(b"a"),
+                },
+            ),
+        ]);
+        let mut rng = SimRng::new(1);
+        assert_eq!(w.remaining(), 2);
+        assert!(w.next(SimTime::ZERO, &mut rng).is_some());
+        assert!(w.next(SimTime::ZERO, &mut rng).is_some());
+        assert!(w.next(SimTime::ZERO, &mut rng).is_none());
+    }
+
+    #[test]
+    fn uniform_mix_ratio() {
+        let mut w = UniformWorkload::mix(100, 64, 0.9, 1e6, 10_000);
+        let mut rng = SimRng::new(2);
+        let mut gets = 0;
+        let mut sets = 0;
+        while let Some((_, op)) = w.next(SimTime::ZERO, &mut rng) {
+            match op {
+                ClientOp::Get { .. } => gets += 1,
+                ClientOp::Set { .. } => sets += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(gets + sets, 10_000);
+        let frac = gets as f64 / 10_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "get fraction {frac}");
+    }
+
+    #[test]
+    fn value_for_is_deterministic_and_sized() {
+        let a = UniformWorkload::value_for(b"k1", 100);
+        let b = UniformWorkload::value_for(b"k1", 100);
+        let c = UniformWorkload::value_for(b"k2", 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 100);
+        assert_eq!(UniformWorkload::value_for(b"x", 0).len(), 0);
+    }
+
+    #[test]
+    fn version_memo_roundtrip() {
+        let mut m = VersionMemo::default();
+        let k = Bytes::from_static(b"key");
+        assert_eq!(m.get(&k), None);
+        m.remember(&k, VersionNumber::new(1, 2, 3));
+        assert_eq!(m.get(&k), Some(VersionNumber::new(1, 2, 3)));
+        m.forget(&k);
+        assert_eq!(m.get(&k), None);
+    }
+
+    #[test]
+    fn outcome_ok() {
+        assert!(OpOutcome::Hit.ok());
+        assert!(OpOutcome::Miss.ok());
+        assert!(OpOutcome::Done.ok());
+        assert!(OpOutcome::Superseded.ok());
+        assert!(!OpOutcome::Error.ok());
+    }
+}

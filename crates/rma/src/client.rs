@@ -1,0 +1,289 @@
+//! Client-side RMA op tracking: issue one-sided ops, match completions.
+//!
+//! The analogue of `rpc::CallTable` for the RMA path: assign op ids, encode
+//! requests, remember in-flight metadata, and match responses. Timeouts use
+//! the same per-op timer token convention.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use simnet::{NodeId, SimTime};
+
+use crate::codec::{
+    encode_read_req, encode_scar_req, ReadReq, RmaEnvelope, RmaStatus, ScarReq,
+};
+use crate::region::WindowId;
+
+/// Token namespace base for RMA op deadline timers.
+pub const RMA_TIMER_BASE: u64 = 1 << 57;
+
+/// Which kind of op is in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// One-sided read.
+    Read,
+    /// Scan-and-Read.
+    Scar,
+}
+
+/// Metadata for one in-flight RMA op.
+#[derive(Debug, Clone)]
+pub struct OutstandingOp {
+    /// Target node.
+    pub dst: NodeId,
+    /// Op kind.
+    pub kind: OpKind,
+    /// Issue time.
+    pub issued_at: SimTime,
+    /// Caller context (which logical GET this belongs to, which replica...).
+    pub user_tag: u64,
+}
+
+/// A finished RMA op handed back to the caller.
+#[derive(Debug, Clone)]
+pub struct OpCompletion {
+    /// The op id.
+    pub op_id: u64,
+    /// Result status.
+    pub status: RmaStatus,
+    /// READ payload or SCAR data segment.
+    pub data: Bytes,
+    /// SCAR bucket segment (empty for READ).
+    pub bucket: Bytes,
+    /// Original op metadata.
+    pub op: OutstandingOp,
+    /// Round-trip time in nanoseconds.
+    pub rtt_ns: u64,
+}
+
+/// Tracks in-flight RMA ops for one client node.
+#[derive(Debug, Default)]
+pub struct RmaOpTable {
+    next_id: u64,
+    outstanding: HashMap<u64, OutstandingOp>,
+}
+
+impl RmaOpTable {
+    /// Empty table.
+    pub fn new() -> RmaOpTable {
+        RmaOpTable {
+            next_id: 1,
+            outstanding: HashMap::new(),
+        }
+    }
+
+    /// Begin a one-sided read; returns (op id, encoded request).
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin_read(
+        &mut self,
+        dst: NodeId,
+        window: WindowId,
+        generation: u32,
+        offset: u64,
+        len: u32,
+        now: SimTime,
+        user_tag: u64,
+    ) -> (u64, Bytes) {
+        let op_id = self.alloc(dst, OpKind::Read, now, user_tag);
+        let wire = encode_read_req(&ReadReq {
+            op_id,
+            window: window.0,
+            generation,
+            offset,
+            len,
+        });
+        (op_id, wire)
+    }
+
+    /// Begin a SCAR; returns (op id, encoded request).
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin_scar(
+        &mut self,
+        dst: NodeId,
+        index_window: WindowId,
+        index_generation: u32,
+        bucket_offset: u64,
+        bucket_len: u32,
+        key_hash: u128,
+        now: SimTime,
+        user_tag: u64,
+    ) -> (u64, Bytes) {
+        let op_id = self.alloc(dst, OpKind::Scar, now, user_tag);
+        let wire = encode_scar_req(&ScarReq {
+            op_id,
+            index_window: index_window.0,
+            index_generation,
+            bucket_offset,
+            bucket_len,
+            key_hash,
+        });
+        (op_id, wire)
+    }
+
+    fn alloc(&mut self, dst: NodeId, kind: OpKind, now: SimTime, user_tag: u64) -> u64 {
+        let op_id = self.next_id;
+        self.next_id += 1;
+        self.outstanding.insert(
+            op_id,
+            OutstandingOp {
+                dst,
+                kind,
+                issued_at: now,
+                user_tag,
+            },
+        );
+        op_id
+    }
+
+    /// Route a decoded response envelope; `None` for requests or for late
+    /// responses to ops already abandoned.
+    pub fn complete(&mut self, env: RmaEnvelope, now: SimTime) -> Option<OpCompletion> {
+        match env {
+            RmaEnvelope::ReadResp(r) => {
+                let op = self.outstanding.remove(&r.op_id)?;
+                Some(OpCompletion {
+                    op_id: r.op_id,
+                    status: r.status,
+                    rtt_ns: now.since(op.issued_at).nanos(),
+                    data: r.data,
+                    bucket: Bytes::new(),
+                    op,
+                })
+            }
+            RmaEnvelope::ScarResp(r) => {
+                let op = self.outstanding.remove(&r.op_id)?;
+                Some(OpCompletion {
+                    op_id: r.op_id,
+                    status: r.status,
+                    rtt_ns: now.since(op.issued_at).nanos(),
+                    data: r.data,
+                    bucket: r.bucket,
+                    op,
+                })
+            }
+            RmaEnvelope::ReadReq(_) | RmaEnvelope::ScarReq(_) => None,
+        }
+    }
+
+    /// Abandon an op (deadline fired); returns its metadata if in flight.
+    pub fn expire(&mut self, op_id: u64) -> Option<OutstandingOp> {
+        self.outstanding.remove(&op_id)
+    }
+
+    /// Timer token for an op's deadline.
+    pub fn timer_token(op_id: u64) -> u64 {
+        RMA_TIMER_BASE + op_id
+    }
+
+    /// Inverse of [`RmaOpTable::timer_token`].
+    pub fn op_of_timer(token: u64) -> Option<u64> {
+        if token >= RMA_TIMER_BASE {
+            Some(token - RMA_TIMER_BASE)
+        } else {
+            None
+        }
+    }
+
+    /// Ops currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode, encode_read_resp, encode_scar_resp, ReadResp, ScarResp};
+
+    #[test]
+    fn read_issue_and_complete() {
+        let mut t = RmaOpTable::new();
+        let (op_id, wire) = t.begin_read(
+            NodeId(5),
+            WindowId(1),
+            3,
+            4096,
+            512,
+            SimTime(1_000),
+            42,
+        );
+        assert_eq!(t.in_flight(), 1);
+        match decode(wire).unwrap() {
+            RmaEnvelope::ReadReq(r) => {
+                assert_eq!(r.op_id, op_id);
+                assert_eq!(r.window, 1);
+                assert_eq!(r.generation, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        let resp = decode(encode_read_resp(&ReadResp {
+            op_id,
+            status: RmaStatus::Ok,
+            data: Bytes::from_static(b"abc"),
+        }))
+        .unwrap();
+        let done = t.complete(resp, SimTime(6_000)).unwrap();
+        assert_eq!(done.rtt_ns, 5_000);
+        assert_eq!(done.op.user_tag, 42);
+        assert_eq!(done.op.kind, OpKind::Read);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn scar_issue_and_complete() {
+        let mut t = RmaOpTable::new();
+        let (op_id, _wire) = t.begin_scar(
+            NodeId(2),
+            WindowId(0),
+            1,
+            64,
+            448,
+            0xABCD,
+            SimTime(0),
+            7,
+        );
+        let resp = decode(encode_scar_resp(&ScarResp {
+            op_id,
+            status: RmaStatus::NoMatch,
+            bucket: Bytes::from_static(&[0; 448]),
+            data: Bytes::new(),
+        }))
+        .unwrap();
+        let done = t.complete(resp, SimTime(100)).unwrap();
+        assert_eq!(done.status, RmaStatus::NoMatch);
+        assert_eq!(done.bucket.len(), 448);
+        assert_eq!(done.op.kind, OpKind::Scar);
+    }
+
+    #[test]
+    fn late_response_dropped() {
+        let mut t = RmaOpTable::new();
+        let (op_id, _) =
+            t.begin_read(NodeId(1), WindowId(0), 0, 0, 8, SimTime(0), 0);
+        assert!(t.expire(op_id).is_some());
+        let resp = decode(encode_read_resp(&ReadResp {
+            op_id,
+            status: RmaStatus::Ok,
+            data: Bytes::new(),
+        }))
+        .unwrap();
+        assert!(t.complete(resp, SimTime(1)).is_none());
+    }
+
+    #[test]
+    fn requests_are_not_completions() {
+        let mut t = RmaOpTable::new();
+        let (_, wire) = t.begin_read(NodeId(1), WindowId(0), 0, 0, 8, SimTime(0), 0);
+        let env = decode(wire).unwrap();
+        assert!(t.complete(env, SimTime(0)).is_none());
+        assert_eq!(t.in_flight(), 1);
+    }
+
+    #[test]
+    fn timer_tokens() {
+        let tok = RmaOpTable::timer_token(9);
+        assert_eq!(RmaOpTable::op_of_timer(tok), Some(9));
+        assert_eq!(RmaOpTable::op_of_timer(9), None);
+    }
+}

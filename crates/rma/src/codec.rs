@@ -1,0 +1,333 @@
+//! RMA wire format.
+//!
+//! Three operations cross the fabric: one-sided `READ` (the 2×R building
+//! block), `SCAR` (Scan-and-Read, the custom Pony Express op of §6.3), and
+//! their responses. Headers are small and fixed — the efficiency of RMA
+//! relative to RPC comes precisely from not carrying the full-featured
+//! envelope.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic tag identifying RMA frames (RPC frames use a different magic).
+pub const RMA_MAGIC: u16 = 0x4D52; // "RM"
+
+const KIND_READ_REQ: u8 = 1;
+const KIND_READ_RESP: u8 = 2;
+const KIND_SCAR_REQ: u8 = 3;
+const KIND_SCAR_RESP: u8 = 4;
+
+/// Result status of an RMA operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RmaStatus {
+    /// Data returned.
+    Ok = 0,
+    /// The addressed window has been revoked (e.g. index resize in
+    /// progress). The client must re-resolve via RPC.
+    WindowRevoked = 1,
+    /// The read exceeded window bounds.
+    OutOfBounds = 2,
+    /// The window generation did not match (stale client metadata).
+    BadGeneration = 3,
+    /// SCAR scanned the bucket and found no matching entry (a miss; the
+    /// bucket bytes are still returned so the client can validate).
+    NoMatch = 4,
+    /// The target does not expose RMA at all (e.g. WAN peer).
+    Unsupported = 5,
+}
+
+impl RmaStatus {
+    /// Decode from wire byte.
+    pub fn from_u8(v: u8) -> RmaStatus {
+        match v {
+            0 => RmaStatus::Ok,
+            1 => RmaStatus::WindowRevoked,
+            2 => RmaStatus::OutOfBounds,
+            3 => RmaStatus::BadGeneration,
+            4 => RmaStatus::NoMatch,
+            _ => RmaStatus::Unsupported,
+        }
+    }
+}
+
+/// One-sided read request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadReq {
+    /// Client-chosen operation id.
+    pub op_id: u64,
+    /// Target window.
+    pub window: u32,
+    /// Expected window generation (guards against stale layout metadata).
+    pub generation: u32,
+    /// Byte offset within the window.
+    pub offset: u64,
+    /// Bytes to read.
+    pub len: u32,
+}
+
+/// One-sided read response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadResp {
+    /// Echoed op id.
+    pub op_id: u64,
+    /// Result status.
+    pub status: RmaStatus,
+    /// The bytes read (empty on failure).
+    pub data: Bytes,
+}
+
+/// Scan-and-Read request: fetch a bucket, scan it NIC-side for `key_hash`,
+/// and follow the matching entry's pointer into the data region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScarReq {
+    /// Client-chosen operation id.
+    pub op_id: u64,
+    /// Window holding the index region.
+    pub index_window: u32,
+    /// Expected generation of the index window.
+    pub index_generation: u32,
+    /// Bucket offset within the index window.
+    pub bucket_offset: u64,
+    /// Bucket length in bytes.
+    pub bucket_len: u32,
+    /// The KeyHash to scan for (full 128 bits).
+    pub key_hash: u128,
+}
+
+/// Scan-and-Read response: the bucket bytes plus, on a hit, the data entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScarResp {
+    /// Echoed op id.
+    pub op_id: u64,
+    /// Result status (`NoMatch` still carries the bucket).
+    pub status: RmaStatus,
+    /// Raw bucket bytes.
+    pub bucket: Bytes,
+    /// Raw data-entry bytes (empty unless status is `Ok`).
+    pub data: Bytes,
+}
+
+/// Any RMA frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RmaEnvelope {
+    /// One-sided read request.
+    ReadReq(ReadReq),
+    /// One-sided read response.
+    ReadResp(ReadResp),
+    /// Scan-and-Read request.
+    ScarReq(ScarReq),
+    /// Scan-and-Read response.
+    ScarResp(ScarResp),
+}
+
+/// Wire-header overhead of RMA frames, for fabric accounting.
+pub const RMA_HEADER_BYTES: u64 = 32;
+
+/// Encode a read request.
+pub fn encode_read_req(r: &ReadReq) -> Bytes {
+    let mut b = BytesMut::with_capacity(31);
+    b.put_u16_le(RMA_MAGIC);
+    b.put_u8(KIND_READ_REQ);
+    b.put_u64_le(r.op_id);
+    b.put_u32_le(r.window);
+    b.put_u32_le(r.generation);
+    b.put_u64_le(r.offset);
+    b.put_u32_le(r.len);
+    b.freeze()
+}
+
+/// Encode a read response.
+pub fn encode_read_resp(r: &ReadResp) -> Bytes {
+    let mut b = BytesMut::with_capacity(16 + r.data.len());
+    b.put_u16_le(RMA_MAGIC);
+    b.put_u8(KIND_READ_RESP);
+    b.put_u64_le(r.op_id);
+    b.put_u8(r.status as u8);
+    b.put_u32_le(r.data.len() as u32);
+    b.extend_from_slice(&r.data);
+    b.freeze()
+}
+
+/// Encode a SCAR request.
+pub fn encode_scar_req(r: &ScarReq) -> Bytes {
+    let mut b = BytesMut::with_capacity(47);
+    b.put_u16_le(RMA_MAGIC);
+    b.put_u8(KIND_SCAR_REQ);
+    b.put_u64_le(r.op_id);
+    b.put_u32_le(r.index_window);
+    b.put_u32_le(r.index_generation);
+    b.put_u64_le(r.bucket_offset);
+    b.put_u32_le(r.bucket_len);
+    b.put_u128_le(r.key_hash);
+    b.freeze()
+}
+
+/// Encode a SCAR response.
+pub fn encode_scar_resp(r: &ScarResp) -> Bytes {
+    let mut b = BytesMut::with_capacity(20 + r.bucket.len() + r.data.len());
+    b.put_u16_le(RMA_MAGIC);
+    b.put_u8(KIND_SCAR_RESP);
+    b.put_u64_le(r.op_id);
+    b.put_u8(r.status as u8);
+    b.put_u32_le(r.bucket.len() as u32);
+    b.put_u32_le(r.data.len() as u32);
+    b.extend_from_slice(&r.bucket);
+    b.extend_from_slice(&r.data);
+    b.freeze()
+}
+
+/// Decode an RMA frame; `None` for non-RMA payloads.
+pub fn decode(mut buf: Bytes) -> Option<RmaEnvelope> {
+    if buf.len() < 3 {
+        return None;
+    }
+    if buf.get_u16_le() != RMA_MAGIC {
+        return None;
+    }
+    match buf.get_u8() {
+        KIND_READ_REQ => {
+            if buf.len() < 28 {
+                return None;
+            }
+            Some(RmaEnvelope::ReadReq(ReadReq {
+                op_id: buf.get_u64_le(),
+                window: buf.get_u32_le(),
+                generation: buf.get_u32_le(),
+                offset: buf.get_u64_le(),
+                len: buf.get_u32_le(),
+            }))
+        }
+        KIND_READ_RESP => {
+            if buf.len() < 13 {
+                return None;
+            }
+            let op_id = buf.get_u64_le();
+            let status = RmaStatus::from_u8(buf.get_u8());
+            let len = buf.get_u32_le() as usize;
+            if buf.len() < len {
+                return None;
+            }
+            Some(RmaEnvelope::ReadResp(ReadResp {
+                op_id,
+                status,
+                data: buf.split_to(len),
+            }))
+        }
+        KIND_SCAR_REQ => {
+            if buf.len() < 44 {
+                return None;
+            }
+            Some(RmaEnvelope::ScarReq(ScarReq {
+                op_id: buf.get_u64_le(),
+                index_window: buf.get_u32_le(),
+                index_generation: buf.get_u32_le(),
+                bucket_offset: buf.get_u64_le(),
+                bucket_len: buf.get_u32_le(),
+                key_hash: buf.get_u128_le(),
+            }))
+        }
+        KIND_SCAR_RESP => {
+            if buf.len() < 17 {
+                return None;
+            }
+            let op_id = buf.get_u64_le();
+            let status = RmaStatus::from_u8(buf.get_u8());
+            let blen = buf.get_u32_le() as usize;
+            let dlen = buf.get_u32_le() as usize;
+            if buf.len() < blen + dlen {
+                return None;
+            }
+            let bucket = buf.split_to(blen);
+            let data = buf.split_to(dlen);
+            Some(RmaEnvelope::ScarResp(ScarResp {
+                op_id,
+                status,
+                bucket,
+                data,
+            }))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_req_roundtrip() {
+        let r = ReadReq {
+            op_id: 1,
+            window: 2,
+            generation: 3,
+            offset: 4096,
+            len: 1024,
+        };
+        assert_eq!(
+            decode(encode_read_req(&r)),
+            Some(RmaEnvelope::ReadReq(r))
+        );
+    }
+
+    #[test]
+    fn read_resp_roundtrip() {
+        let r = ReadResp {
+            op_id: 9,
+            status: RmaStatus::Ok,
+            data: Bytes::from_static(b"payload"),
+        };
+        assert_eq!(
+            decode(encode_read_resp(&r)),
+            Some(RmaEnvelope::ReadResp(r))
+        );
+    }
+
+    #[test]
+    fn scar_roundtrips() {
+        let req = ScarReq {
+            op_id: 5,
+            index_window: 1,
+            index_generation: 7,
+            bucket_offset: 64,
+            bucket_len: 448,
+            key_hash: 0xFEED_FACE_CAFE_BEEF_0123_4567_89AB_CDEF,
+        };
+        assert_eq!(
+            decode(encode_scar_req(&req)),
+            Some(RmaEnvelope::ScarReq(req))
+        );
+        let resp = ScarResp {
+            op_id: 5,
+            status: RmaStatus::NoMatch,
+            bucket: Bytes::from_static(&[1; 448]),
+            data: Bytes::new(),
+        };
+        assert_eq!(
+            decode(encode_scar_resp(&resp)),
+            Some(RmaEnvelope::ScarResp(resp))
+        );
+    }
+
+    #[test]
+    fn failure_statuses_roundtrip() {
+        for v in 0..=5u8 {
+            assert_eq!(RmaStatus::from_u8(v) as u8, v);
+        }
+        assert_eq!(RmaStatus::from_u8(99), RmaStatus::Unsupported);
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert_eq!(decode(Bytes::new()), None);
+        assert_eq!(decode(Bytes::from_static(b"RM")), None);
+        let ok = encode_read_resp(&ReadResp {
+            op_id: 1,
+            status: RmaStatus::Ok,
+            data: Bytes::from_static(b"abcdef"),
+        });
+        assert_eq!(decode(ok.slice(0..ok.len() - 2)), None);
+        // RPC frames must not decode as RMA.
+        let rpc_like = Bytes::from_static(b"\x50\x52\x01junk");
+        assert_eq!(decode(rpc_like), None);
+    }
+}

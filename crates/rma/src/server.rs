@@ -1,0 +1,367 @@
+//! Target-side RMA serving: the "NIC's eye view" of a backend.
+//!
+//! A backend node feeds every RMA frame it receives through [`serve`]. The
+//! function charges the transport (engine queueing for Pony Express, fixed
+//! PCIe latency for hardware), executes the read against the backend's
+//! [`RegionTable`], and produces the encoded response plus the instant it
+//! may go on the wire. **No backend application CPU is charged** — that is
+//! the whole point of RMA.
+//!
+//! SCAR needs to understand the bucket layout to chase the IndexEntry
+//! pointer. The layout belongs to CliqueMap, not to the transport, so the
+//! scan program is injected via [`ScarResolver`] — this mirrors reality,
+//! where SCAR exists *because* Pony Express is programmable enough to host
+//! application-provided logic.
+
+use bytes::Bytes;
+
+use simnet::SimTime;
+
+use crate::codec::{
+    encode_read_resp, encode_scar_resp, ReadReq, ReadResp, RmaEnvelope, RmaStatus, ScarReq,
+    ScarResp,
+};
+use crate::region::{RegionTable, WindowId};
+use crate::transport::Transport;
+
+/// Where a SCAR bucket scan landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScarOutcome {
+    /// A matching IndexEntry was found; follow this pointer.
+    Hit {
+        /// Data-region window to read.
+        window: WindowId,
+        /// Expected generation of that window.
+        generation: u32,
+        /// Byte offset of the DataEntry.
+        offset: u64,
+        /// DataEntry length in bytes.
+        len: u32,
+        /// Entries examined before matching (cost accounting).
+        entries_scanned: usize,
+    },
+    /// No entry matches the KeyHash.
+    Miss {
+        /// Entries examined (cost accounting).
+        entries_scanned: usize,
+    },
+}
+
+/// The NIC-resident scan program: given raw bucket bytes and the sought
+/// KeyHash, locate the DataEntry pointer. Implemented by the CliqueMap
+/// backend (it owns the layout).
+pub trait ScarResolver {
+    /// Scan `bucket` for `key_hash`.
+    fn resolve(&self, bucket: &[u8], key_hash: u128) -> ScarOutcome;
+}
+
+/// A served RMA operation: the encoded response and when it's ready.
+#[derive(Debug)]
+pub struct Served {
+    /// Instant the response may be handed to the fabric.
+    pub ready_at: SimTime,
+    /// Encoded response payload.
+    pub response: Bytes,
+}
+
+/// Serve one decoded RMA request against backend memory.
+///
+/// Returns `None` for response envelopes (they are client-bound and should
+/// be routed to the client's op table instead).
+pub fn serve(
+    env: &RmaEnvelope,
+    regions: &RegionTable,
+    resolver: &dyn ScarResolver,
+    transport: &mut Transport,
+    now: SimTime,
+) -> Option<Served> {
+    match env {
+        RmaEnvelope::ReadReq(req) => Some(serve_read(req, regions, transport, now)),
+        RmaEnvelope::ScarReq(req) => Some(serve_scar(req, regions, resolver, transport, now)),
+        RmaEnvelope::ReadResp(_) | RmaEnvelope::ScarResp(_) => None,
+    }
+}
+
+fn serve_read(
+    req: &ReadReq,
+    regions: &RegionTable,
+    transport: &mut Transport,
+    now: SimTime,
+) -> Served {
+    let (status, data) =
+        match regions.read_window(WindowId(req.window), req.generation, req.offset, req.len) {
+            Ok(data) => (RmaStatus::Ok, data),
+            Err(s) => (s, Bytes::new()),
+        };
+    let ready_at = transport.admit_serve(now, data.len(), 0);
+    Served {
+        ready_at,
+        response: encode_read_resp(&ReadResp {
+            op_id: req.op_id,
+            status,
+            data,
+        }),
+    }
+}
+
+fn serve_scar(
+    req: &ScarReq,
+    regions: &RegionTable,
+    resolver: &dyn ScarResolver,
+    transport: &mut Transport,
+    now: SimTime,
+) -> Served {
+    if !transport.supports_scar() {
+        let ready_at = transport.admit_serve(now, 0, 0);
+        return Served {
+            ready_at,
+            response: encode_scar_resp(&ScarResp {
+                op_id: req.op_id,
+                status: RmaStatus::Unsupported,
+                bucket: Bytes::new(),
+                data: Bytes::new(),
+            }),
+        };
+    }
+    // Step 1: fetch the bucket.
+    let bucket = match regions.read_window(
+        WindowId(req.index_window),
+        req.index_generation,
+        req.bucket_offset,
+        req.bucket_len,
+    ) {
+        Ok(b) => b,
+        Err(s) => {
+            let ready_at = transport.admit_serve(now, 0, 0);
+            return Served {
+                ready_at,
+                response: encode_scar_resp(&ScarResp {
+                    op_id: req.op_id,
+                    status: s,
+                    bucket: Bytes::new(),
+                    data: Bytes::new(),
+                }),
+            };
+        }
+    };
+    // Step 2: NIC-side scan.
+    match resolver.resolve(&bucket, req.key_hash) {
+        ScarOutcome::Miss { entries_scanned } => {
+            let ready_at = transport.admit_serve(now, bucket.len(), entries_scanned.max(1));
+            Served {
+                ready_at,
+                response: encode_scar_resp(&ScarResp {
+                    op_id: req.op_id,
+                    status: RmaStatus::NoMatch,
+                    bucket,
+                    data: Bytes::new(),
+                }),
+            }
+        }
+        ScarOutcome::Hit {
+            window,
+            generation,
+            offset,
+            len,
+            entries_scanned,
+        } => {
+            // Step 3: follow the pointer into the data region.
+            let (status, data) = match regions.read_window(window, generation, offset, len) {
+                Ok(d) => (RmaStatus::Ok, d),
+                Err(s) => (s, Bytes::new()),
+            };
+            let ready_at =
+                transport.admit_serve(now, bucket.len() + data.len(), entries_scanned.max(1));
+            Served {
+                ready_at,
+                response: encode_scar_resp(&ScarResp {
+                    op_id: req.op_id,
+                    status,
+                    bucket,
+                    data,
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::decode;
+    use crate::pony::PonyCfg;
+
+    /// Toy layout for tests: bucket is a list of (u128 hash, u64 offset,
+    /// u32 len) tuples; window/generation fixed.
+    struct ToyResolver {
+        data_window: WindowId,
+        data_generation: u32,
+    }
+
+    impl ScarResolver for ToyResolver {
+        fn resolve(&self, bucket: &[u8], key_hash: u128) -> ScarOutcome {
+            let entry = 16 + 8 + 4;
+            let n = bucket.len() / entry;
+            for i in 0..n {
+                let at = i * entry;
+                let hash = u128::from_le_bytes(bucket[at..at + 16].try_into().unwrap());
+                if hash == key_hash && hash != 0 {
+                    let offset =
+                        u64::from_le_bytes(bucket[at + 16..at + 24].try_into().unwrap());
+                    let len =
+                        u32::from_le_bytes(bucket[at + 24..at + 28].try_into().unwrap());
+                    return ScarOutcome::Hit {
+                        window: self.data_window,
+                        generation: self.data_generation,
+                        offset,
+                        len,
+                        entries_scanned: i + 1,
+                    };
+                }
+            }
+            ScarOutcome::Miss { entries_scanned: n }
+        }
+    }
+
+    fn setup() -> (RegionTable, ToyResolver, Transport) {
+        let mut regions = RegionTable::new();
+        // Index: one bucket with two entries.
+        let ib = regions.alloc_buffer(256);
+        let iw = regions.register_window(ib, 0, 256);
+        // Data: "hello" at offset 32.
+        let db = regions.alloc_buffer(128);
+        let dw = regions.register_window(db, 0, 128);
+        regions.write(db, 32, b"hello");
+        // Entry 0: hash=7, points at data 32..37.
+        let mut e = Vec::new();
+        e.extend_from_slice(&7u128.to_le_bytes());
+        e.extend_from_slice(&32u64.to_le_bytes());
+        e.extend_from_slice(&5u32.to_le_bytes());
+        regions.write(ib, 0, &e);
+        let generation = regions.window_generation(dw);
+        assert_eq!(iw, WindowId(0));
+        (
+            regions,
+            ToyResolver {
+                data_window: dw,
+                data_generation: generation,
+            },
+            Transport::pony(PonyCfg::default()),
+        )
+    }
+
+    #[test]
+    fn read_roundtrip_through_serve() {
+        let (regions, resolver, mut transport) = setup();
+        let req = RmaEnvelope::ReadReq(ReadReq {
+            op_id: 1,
+            window: 1, // data window
+            generation: regions.window_generation(WindowId(1)),
+            offset: 32,
+            len: 5,
+        });
+        let served = serve(&req, &regions, &resolver, &mut transport, SimTime(0)).unwrap();
+        match decode(served.response).unwrap() {
+            RmaEnvelope::ReadResp(r) => {
+                assert_eq!(r.status, RmaStatus::Ok);
+                assert_eq!(&r.data[..], b"hello");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(served.ready_at > SimTime(0), "transport cost charged");
+    }
+
+    #[test]
+    fn scar_hit_returns_bucket_and_data() {
+        let (regions, resolver, mut transport) = setup();
+        let req = RmaEnvelope::ScarReq(ScarReq {
+            op_id: 2,
+            index_window: 0,
+            index_generation: regions.window_generation(WindowId(0)),
+            bucket_offset: 0,
+            bucket_len: 28 * 2,
+            key_hash: 7,
+        });
+        let served = serve(&req, &regions, &resolver, &mut transport, SimTime(0)).unwrap();
+        match decode(served.response).unwrap() {
+            RmaEnvelope::ScarResp(r) => {
+                assert_eq!(r.status, RmaStatus::Ok);
+                assert_eq!(r.bucket.len(), 56);
+                assert_eq!(&r.data[..], b"hello");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scar_miss_still_returns_bucket() {
+        let (regions, resolver, mut transport) = setup();
+        let req = RmaEnvelope::ScarReq(ScarReq {
+            op_id: 3,
+            index_window: 0,
+            index_generation: regions.window_generation(WindowId(0)),
+            bucket_offset: 0,
+            bucket_len: 28,
+            key_hash: 12345,
+        });
+        let served = serve(&req, &regions, &resolver, &mut transport, SimTime(0)).unwrap();
+        match decode(served.response).unwrap() {
+            RmaEnvelope::ScarResp(r) => {
+                assert_eq!(r.status, RmaStatus::NoMatch);
+                assert_eq!(r.bucket.len(), 28);
+                assert!(r.data.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scar_rejected_on_hardware_transport() {
+        let (regions, resolver, _) = setup();
+        let mut transport = Transport::one_rma();
+        let req = RmaEnvelope::ScarReq(ScarReq {
+            op_id: 4,
+            index_window: 0,
+            index_generation: 0,
+            bucket_offset: 0,
+            bucket_len: 28,
+            key_hash: 7,
+        });
+        let served = serve(&req, &regions, &resolver, &mut transport, SimTime(0)).unwrap();
+        match decode(served.response).unwrap() {
+            RmaEnvelope::ScarResp(r) => assert_eq!(r.status, RmaStatus::Unsupported),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn revoked_window_surfaces_in_response() {
+        let (mut regions, resolver, mut transport) = setup();
+        let generation = regions.window_generation(WindowId(0));
+        regions.revoke_window(WindowId(0));
+        let req = RmaEnvelope::ScarReq(ScarReq {
+            op_id: 5,
+            index_window: 0,
+            index_generation: generation,
+            bucket_offset: 0,
+            bucket_len: 28,
+            key_hash: 7,
+        });
+        let served = serve(&req, &regions, &resolver, &mut transport, SimTime(0)).unwrap();
+        match decode(served.response).unwrap() {
+            RmaEnvelope::ScarResp(r) => assert_eq!(r.status, RmaStatus::WindowRevoked),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_are_not_served() {
+        let (regions, resolver, mut transport) = setup();
+        let env = RmaEnvelope::ReadResp(ReadResp {
+            op_id: 1,
+            status: RmaStatus::Ok,
+            data: Bytes::new(),
+        });
+        assert!(serve(&env, &regions, &resolver, &mut transport, SimTime(0)).is_none());
+    }
+}

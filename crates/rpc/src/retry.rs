@@ -1,0 +1,185 @@
+//! Retry policy: attempt budgets, exponential backoff, and deadlines.
+//!
+//! CliqueMap clients "transparently retry GET/SET operations ... subject to
+//! both a user-specified deadline and retry count" (§3). The policy object
+//! is shared by the CliqueMap client library and the RPC layer; retries
+//! happen *at the layer appropriate to the error*, but the budget is always
+//! accounted against one [`RetryState`] per logical operation.
+
+use simnet::{SimDuration, SimTime};
+
+/// Static retry configuration for a class of operations.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum total attempts (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_backoff: SimDuration,
+    /// Multiplier applied per subsequent attempt.
+    pub multiplier: f64,
+    /// Cap on a single backoff interval.
+    pub max_backoff: SimDuration,
+    /// Overall operation deadline from first issue.
+    pub op_deadline: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: SimDuration::from_micros(10),
+            multiplier: 2.0,
+            max_backoff: SimDuration::from_millis(5),
+            op_deadline: SimDuration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retries(deadline: SimDuration) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            op_deadline: deadline,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Begin tracking an operation issued at `now`.
+    pub fn start(&self, now: SimTime) -> RetryState {
+        RetryState {
+            attempts: 1,
+            started_at: now,
+        }
+    }
+}
+
+/// Dynamic per-operation retry bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryState {
+    /// Attempts made so far (>=1).
+    pub attempts: u32,
+    /// When the first attempt was issued.
+    pub started_at: SimTime,
+}
+
+/// Decision for what to do after a failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Try again after this backoff.
+    RetryAfter(SimDuration),
+    /// Budget exhausted — surface the error to the caller.
+    GiveUp,
+}
+
+impl RetryState {
+    /// Account a failure at `now` and decide whether to retry.
+    pub fn on_failure(&mut self, policy: &RetryPolicy, now: SimTime) -> RetryDecision {
+        if self.attempts >= policy.max_attempts {
+            return RetryDecision::GiveUp;
+        }
+        let elapsed = now.since(self.started_at);
+        if elapsed >= policy.op_deadline {
+            return RetryDecision::GiveUp;
+        }
+        let exp = (self.attempts - 1).min(30);
+        let backoff_ns =
+            (policy.base_backoff.nanos() as f64 * policy.multiplier.powi(exp as i32)) as u64;
+        let backoff = SimDuration(backoff_ns.min(policy.max_backoff.nanos()));
+        // Don't schedule a retry beyond the deadline.
+        if elapsed + backoff >= policy.op_deadline {
+            return RetryDecision::GiveUp;
+        }
+        self.attempts += 1;
+        RetryDecision::RetryAfter(backoff)
+    }
+
+    /// Absolute deadline of the operation under `policy`.
+    pub fn deadline(&self, policy: &RetryPolicy) -> SimTime {
+        self.started_at + policy.op_deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_then_gives_up() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_micros(10),
+            multiplier: 2.0,
+            max_backoff: SimDuration::from_millis(1),
+            op_deadline: SimDuration::from_secs(1),
+        };
+        let mut st = policy.start(SimTime(0));
+        let mut backoffs = Vec::new();
+        let mut now = SimTime(0);
+        while let RetryDecision::RetryAfter(b) = st.on_failure(&policy, now) {
+            backoffs.push(b);
+            now += b;
+        }
+        assert_eq!(backoffs.len(), 3); // 4 attempts => 3 retries
+        assert_eq!(backoffs[0], SimDuration::from_micros(10));
+        assert_eq!(backoffs[1], SimDuration::from_micros(20));
+        assert_eq!(backoffs[2], SimDuration::from_micros(40));
+    }
+
+    #[test]
+    fn backoff_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            base_backoff: SimDuration::from_micros(100),
+            multiplier: 10.0,
+            max_backoff: SimDuration::from_micros(500),
+            op_deadline: SimDuration::from_secs(10),
+        };
+        let mut st = policy.start(SimTime(0));
+        st.on_failure(&policy, SimTime(0));
+        match st.on_failure(&policy, SimTime(0)) {
+            RetryDecision::RetryAfter(b) => assert_eq!(b, SimDuration::from_micros(500)),
+            d => panic!("{d:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_stops_retries() {
+        let policy = RetryPolicy {
+            max_attempts: 1_000,
+            op_deadline: SimDuration::from_micros(50),
+            base_backoff: SimDuration::from_micros(10),
+            ..RetryPolicy::default()
+        };
+        let mut st = policy.start(SimTime(0));
+        // Past the deadline: give up immediately.
+        assert_eq!(
+            st.on_failure(&policy, SimTime(60_000)),
+            RetryDecision::GiveUp
+        );
+        // Within deadline but backoff would overshoot it.
+        let mut st2 = policy.start(SimTime(0));
+        st2.attempts = 3;
+        assert_eq!(
+            st2.on_failure(&policy, SimTime(49_000)),
+            RetryDecision::GiveUp
+        );
+    }
+
+    #[test]
+    fn no_retries_policy() {
+        let policy = RetryPolicy::no_retries(SimDuration::from_millis(1));
+        let mut st = policy.start(SimTime(0));
+        assert_eq!(st.on_failure(&policy, SimTime(0)), RetryDecision::GiveUp);
+    }
+
+    #[test]
+    fn deadline_accessor() {
+        let policy = RetryPolicy::default();
+        let st = policy.start(SimTime(1_000));
+        assert_eq!(
+            st.deadline(&policy),
+            SimTime(1_000) + policy.op_deadline
+        );
+    }
+}

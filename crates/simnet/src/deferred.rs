@@ -1,0 +1,150 @@
+//! Deferred work: associate opaque state with CPU-completion tokens.
+//!
+//! The simulator models CPU cost with `spawn_cpu(work, token)` →
+//! `Event::CpuDone(token)`. Any node that wants "run handler code, *then*
+//! send the response" (the normal server shape) or "charge send-path CPU,
+//! *then* put the request on the wire" (the normal client shape) needs to
+//! stash its continuation keyed by token. [`Deferred`] is that map, with a
+//! partitioned token namespace so several independent components inside one
+//! node never collide.
+
+use std::collections::HashMap;
+
+/// A token-allocating map of pending continuations of type `T`.
+#[derive(Debug)]
+pub struct Deferred<T> {
+    base: u64,
+    span: u64,
+    next: u64,
+    pending: HashMap<u64, T>,
+}
+
+impl<T> Deferred<T> {
+    /// Create a namespace at `base` covering `span` consecutive tokens.
+    /// Tokens wrap within the namespace (a node will never have 2^32
+    /// simultaneous continuations in practice).
+    pub fn new(base: u64, span: u64) -> Deferred<T> {
+        assert!(span > 0);
+        Deferred {
+            base,
+            span,
+            next: 0,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Standard namespace used for server response continuations.
+    pub fn responses() -> Deferred<T> {
+        Deferred::new(1 << 40, 1 << 16)
+    }
+
+    /// Standard namespace used for client send continuations.
+    pub fn sends() -> Deferred<T> {
+        Deferred::new(1 << 41, 1 << 16)
+    }
+
+    /// Standard namespace for application-defined phase 1 work.
+    pub fn aux1() -> Deferred<T> {
+        Deferred::new(1 << 42, 1 << 16)
+    }
+
+    /// Standard namespace for application-defined phase 2 work.
+    pub fn aux2() -> Deferred<T> {
+        Deferred::new(1 << 43, 1 << 16)
+    }
+
+    /// Stash a continuation; returns the token to pass to `spawn_cpu` /
+    /// `set_timer`.
+    pub fn defer(&mut self, value: T) -> u64 {
+        // Find a free slot; in sane usage the first candidate is free.
+        loop {
+            let tok = self.base + (self.next % self.span);
+            self.next = self.next.wrapping_add(1);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.pending.entry(tok) {
+                e.insert(value);
+                return tok;
+            }
+        }
+    }
+
+    /// Whether `token` belongs to this namespace.
+    pub fn owns(&self, token: u64) -> bool {
+        token >= self.base && token < self.base + self.span
+    }
+
+    /// Remove and return the continuation for `token`, if present and owned.
+    pub fn take(&mut self, token: u64) -> Option<T> {
+        if !self.owns(token) {
+            return None;
+        }
+        self.pending.remove(&token)
+    }
+
+    /// Peek without removing.
+    pub fn get(&self, token: u64) -> Option<&T> {
+        self.pending.get(&token)
+    }
+
+    /// Number of pending continuations.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defer_take_roundtrip() {
+        let mut d: Deferred<&str> = Deferred::new(100, 10);
+        let t1 = d.defer("a");
+        let t2 = d.defer("b");
+        assert_ne!(t1, t2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.take(t1), Some("a"));
+        assert_eq!(d.take(t1), None);
+        assert_eq!(d.take(t2), Some("b"));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn ownership_check() {
+        let mut d: Deferred<u32> = Deferred::new(1000, 10);
+        let t = d.defer(1);
+        assert!(d.owns(t));
+        assert!(!d.owns(999));
+        assert!(!d.owns(1010));
+        assert_eq!(d.take(5), None); // foreign token untouched
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn namespaces_disjoint() {
+        let a: Deferred<()> = Deferred::responses();
+        let b: Deferred<()> = Deferred::sends();
+        let c: Deferred<()> = Deferred::aux1();
+        let d: Deferred<()> = Deferred::aux2();
+        // Probe boundary tokens of each against the others.
+        for probe in [1u64 << 40, 1 << 41, 1 << 42, 1 << 43] {
+            let owners = [a.owns(probe), b.owns(probe), c.owns(probe), d.owns(probe)];
+            assert_eq!(owners.iter().filter(|&&o| o).count(), 1);
+        }
+    }
+
+    #[test]
+    fn wrapping_skips_occupied() {
+        let mut d: Deferred<u32> = Deferred::new(0, 2);
+        let t0 = d.defer(0);
+        let _t1 = d.defer(1);
+        d.take(t0);
+        // Namespace full except t0; next defer wraps and finds it.
+        let t2 = d.defer(2);
+        assert_eq!(t2, t0);
+    }
+}

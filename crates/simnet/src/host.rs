@@ -1,0 +1,272 @@
+//! Host model: identifiers, NIC serialization state, and a multi-core CPU
+//! with optional C-state (power-saving) exit penalties.
+//!
+//! A host is the unit of physical resource sharing. Multiple logical
+//! [`Node`](crate::node::Node)s may be co-located on one host (e.g. a
+//! CliqueMap backend plus several clients, as in the paper's "co-tenant"
+//! machines) and then contend for its NIC and cores.
+
+use crate::time::{serialization_delay, SimDuration, SimTime};
+
+/// Identifies a host (machine) in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+/// Identifies a logical node (process) in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Static configuration of one host.
+#[derive(Debug, Clone)]
+pub struct HostCfg {
+    /// Sustained NIC transmit bandwidth in Gbps.
+    pub tx_gbps: f64,
+    /// Sustained NIC receive bandwidth in Gbps.
+    pub rx_gbps: f64,
+    /// Number of general-purpose cores available to application work.
+    pub cores: u32,
+    /// Idle gap after which a core enters a deep C-state; the next task on
+    /// that core pays [`HostCfg::cstate_exit`]. Zero disables the model.
+    pub cstate_idle: SimDuration,
+    /// Latency penalty to wake a core from a deep C-state.
+    pub cstate_exit: SimDuration,
+}
+
+impl Default for HostCfg {
+    fn default() -> Self {
+        // A Skylake-era host on a 50 Gbps fabric, per the paper's testbed.
+        HostCfg {
+            tx_gbps: 50.0,
+            rx_gbps: 50.0,
+            cores: 8,
+            cstate_idle: SimDuration::from_micros(200),
+            cstate_exit: SimDuration::from_micros(20),
+        }
+    }
+}
+
+impl HostCfg {
+    /// Convenience: a host with symmetric bandwidth and the default CPU.
+    pub fn with_gbps(gbps: f64) -> HostCfg {
+        HostCfg {
+            tx_gbps: gbps,
+            rx_gbps: gbps,
+            ..HostCfg::default()
+        }
+    }
+
+    /// Disable C-state modelling (cores always hot).
+    pub fn no_cstates(mut self) -> HostCfg {
+        self.cstate_idle = SimDuration::ZERO;
+        self.cstate_exit = SimDuration::ZERO;
+        self
+    }
+}
+
+/// Runtime state of one host.
+#[derive(Debug)]
+pub struct Host {
+    /// Configuration the host was created with.
+    pub cfg: HostCfg,
+    /// Instant at which the NIC TX path frees up.
+    pub tx_free_at: SimTime,
+    /// Instant at which the NIC RX path frees up.
+    pub rx_free_at: SimTime,
+    /// Per-core instant at which the core frees up.
+    cores: Vec<SimTime>,
+    /// Cumulative busy nanoseconds across all cores (for utilization).
+    pub cpu_busy_ns: u64,
+    /// Cumulative bytes through TX / RX (for bandwidth accounting).
+    pub tx_bytes: u64,
+    /// Cumulative bytes received.
+    pub rx_bytes: u64,
+}
+
+/// Result of admitting a task onto a host CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuAdmission {
+    /// When the task actually begins executing (>= submission time).
+    pub start: SimTime,
+    /// When the task completes.
+    pub done: SimTime,
+    /// Whether a C-state exit penalty was charged.
+    pub cold_start: bool,
+}
+
+impl Host {
+    /// Create a host from its configuration.
+    pub fn new(cfg: HostCfg) -> Host {
+        let cores = vec![SimTime::ZERO; cfg.cores.max(1) as usize];
+        Host {
+            cfg,
+            tx_free_at: SimTime::ZERO,
+            rx_free_at: SimTime::ZERO,
+            cores,
+            cpu_busy_ns: 0,
+            tx_bytes: 0,
+            rx_bytes: 0,
+        }
+    }
+
+    /// Admit `wire_bytes` to the TX path at `now`; returns the departure time
+    /// of the last bit.
+    pub fn admit_tx(&mut self, now: SimTime, wire_bytes: u64) -> SimTime {
+        let start = now.max(self.tx_free_at);
+        let done = start + serialization_delay(wire_bytes, self.cfg.tx_gbps);
+        self.tx_free_at = done;
+        self.tx_bytes += wire_bytes;
+        done
+    }
+
+    /// Admit `wire_bytes` to the RX path when the first bit arrives at
+    /// `arrival`; returns the delivery time of the last bit. This is where
+    /// incast shows up: concurrent senders serialize on the receiver's link.
+    pub fn admit_rx(&mut self, arrival: SimTime, wire_bytes: u64) -> SimTime {
+        let start = arrival.max(self.rx_free_at);
+        let done = start + serialization_delay(wire_bytes, self.cfg.rx_gbps);
+        self.rx_free_at = done;
+        self.rx_bytes += wire_bytes;
+        done
+    }
+
+    /// Admit a CPU task of length `work` submitted at `now`. Tasks are
+    /// scheduled work-conserving FIFO onto the earliest-free core.
+    pub fn admit_cpu(&mut self, now: SimTime, work: SimDuration) -> CpuAdmission {
+        // Earliest-free core.
+        let (idx, &free_at) = self
+            .cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("host has at least one core");
+        let mut start = now.max(free_at);
+        let idle = start.since(free_at.max(SimTime::ZERO));
+        let mut cold = false;
+        if self.cfg.cstate_idle > SimDuration::ZERO
+            && idle >= self.cfg.cstate_idle
+            && self.cfg.cstate_exit > SimDuration::ZERO
+        {
+            start += self.cfg.cstate_exit;
+            cold = true;
+        }
+        let done = start + work;
+        self.cores[idx] = done;
+        self.cpu_busy_ns += work.nanos();
+        CpuAdmission {
+            start,
+            done,
+            cold_start: cold,
+        }
+    }
+
+    /// Number of cores on this host.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// How many cores are busy at instant `t`.
+    pub fn busy_cores_at(&self, t: SimTime) -> usize {
+        self.cores.iter().filter(|&&free| free > t).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> Host {
+        Host::new(HostCfg::with_gbps(100.0).no_cstates())
+    }
+
+    #[test]
+    fn tx_serializes_back_to_back() {
+        let mut h = host();
+        // 1250 bytes at 100 Gbps = 100ns each.
+        let d1 = h.admit_tx(SimTime(0), 1250);
+        let d2 = h.admit_tx(SimTime(0), 1250);
+        assert_eq!(d1, SimTime(100));
+        assert_eq!(d2, SimTime(200));
+        assert_eq!(h.tx_bytes, 2500);
+    }
+
+    #[test]
+    fn tx_idle_gap_resets_queue() {
+        let mut h = host();
+        h.admit_tx(SimTime(0), 1250);
+        let d = h.admit_tx(SimTime(1_000), 1250);
+        assert_eq!(d, SimTime(1_100));
+    }
+
+    #[test]
+    fn rx_incast_serializes() {
+        let mut h = host();
+        // Three frames arriving simultaneously queue behind each other.
+        let a = h.admit_rx(SimTime(500), 1250);
+        let b = h.admit_rx(SimTime(500), 1250);
+        let c = h.admit_rx(SimTime(500), 1250);
+        assert_eq!(a, SimTime(600));
+        assert_eq!(b, SimTime(700));
+        assert_eq!(c, SimTime(800));
+    }
+
+    #[test]
+    fn cpu_fifo_across_cores() {
+        let mut h = Host::new(HostCfg {
+            cores: 2,
+            ..HostCfg::with_gbps(100.0).no_cstates()
+        });
+        let w = SimDuration::from_micros(10);
+        let a = h.admit_cpu(SimTime(0), w);
+        let b = h.admit_cpu(SimTime(0), w);
+        let c = h.admit_cpu(SimTime(0), w);
+        assert_eq!(a.start, SimTime(0));
+        assert_eq!(b.start, SimTime(0));
+        // Third task waits for a core.
+        assert_eq!(c.start, a.done.min(b.done));
+        assert_eq!(h.cpu_busy_ns, 30_000);
+    }
+
+    #[test]
+    fn cstate_penalty_applies_after_idle() {
+        let cfg = HostCfg {
+            cores: 1,
+            cstate_idle: SimDuration::from_micros(100),
+            cstate_exit: SimDuration::from_micros(20),
+            ..HostCfg::with_gbps(100.0)
+        };
+        let mut h = Host::new(cfg);
+        let w = SimDuration::from_micros(1);
+        // First task at t=200us: core idle since 0 -> cold start.
+        let a = h.admit_cpu(SimTime(200_000), w);
+        assert!(a.cold_start);
+        assert_eq!(a.start, SimTime(220_000));
+        // Back-to-back task: hot.
+        let b = h.admit_cpu(SimTime(221_000), w);
+        assert!(!b.cold_start);
+        assert_eq!(b.start, SimTime(221_000));
+    }
+
+    #[test]
+    fn busy_cores_counts() {
+        let mut h = Host::new(HostCfg {
+            cores: 4,
+            ..HostCfg::with_gbps(100.0).no_cstates()
+        });
+        h.admit_cpu(SimTime(0), SimDuration::from_micros(10));
+        h.admit_cpu(SimTime(0), SimDuration::from_micros(10));
+        assert_eq!(h.busy_cores_at(SimTime(5_000)), 2);
+        assert_eq!(h.busy_cores_at(SimTime(20_000)), 0);
+    }
+}

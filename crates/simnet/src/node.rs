@@ -1,0 +1,60 @@
+//! The node abstraction: everything that runs in the simulation — CliqueMap
+//! backends, clients, antagonists, RPC servers — implements [`Node`] and
+//! reacts to [`Event`]s delivered by the engine.
+
+use bytes::Bytes;
+
+use crate::host::NodeId;
+use crate::sim::Ctx;
+
+/// A network frame exchanged between nodes.
+///
+/// `payload` carries the application bytes; `wire_bytes` is what the fabric
+/// charges for (payload plus protocol/framing headers, possibly spanning
+/// multiple MTU-sized packets — the fabric models the aggregate burst).
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Application payload bytes.
+    pub payload: Bytes,
+    /// Bytes charged on the wire (payload + headers).
+    pub wire_bytes: u64,
+}
+
+/// Events delivered to a node by the simulation engine.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// The node has been added to a running simulation (delivered once,
+    /// before any other event).
+    Start,
+    /// A frame arrived from the fabric.
+    Frame(Frame),
+    /// A timer set via [`Ctx::set_timer`](crate::sim::Ctx::set_timer) fired.
+    Timer(u64),
+    /// A CPU task spawned via [`Ctx::spawn_cpu`](crate::sim::Ctx::spawn_cpu)
+    /// completed.
+    CpuDone(u64),
+}
+
+/// A logical process in the simulation.
+///
+/// Implementations are single-threaded state machines: the engine delivers
+/// one event at a time and the node reacts by mutating its own state and
+/// issuing actions through [`Ctx`]. This is the smoltcp-style event-driven
+/// discipline — no hidden concurrency, fully deterministic.
+///
+/// The `Any` supertrait lets benchmark harnesses inspect node state between
+/// simulation steps (e.g. read a backend's memory footprint) via
+/// [`Sim::with_node`](crate::sim::Sim::with_node).
+pub trait Node: std::any::Any {
+    /// Handle one event. All side effects go through `ctx`.
+    fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>);
+
+    /// A short human-readable label for diagnostics.
+    fn label(&self) -> String {
+        "node".to_string()
+    }
+}

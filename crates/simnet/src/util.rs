@@ -1,0 +1,151 @@
+//! Utility nodes: traffic sinks and antagonists (background load
+//! generators), used by experiments that need to overload a host's NIC —
+//! e.g. Figure 11's "~95 Gbps of competing demand" and Figure 12's
+//! client-side competing load.
+
+use bytes::Bytes;
+
+use crate::host::NodeId;
+use crate::node::{Event, Node};
+use crate::sim::Ctx;
+use crate::time::{serialization_delay, SimDuration, SimTime};
+
+/// Swallows every frame it receives; counts bytes for verification.
+#[derive(Debug, Default)]
+pub struct SinkNode {
+    /// Total payload bytes received.
+    pub bytes: u64,
+    /// Total frames received.
+    pub frames: u64,
+}
+
+impl Node for SinkNode {
+    fn on_event(&mut self, ev: Event, _ctx: &mut Ctx<'_>) {
+        if let Event::Frame(f) = ev {
+            self.bytes += f.payload.len() as u64;
+            self.frames += 1;
+        }
+    }
+
+    fn label(&self) -> String {
+        "sink".into()
+    }
+}
+
+/// Offers a constant bit rate of junk traffic toward a sink node, occupying
+/// the sink host's RX link (and this host's TX link).
+///
+/// The antagonist sends fixed-size bursts paced to achieve `gbps` between
+/// `start` and `stop`. Pacing is deterministic (no jitter) so experiments
+/// that compare runs with and without the antagonist differ only by it.
+#[derive(Debug)]
+pub struct AntagonistNode {
+    /// Destination (usually a [`SinkNode`] on the victim host).
+    pub target: NodeId,
+    /// Offered load in Gbps.
+    pub gbps: f64,
+    /// Bytes per burst frame.
+    pub burst_bytes: u32,
+    /// When to begin transmitting.
+    pub start: SimTime,
+    /// When to stop transmitting.
+    pub stop: SimTime,
+    sent: u64,
+}
+
+impl AntagonistNode {
+    /// An antagonist that transmits for the whole run.
+    pub fn new(target: NodeId, gbps: f64) -> AntagonistNode {
+        AntagonistNode {
+            target,
+            gbps,
+            burst_bytes: 64 * 1024,
+            start: SimTime::ZERO,
+            stop: SimTime::MAX,
+            sent: 0,
+        }
+    }
+
+    /// Restrict transmission to a window.
+    pub fn window(mut self, start: SimTime, stop: SimTime) -> AntagonistNode {
+        self.start = start;
+        self.stop = stop;
+        self
+    }
+
+    fn interval(&self) -> SimDuration {
+        // Interval between bursts so that burst_bytes/interval == gbps.
+        serialization_delay(self.burst_bytes as u64, self.gbps)
+    }
+}
+
+const TICK: u64 = 1;
+
+impl Node for AntagonistNode {
+    fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+        match ev {
+            Event::Start => {
+                let delay = self.start.since(ctx.now());
+                ctx.set_timer(delay, TICK);
+            }
+            Event::Timer(TICK) => {
+                if ctx.now() >= self.stop {
+                    return;
+                }
+                ctx.send(self.target, Bytes::from(vec![0u8; self.burst_bytes as usize]));
+                self.sent += 1;
+                ctx.set_timer(self.interval(), TICK);
+            }
+            _ => {}
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("antagonist->{}@{}Gbps", self.target, self.gbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostCfg;
+    use crate::sim::{FabricCfg, Sim};
+
+    #[test]
+    fn antagonist_achieves_offered_load() {
+        let mut sim = Sim::new(FabricCfg::default(), 7);
+        let src = sim.add_host(HostCfg::with_gbps(100.0).no_cstates());
+        let dst = sim.add_host(HostCfg::with_gbps(100.0).no_cstates());
+        let sink = sim.add_node(dst, Box::new(SinkNode::default()));
+        let _ant = sim.add_node(src, Box::new(AntagonistNode::new(sink, 40.0)));
+        sim.run_until(SimTime(10_000_000)); // 10 ms
+        let bytes = sim.with_node::<SinkNode, _>(sink, |s| s.bytes).unwrap();
+        let gbps = bytes as f64 * 8.0 / 10e-3 / 1e9;
+        assert!(
+            (gbps - 40.0).abs() < 4.0,
+            "offered 40 Gbps, delivered {gbps:.1}"
+        );
+    }
+
+    #[test]
+    fn antagonist_respects_window() {
+        let mut sim = Sim::new(FabricCfg::default(), 8);
+        let src = sim.add_host(HostCfg::with_gbps(100.0).no_cstates());
+        let dst = sim.add_host(HostCfg::with_gbps(100.0).no_cstates());
+        let sink = sim.add_node(dst, Box::new(SinkNode::default()));
+        let _ant = sim.add_node(
+            src,
+            Box::new(
+                AntagonistNode::new(sink, 50.0)
+                    .window(SimTime(2_000_000), SimTime(4_000_000)),
+            ),
+        );
+        sim.run_until(SimTime(1_000_000));
+        let before = sim.with_node::<SinkNode, _>(sink, |s| s.bytes).unwrap();
+        assert_eq!(before, 0, "sent before window opened");
+        sim.run_until(SimTime(10_000_000));
+        let after = sim.with_node::<SinkNode, _>(sink, |s| s.bytes).unwrap();
+        // Roughly 2ms at 50 Gbps = 12.5 MB.
+        assert!(after > 8_000_000 && after < 16_000_000, "bytes {after}");
+    }
+}

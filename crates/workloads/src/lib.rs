@@ -1,0 +1,23 @@
+//! # workloads — evaluation workload generators
+//!
+//! Deterministic generators of [`ClientOp`](cliquemap::workload::ClientOp)
+//! streams for every experiment in the paper's evaluation:
+//!
+//! * [`SizeDist`] — the Ads/Geo object-size distributions (Fig. 10);
+//! * [`Prefill`] / [`Then`] — corpus population before measurement;
+//! * [`MixWorkload`] — GET/SET mixes and value-size sweeps (Figs. 18-20);
+//! * [`RampWorkload`] — linear load ramps (Figs. 15-17);
+//! * [`ProductionGets`] / [`ProductionSets`] — batched diurnal Ads/Geo
+//!   traffic with steady writers and backfill bursts (Figs. 8-9);
+//! * [`SingleKeyGets`] — the Fig. 11 preferred-backend microbenchmark.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generators;
+pub mod sizes;
+
+pub use generators::{
+    MixWorkload, Prefill, ProductionGets, ProductionSets, RampWorkload, SingleKeyGets, Then,
+};
+pub use sizes::SizeDist;

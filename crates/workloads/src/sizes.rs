@@ -1,0 +1,160 @@
+//! Object size distributions (paper Figure 10).
+//!
+//! "For both workloads, objects tend to be small, typically at most a few
+//! KB (importantly, smaller than our typical MTU size), but there is a tail
+//! of larger objects." Log-normal bodies with clamped tails reproduce that
+//! shape; the parameters are calibrated so the median and the tail knee
+//! match the figure's CDFs (Ads skews larger than Geo).
+
+use simnet::SimRng;
+
+/// A clamped log-normal object-size distribution.
+#[derive(Debug, Clone)]
+pub struct SizeDist {
+    /// Location of the underlying normal (ln of the median).
+    pub mu: f64,
+    /// Scale of the underlying normal.
+    pub sigma: f64,
+    /// Smallest object.
+    pub min: usize,
+    /// Largest object (tail clamp).
+    pub max: usize,
+}
+
+impl SizeDist {
+    /// The Ads corpus: median ~1 KB with a tail into the hundreds of KB.
+    pub fn ads() -> SizeDist {
+        SizeDist {
+            mu: (1024f64).ln(),
+            sigma: 1.3,
+            min: 64,
+            max: 512 << 10,
+        }
+    }
+
+    /// The Geo corpus: compact road-segment records, median ~256 B.
+    pub fn geo() -> SizeDist {
+        SizeDist {
+            mu: (256f64).ln(),
+            sigma: 1.0,
+            min: 32,
+            max: 64 << 10,
+        }
+    }
+
+    /// A fixed size (controlled experiments).
+    pub fn fixed(bytes: usize) -> SizeDist {
+        SizeDist {
+            mu: (bytes.max(1) as f64).ln(),
+            sigma: 0.0,
+            min: bytes,
+            max: bytes,
+        }
+    }
+
+    /// Draw one size.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        if self.sigma == 0.0 {
+            return self.min;
+        }
+        let v = rng.log_normal(self.mu, self.sigma);
+        (v as usize).clamp(self.min, self.max)
+    }
+
+    /// Deterministic size for a specific key (so a key always has the same
+    /// value length across SETs and repairs).
+    pub fn size_for_key(&self, key: &[u8]) -> usize {
+        if self.sigma == 0.0 {
+            return self.min;
+        }
+        // Key-seeded sampling keeps corpus geometry stable.
+        let seed = cliquemap::layout::checksum(key);
+        let mut rng = SimRng::new(seed);
+        self.sample(&mut rng)
+    }
+
+    /// Empirical CDF from `n` samples: returns (size, fraction<=size) pairs
+    /// at the given quantile grid — the Fig. 10 series.
+    pub fn cdf(&self, n: usize, seed: u64) -> Vec<(usize, f64)> {
+        let mut rng = SimRng::new(seed);
+        let mut samples: Vec<usize> = (0..n).map(|_| self.sample(&mut rng)).collect();
+        samples.sort_unstable();
+        let qs = [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0];
+        qs.iter()
+            .map(|&q| {
+                let idx = ((q * n as f64) as usize).clamp(1, n) - 1;
+                (samples[idx], q)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medians_match_calibration() {
+        let mut rng = SimRng::new(1);
+        let ads = SizeDist::ads();
+        let mut samples: Vec<usize> = (0..20_000).map(|_| ads.sample(&mut rng)).collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        assert!((600..1800).contains(&median), "ads median {median}");
+        let geo = SizeDist::geo();
+        let mut samples: Vec<usize> = (0..20_000).map(|_| geo.sample(&mut rng)).collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        assert!((150..450).contains(&median), "geo median {median}");
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut rng = SimRng::new(2);
+        let d = SizeDist::ads();
+        for _ in 0..50_000 {
+            let s = d.sample(&mut rng);
+            assert!(s >= d.min && s <= d.max);
+        }
+    }
+
+    #[test]
+    fn ads_skews_larger_than_geo() {
+        let ads = SizeDist::ads().cdf(10_000, 3);
+        let geo = SizeDist::geo().cdf(10_000, 3);
+        // Compare p90.
+        let ads_p90 = ads.iter().find(|(_, q)| *q == 0.9).unwrap().0;
+        let geo_p90 = geo.iter().find(|(_, q)| *q == 0.9).unwrap().0;
+        assert!(ads_p90 > geo_p90 * 2, "ads p90 {ads_p90}, geo p90 {geo_p90}");
+    }
+
+    #[test]
+    fn fixed_dist_is_fixed() {
+        let mut rng = SimRng::new(4);
+        let d = SizeDist::fixed(4096);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 4096);
+        }
+        assert_eq!(d.size_for_key(b"any"), 4096);
+    }
+
+    #[test]
+    fn key_sizes_deterministic() {
+        let d = SizeDist::ads();
+        assert_eq!(d.size_for_key(b"k1"), d.size_for_key(b"k1"));
+        // Different keys usually differ.
+        let distinct = (0..100)
+            .map(|i| d.size_for_key(format!("k{i}").as_bytes()))
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct > 50);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let cdf = SizeDist::geo().cdf(5_000, 5);
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0, "{cdf:?}");
+        }
+    }
+}

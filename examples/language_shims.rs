@@ -1,0 +1,57 @@
+//! Language shims: read one corpus from C++, Java, Go, and Python clients
+//! side by side (§6.2 of the paper — every non-C++ client drives the C++
+//! library through a named-pipe subprocess and pays for it).
+//!
+//! ```text
+//! cargo run --release --example language_shims
+//! ```
+
+use cliquemap::cell::{Cell, CellSpec};
+use cliquemap::client::LookupStrategy;
+use cliquemap::config::ReplicationMode;
+use cliquemap::shim::ShimSpec;
+use cliquemap::workload::{Pacing, UniformWorkload, Workload};
+use simnet::SimDuration;
+use workloads::SizeDist;
+
+const KEYS: u64 = 1_000;
+
+fn main() {
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12}",
+        "lang", "ops_per_s", "cpu_us_per_op", "p50_us", "p99_us"
+    );
+    for lang in ["cpp", "java", "go", "py"] {
+        let mut spec = CellSpec {
+            replication: ReplicationMode::R1,
+            num_backends: 4,
+            clients_per_host: 2,
+            ..CellSpec::default()
+        };
+        spec.client.strategy = LookupStrategy::Scar;
+        spec.client.shim = ShimSpec::by_name(lang);
+        spec.client.pacing = Pacing::Closed;
+        spec.client.access_flush = None;
+        let workloads: Vec<Box<dyn Workload>> = (0..4)
+            .map(|_| {
+                Box::new(UniformWorkload::gets(KEYS, 1e9, u64::MAX)) as Box<dyn Workload>
+            })
+            .collect();
+        let mut cell = Cell::build(spec, workloads);
+        bench::populate_cell(&mut cell, "key-", KEYS, &SizeDist::fixed(64));
+        let dur = SimDuration::from_millis(250);
+        cell.run_for(dur);
+        let m = cell.sim.metrics();
+        let ops = m.counter("cm.get.completed").max(1);
+        let cpu = m.counter("cm.client.cpu_ns");
+        let h = m.hist_ref("cm.get.latency_ns").expect("gets ran");
+        println!(
+            "{lang:>8} {:>14.0} {:>14.2} {:>12.1} {:>12.1}",
+            ops as f64 / dur.as_secs_f64(),
+            cpu as f64 / ops as f64 / 1e3,
+            h.percentile(50.0) as f64 / 1e3,
+            h.percentile(99.0) as f64 / 1e3,
+        );
+    }
+    println!("\nlanguage_shims OK (cpp native; others pay pipe + marshalling)");
+}

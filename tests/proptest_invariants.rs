@@ -1,0 +1,329 @@
+//! Property-based tests over the core data structures and protocols:
+//! model-checked store semantics, allocator invariants, codec fuzzing, and
+//! checksum torn-read detection.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use cliquemap::hash::{DefaultHasher, KeyHasher};
+use cliquemap::layout::{encode_data_entry, parse_data_entry};
+use cliquemap::policy::LruPolicy;
+use cliquemap::slab::{AllocError, SlabAllocator};
+use cliquemap::store::{BackendStore, StoreCfg};
+use cliquemap::version::VersionNumber;
+
+// ---- store vs. reference model ---------------------------------------
+
+#[derive(Debug, Clone)]
+enum StoreOp {
+    Set { key: u8, value_len: u16, version: u64 },
+    Erase { key: u8, version: u64 },
+    Fetch { key: u8 },
+}
+
+fn store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        (any::<u8>(), 1u16..2048, 1u64..1000).prop_map(|(key, value_len, version)| {
+            StoreOp::Set {
+                key,
+                value_len,
+                version,
+            }
+        }),
+        (any::<u8>(), 1u64..1000)
+            .prop_map(|(key, version)| StoreOp::Erase { key, version }),
+        any::<u8>().prop_map(|key| StoreOp::Fetch { key }),
+    ]
+}
+
+fn big_store() -> BackendStore {
+    // Big enough that evictions never fire: the model has no eviction.
+    BackendStore::new(
+        StoreCfg {
+            num_buckets: 512,
+            assoc: 14,
+            data_capacity: 8 << 20,
+            max_data_capacity: 8 << 20,
+            slab_bytes: 16 << 10,
+            ..StoreCfg::default()
+        },
+        Box::new(LruPolicy::new()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The store agrees with a simple map-with-version-floor model under
+    /// arbitrary op sequences.
+    #[test]
+    fn store_matches_reference_model(ops in proptest::collection::vec(store_op(), 1..200)) {
+        let mut store = big_store();
+        // Model: key -> (value, version); floor: key -> highest version seen.
+        let mut model: HashMap<u8, (Vec<u8>, u64)> = HashMap::new();
+        let mut floor: HashMap<u8, u64> = HashMap::new();
+        let hasher = DefaultHasher;
+        for op in ops {
+            match op {
+                StoreOp::Set { key, value_len, version } => {
+                    let k = [b'k', key];
+                    let v = vec![key ^ 0x5A; value_len as usize];
+                    let hash = hasher.hash(&k);
+                    let ver = VersionNumber::new(version, 1, 1);
+                    let admitted = match store.prepare_set(&k, &v, hash, ver) {
+                        Ok(p) => {
+                            store.write_data(p.data_offset, &p.entry_bytes);
+                            store.commit_set(&p) == rpc::Status::Ok
+                        }
+                        Err(_) => false,
+                    };
+                    let model_admits = version > *floor.get(&key).unwrap_or(&0);
+                    prop_assert_eq!(admitted, model_admits,
+                        "set admission diverged for key {} v{}", key, version);
+                    if admitted {
+                        model.insert(key, (v, version));
+                        floor.insert(key, version);
+                    }
+                }
+                StoreOp::Erase { key, version } => {
+                    let k = [b'k', key];
+                    let hash = hasher.hash(&k);
+                    let status = store.erase(hash, VersionNumber::new(version, 1, 1));
+                    let model_admits = version > *floor.get(&key).unwrap_or(&0);
+                    prop_assert_eq!(status == rpc::Status::Ok, model_admits);
+                    if model_admits {
+                        model.remove(&key);
+                        floor.insert(key, version);
+                    }
+                }
+                StoreOp::Fetch { key } => {
+                    let k = [b'k', key];
+                    let hash = hasher.hash(&k);
+                    match (store.fetch(hash), model.get(&key)) {
+                        (Some((sk, sv, sver)), Some((mv, mver))) => {
+                            prop_assert_eq!(&sk[..], &k[..]);
+                            prop_assert_eq!(&sv[..], &mv[..]);
+                            prop_assert_eq!(sver.truetime_ns(), *mver);
+                        }
+                        (None, None) => {}
+                        (got, want) => prop_assert!(
+                            false, "fetch diverged for {}: store {:?} model {:?}",
+                            key, got.is_some(), want.is_some()
+                        ),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(store.live_entries(), model.len() as u64);
+    }
+
+    /// Index reshaping preserves the entire corpus, regardless of prior
+    /// operations.
+    #[test]
+    fn reshape_preserves_corpus(keys in proptest::collection::btree_set(any::<u16>(), 1..300)) {
+        let mut store = big_store();
+        let hasher = DefaultHasher;
+        for &key in &keys {
+            let k = key.to_le_bytes();
+            let hash = hasher.hash(&k);
+            let p = store
+                .prepare_set(&k, b"payload", hash, VersionNumber::new(1, 0, key as u32))
+                .unwrap();
+            store.write_data(p.data_offset, &p.entry_bytes);
+            prop_assert_eq!(store.commit_set(&p), rpc::Status::Ok);
+        }
+        store.begin_index_resize();
+        store.finish_index_resize();
+        for &key in &keys {
+            let k = key.to_le_bytes();
+            let hash = hasher.hash(&k);
+            let (got_key, value, _) = store.fetch(hash).expect("key lost in reshape");
+            prop_assert_eq!(&got_key[..], &k[..]);
+            prop_assert_eq!(&value[..], b"payload");
+        }
+    }
+
+    /// Compacting restarts preserve the corpus and never grow residency.
+    #[test]
+    fn compact_restart_preserves_corpus(sizes in proptest::collection::vec(1usize..4000, 1..100)) {
+        let mut store = big_store();
+        let hasher = DefaultHasher;
+        for (i, &len) in sizes.iter().enumerate() {
+            let k = (i as u32).to_le_bytes();
+            let v = vec![i as u8; len];
+            let hash = hasher.hash(&k);
+            let p = store
+                .prepare_set(&k, &v, hash, VersionNumber::new(1, 0, i as u32 + 1))
+                .unwrap();
+            store.write_data(p.data_offset, &p.entry_bytes);
+            store.commit_set(&p);
+        }
+        let live_before = store.live_entries();
+        store.compact_restart(0.1);
+        prop_assert_eq!(store.live_entries(), live_before);
+        for (i, &len) in sizes.iter().enumerate() {
+            let k = (i as u32).to_le_bytes();
+            let hash = hasher.hash(&k);
+            let (_, value, _) = store.fetch(hash).expect("key lost in compaction");
+            prop_assert_eq!(value.len(), len);
+            prop_assert!(value.iter().all(|&b| b == i as u8));
+        }
+    }
+}
+
+// ---- slab allocator ----------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SlabOp {
+    Alloc(usize),
+    FreeNth(usize),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Allocations never overlap, byte accounting balances, and freed
+    /// space is reusable, under arbitrary alloc/free interleavings.
+    #[test]
+    fn slab_no_overlap_and_accounting(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (1usize..20_000).prop_map(SlabOp::Alloc),
+                (0usize..64).prop_map(SlabOp::FreeNth),
+            ],
+            1..300,
+        )
+    ) {
+        let mut a = SlabAllocator::with_slab_size(1 << 20, 8 << 10);
+        let mut live: Vec<(u64, usize)> = Vec::new();
+        for op in ops {
+            match op {
+                SlabOp::Alloc(len) => match a.alloc(len) {
+                    Ok(off) => {
+                        let size = a.rounded_size(len) as u64;
+                        for &(o, l) in &live {
+                            let other = a.rounded_size(l) as u64;
+                            prop_assert!(
+                                off + size <= o || off >= o + other,
+                                "overlap: [{}, {}) vs [{}, {})",
+                                off, off + size, o, o + other
+                            );
+                        }
+                        live.push((off, len));
+                    }
+                    Err(AllocError::OutOfMemory) => {}
+                    Err(AllocError::Unsatisfiable) => prop_assert!(false, "len was nonzero"),
+                },
+                SlabOp::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (off, len) = live.swap_remove(n % live.len());
+                        a.free(off, len);
+                    }
+                }
+            }
+            let expected: usize = live.iter().map(|&(_, l)| a.rounded_size(l)).sum();
+            prop_assert_eq!(a.used_bytes(), expected, "accounting drifted");
+        }
+        // Drain everything: accounting returns to zero.
+        for (off, len) in live {
+            a.free(off, len);
+        }
+        prop_assert_eq!(a.used_bytes(), 0);
+    }
+}
+
+// ---- codecs -------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No byte string makes the decoders panic; truncating valid frames
+    /// yields clean failures.
+    #[test]
+    fn codecs_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let b = Bytes::from(bytes);
+        let _ = rpc::decode(b.clone());
+        let _ = rma::decode(b.clone());
+        let _ = parse_data_entry(&b);
+        let _ = cliquemap::messages::SetReq::decode(b.clone());
+        let _ = cliquemap::messages::ScanPage::decode(b.clone());
+        let _ = cliquemap::messages::MigrateChunk::decode(b.clone());
+        let _ = cliquemap::config::CellConfig::decode(b);
+    }
+
+    /// DataEntry roundtrip for arbitrary keys/values/versions.
+    #[test]
+    fn data_entry_roundtrip(
+        key in proptest::collection::vec(any::<u8>(), 0..128),
+        value in proptest::collection::vec(any::<u8>(), 0..4096),
+        tt in any::<u64>(), client in any::<u32>(), seq in any::<u32>(),
+    ) {
+        let version = VersionNumber::new(tt, client, seq);
+        let raw = encode_data_entry(&key, &value, version);
+        let parsed = parse_data_entry(&raw).unwrap();
+        prop_assert_eq!(parsed.key, &key[..]);
+        prop_assert_eq!(parsed.data, &value[..]);
+        prop_assert_eq!(parsed.version, version);
+    }
+
+    /// Any torn mixture of two distinct valid entries fails validation:
+    /// the self-validating-response guarantee.
+    #[test]
+    fn torn_entry_mixtures_always_detected(
+        (value_a, value_b) in (8usize..512).prop_flat_map(|len| (
+            proptest::collection::vec(any::<u8>(), len),
+            proptest::collection::vec(any::<u8>(), len),
+        )),
+        cut_frac in 0.05f64..0.95,
+    ) {
+        prop_assume!(value_a != value_b);
+        // Same length -> same slot -> a realistic in-place tear.
+        let a = encode_data_entry(b"same-key", &value_a, VersionNumber::new(1, 1, 1));
+        let b = encode_data_entry(b"same-key", &value_b, VersionNumber::new(1, 1, 1));
+        let cut = ((a.len() as f64) * cut_frac) as usize;
+        let mut torn = a.clone();
+        torn[cut..].copy_from_slice(&b[cut..]);
+        // Either the mixture equals one of the originals (no tear at all)
+        // or validation must fail.
+        if torn != a && torn != b {
+            prop_assert!(parse_data_entry(&torn).is_err(), "undetected torn read");
+        }
+    }
+
+    /// RPC envelope roundtrip for arbitrary field values.
+    #[test]
+    fn rpc_envelope_roundtrip(
+        method in any::<u16>(), id in any::<u64>(), auth in any::<u64>(),
+        deadline in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let req = rpc::Request {
+            version: rpc::PROTOCOL_VERSION,
+            method, id, auth, deadline_ns: deadline,
+            body: Bytes::from(body),
+        };
+        match rpc::decode(rpc::encode_request(&req)) {
+            Some(rpc::Envelope::Request(got)) => prop_assert_eq!(got, req),
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+
+    /// Version ordering is total and the generator is monotonic under
+    /// arbitrary TrueTime readings (including clock regressions).
+    #[test]
+    fn version_generator_monotonic(readings in proptest::collection::vec(any::<u32>(), 1..500)) {
+        let mut g = cliquemap::version::VersionGen::new(7);
+        let mut last = VersionNumber::ZERO;
+        for r in readings {
+            let ts = simnet::TrueTimestamp {
+                earliest: r as u64,
+                latest: r as u64 + 2_000_000,
+            };
+            let v = g.nominate(ts);
+            prop_assert!(v > last);
+            last = v;
+        }
+    }
+}
