@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, tests, lints, format, and the simulator perf
+# regression check. Run from the repo root; any failure fails the script.
+#
+#   ./ci.sh
+#
+# The perf gate compares a fresh `simperf` run against the committed
+# BENCH_simcore.json and fails on a >10% events/sec drop on any workload.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "== simperf regression gate =="
+cargo run --release -p bench --bin simperf -- --check
+
+echo "CI OK"

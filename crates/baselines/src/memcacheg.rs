@@ -19,7 +19,7 @@ use cliquemap::messages::{self, method};
 use cliquemap::policy::{EvictionPolicy, LruPolicy};
 use cliquemap::version::VersionNumber;
 use rpc::{RpcCostModel, Status};
-use simnet::{Ctx, Deferred, Event, Node, NodeId, SimDuration};
+use simnet::{Ctx, Deferred, Event, MetricId, Node, NodeId, SimDuration};
 
 /// MemcacheG server configuration.
 #[derive(Debug, Clone)]
@@ -60,6 +60,8 @@ pub struct MemcacheGNode {
     pub ops: u64,
     /// Evictions performed.
     pub evictions: u64,
+    /// Interned handle for `mcg.rpc_bytes`; resolved on [`Event::Start`].
+    rpc_bytes_id: Option<MetricId>,
 }
 
 impl MemcacheGNode {
@@ -75,6 +77,7 @@ impl MemcacheGNode {
             pending: Deferred::responses(),
             ops: 0,
             evictions: 0,
+            rpc_bytes_id: None,
         }
     }
 
@@ -177,6 +180,9 @@ impl MemcacheGNode {
 impl Node for MemcacheGNode {
     fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
         match ev {
+            Event::Start => {
+                self.rpc_bytes_id = Some(ctx.metrics().handle("mcg.rpc_bytes"));
+            }
             Event::Frame(frame) => {
                 let Some(rpc::Envelope::Request(req)) = rpc::decode(frame.payload) else {
                     return;
@@ -195,7 +201,8 @@ impl Node for MemcacheGNode {
             }
             Event::CpuDone(tok) => {
                 if let Some((dst, resp)) = self.pending.take(tok) {
-                    ctx.metrics().add("mcg.rpc_bytes", resp.len() as u64);
+                    let rpc_bytes = self.rpc_bytes_id.expect("metric ids resolved at Start");
+                    ctx.metrics().add_id(rpc_bytes, resp.len() as u64);
                     ctx.send(dst, resp);
                 }
             }

@@ -11,7 +11,7 @@ use cliquemap::messages::{self, method};
 use cliquemap::version::VersionGen;
 use cliquemap::workload::{ClientOp, OpOutcome, Pacing, Workload};
 use rpc::{CallTable, RetryPolicy, RetryState, RpcCostModel, Status};
-use simnet::{Ctx, Deferred, Event, Node, NodeId, SimDuration};
+use simnet::{Ctx, Deferred, Event, MetricId, Metrics, Node, NodeId, SimDuration};
 
 /// Configuration of the RPC-KVCS client.
 #[derive(Debug, Clone)]
@@ -62,6 +62,43 @@ enum Work {
     SendCall(NodeId, Bytes, u64),
 }
 
+/// Interned handles for the metrics the RPC client writes per operation;
+/// resolved once at [`Event::Start`].
+#[derive(Clone, Copy)]
+struct RpcClientMetricIds {
+    overload_drops: MetricId,
+    cpu_ns: MetricId,
+    get_latency_ns: MetricId,
+    set_latency_ns: MetricId,
+    get_completed: MetricId,
+    set_completed: MetricId,
+    get_hits: MetricId,
+    get_misses: MetricId,
+    op_errors: MetricId,
+    retries: MetricId,
+    rpc_bytes: MetricId,
+    rpc_timeouts: MetricId,
+}
+
+impl RpcClientMetricIds {
+    fn resolve(m: &mut Metrics) -> RpcClientMetricIds {
+        RpcClientMetricIds {
+            overload_drops: m.handle("mcg.client.overload_drops"),
+            cpu_ns: m.handle("mcg.client.cpu_ns"),
+            get_latency_ns: m.handle("mcg.get.latency_ns"),
+            set_latency_ns: m.handle("mcg.set.latency_ns"),
+            get_completed: m.handle("mcg.get.completed"),
+            set_completed: m.handle("mcg.set.completed"),
+            get_hits: m.handle("mcg.get.hits"),
+            get_misses: m.handle("mcg.get.misses"),
+            op_errors: m.handle("mcg.op_errors"),
+            retries: m.handle("mcg.retries"),
+            rpc_bytes: m.handle("mcg.rpc_bytes"),
+            rpc_timeouts: m.handle("mcg.client.rpc_timeouts"),
+        }
+    }
+}
+
 /// The client node.
 pub struct RpcKvcsClient {
     cfg: RpcClientCfg,
@@ -77,6 +114,8 @@ pub struct RpcKvcsClient {
     workload_done: bool,
     /// Completed ops (outcome, latency ns), bounded.
     pub completions: Vec<(OpOutcome, u64)>,
+    /// Interned metric handles; resolved on [`Event::Start`].
+    mids: Option<RpcClientMetricIds>,
 }
 
 impl RpcKvcsClient {
@@ -96,7 +135,14 @@ impl RpcKvcsClient {
             in_flight: 0,
             workload_done: false,
             completions: Vec::new(),
+            mids: None,
         }
+    }
+
+    /// Cached metric handles (resolved before any op can run).
+    #[inline]
+    fn m(&self) -> &RpcClientMetricIds {
+        self.mids.as_ref().expect("metric ids resolved at Start")
     }
 
     fn schedule_next(&mut self, ctx: &mut Ctx<'_>) {
@@ -107,7 +153,8 @@ impl RpcKvcsClient {
         let res = {
             let rng = ctx.rng();
             self.workload.next(now, rng)
-        }; match res {
+        };
+        match res {
             None => self.workload_done = true,
             Some((gap, op)) => {
                 let id = self.next_op;
@@ -134,7 +181,7 @@ impl RpcKvcsClient {
             return;
         };
         if self.in_flight >= self.cfg.max_in_flight {
-            ctx.metrics().add("mcg.client.overload_drops", 1);
+            ctx.metrics().add_id(self.m().overload_drops, 1);
             return;
         }
         self.in_flight += 1;
@@ -207,7 +254,7 @@ impl RpcKvcsClient {
         // Client-side framework cost delays the send (the op's latency
         // includes marshalling, auth, and framework bookkeeping).
         let cost = self.cfg.rpc_cost.client_send + self.cfg.rpc_cost.marshal(body.len());
-        ctx.metrics().add("mcg.client.cpu_ns", cost.nanos());
+        ctx.metrics().add_id(self.m().cpu_ns, cost.nanos());
         let deadline = ctx.now().nanos() + self.cfg.attempt_timeout.nanos();
         let tag = (id << 8) | (attempt & 0xFF);
         let (call_id, wire) = self.calls.begin(dst, m, body, ctx.now(), deadline, tag);
@@ -223,24 +270,18 @@ impl RpcKvcsClient {
         // The caller observes the response only after unmarshalling.
         let latency = ctx.now().since(rec.retry.started_at) + self.cfg.rpc_cost.client_recv;
         let is_get = matches!(rec.op, ClientOp::Get { .. } | ClientOp::MultiGet { .. });
-        let name = if is_get {
-            "mcg.get.latency_ns"
+        let m = *self.m();
+        let (lat, completed) = if is_get {
+            (m.get_latency_ns, m.get_completed)
         } else {
-            "mcg.set.latency_ns"
+            (m.set_latency_ns, m.set_completed)
         };
-        ctx.metrics().record(name, latency.nanos());
-        ctx.metrics().add(
-            if is_get {
-                "mcg.get.completed"
-            } else {
-                "mcg.set.completed"
-            },
-            1,
-        );
+        ctx.metrics().record_id(lat, latency.nanos());
+        ctx.metrics().add_id(completed, 1);
         match outcome {
-            OpOutcome::Hit => ctx.metrics().add("mcg.get.hits", 1),
-            OpOutcome::Miss => ctx.metrics().add("mcg.get.misses", 1),
-            OpOutcome::Error => ctx.metrics().add("mcg.op_errors", 1),
+            OpOutcome::Hit => ctx.metrics().add_id(m.get_hits, 1),
+            OpOutcome::Miss => ctx.metrics().add_id(m.get_misses, 1),
+            OpOutcome::Error => ctx.metrics().add_id(m.op_errors, 1),
             _ => {}
         }
         if self.completions.len() < 100_000 {
@@ -259,7 +300,7 @@ impl RpcKvcsClient {
         };
         match rec.retry.on_failure(&policy, now) {
             rpc::RetryDecision::RetryAfter(backoff) => {
-                ctx.metrics().add("mcg.retries", 1);
+                ctx.metrics().add_id(self.m().retries, 1);
                 let tok = self.work.defer(Work::Retry(id));
                 ctx.set_timer(backoff, tok);
             }
@@ -271,7 +312,10 @@ impl RpcKvcsClient {
 impl Node for RpcKvcsClient {
     fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
         match ev {
-            Event::Start => self.schedule_next(ctx),
+            Event::Start => {
+                self.mids = Some(RpcClientMetricIds::resolve(ctx.metrics()));
+                self.schedule_next(ctx);
+            }
             Event::Frame(frame) => {
                 let Some(rpc::Envelope::Response(resp)) = rpc::decode(frame.payload) else {
                     return;
@@ -282,7 +326,7 @@ impl Node for RpcKvcsClient {
                 let cost =
                     self.cfg.rpc_cost.client_recv + self.cfg.rpc_cost.marshal(done.body.len());
                 ctx.charge_cpu(cost);
-                ctx.metrics().add("mcg.client.cpu_ns", cost.nanos());
+                ctx.metrics().add_id(self.m().cpu_ns, cost.nanos());
                 let id = done.call.user_tag >> 8;
                 let attempt = done.call.user_tag & 0xFF;
                 let Some(rec) = self.ops.get(&id) else {
@@ -293,12 +337,12 @@ impl Node for RpcKvcsClient {
                 }
                 match done.status {
                     Status::Ok => {
-                        let outcome = if matches!(rec.op, ClientOp::Get { .. } | ClientOp::MultiGet { .. })
-                        {
-                            OpOutcome::Hit
-                        } else {
-                            OpOutcome::Done
-                        };
+                        let outcome =
+                            if matches!(rec.op, ClientOp::Get { .. } | ClientOp::MultiGet { .. }) {
+                                OpOutcome::Hit
+                            } else {
+                                OpOutcome::Done
+                            };
                         self.complete(ctx, id, outcome);
                     }
                     Status::NotFound => self.complete(ctx, id, OpOutcome::Miss),
@@ -313,7 +357,7 @@ impl Node for RpcKvcsClient {
                         Work::Start(id) => self.start(ctx, id),
                         Work::Retry(id) => self.issue(ctx, id),
                         Work::SendCall(dst, wire, call_id) => {
-                            ctx.metrics().add("mcg.rpc_bytes", wire.len() as u64);
+                            ctx.metrics().add_id(self.m().rpc_bytes, wire.len() as u64);
                             ctx.send(dst, wire);
                             ctx.set_timer(
                                 self.cfg.attempt_timeout,
@@ -323,7 +367,7 @@ impl Node for RpcKvcsClient {
                     }
                 } else if let Some(call_id) = CallTable::call_of_timer(token) {
                     if let Some(call) = self.calls.expire(call_id) {
-                        ctx.metrics().add("mcg.client.rpc_timeouts", 1);
+                        ctx.metrics().add_id(self.m().rpc_timeouts, 1);
                         let id = call.user_tag >> 8;
                         self.fail_attempt(ctx, id);
                     }

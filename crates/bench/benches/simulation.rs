@@ -22,15 +22,13 @@ struct PingPong {
 impl Node for PingPong {
     fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
         match ev {
-            Event::Start
-                if self.peer.0 > ctx.self_id().0 => {
-                    ctx.send(self.peer, Bytes::from_static(b"ping"));
-                }
-            Event::Frame(f)
-                if self.remaining > 0 => {
-                    self.remaining -= 1;
-                    ctx.send(f.src, f.payload);
-                }
+            Event::Start if self.peer.0 > ctx.self_id().0 => {
+                ctx.send(self.peer, Bytes::from_static(b"ping"));
+            }
+            Event::Frame(f) if self.remaining > 0 => {
+                self.remaining -= 1;
+                ctx.send(f.src, f.payload);
+            }
             _ => {}
         }
     }

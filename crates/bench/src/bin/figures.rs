@@ -8,23 +8,21 @@
 //! ```
 //!
 //! Experiments are independent, deterministic simulations; `--jobs N` runs
-//! them on N threads without changing any result.
+//! them on N threads without changing any result. The default is one job
+//! per available core; pass `--jobs 1` for serial runs.
 
 use std::sync::Mutex;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut jobs = 1usize;
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut csv_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--jobs" => {
-                jobs = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--jobs N");
+                jobs = it.next().and_then(|v| v.parse().ok()).expect("--jobs N");
             }
             "--csv" => {
                 csv_dir = Some(it.next().expect("--csv DIR"));
@@ -39,7 +37,10 @@ fn main() {
         }
     }
     if ids.is_empty() || ids.iter().any(|a| a == "all") {
-        ids = bench::ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+        ids = bench::ALL_EXPERIMENTS
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     }
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");

@@ -1,0 +1,245 @@
+//! Simulator-core perf regression harness.
+//!
+//! Runs fixed-seed macro workloads end to end, reports events/sec and wall
+//! time for each, and writes `BENCH_simcore.json` so the repo carries a
+//! perf baseline PRs can be held to.
+//!
+//! ```text
+//! cargo run --release -p bench --bin simperf            # run + write BENCH_simcore.json
+//! cargo run --release -p bench --bin simperf -- --check # run + compare vs committed
+//! cargo run --release -p bench --bin simperf -- --out /tmp/x.json
+//! ```
+//!
+//! `--check` compares against the committed `BENCH_simcore.json` without
+//! overwriting it and exits nonzero if any workload's events/sec dropped by
+//! more than 10% — CI runs this so regressions are enforced, not observed.
+//! Events-per-second comes from [`simnet::Sim::events_processed`]; the event
+//! *counts* are deterministic (same seeds ⇒ same events), so a count change
+//! without an intentional simulator change is itself a red flag.
+
+use std::time::Instant;
+
+use cliquemap::cell::{Cell, CellSpec};
+use cliquemap::client::LookupStrategy;
+use cliquemap::config::ReplicationMode;
+use cliquemap::workload::Workload;
+use rma::PonyCfg;
+use simnet::SimDuration;
+use workloads::{ProductionGets, ProductionSets, RampWorkload, SizeDist};
+
+use bench::experiments::base_spec;
+use bench::populate_cell;
+
+/// Tolerated events/sec drop vs the committed baseline before `--check`
+/// fails the run.
+const REGRESSION_TOLERANCE: f64 = 0.10;
+
+struct Sample {
+    name: &'static str,
+    events: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+}
+
+/// F8-style Ads cell: batched production GETs + steady SETs with backfill
+/// bursts against an R=3.2 SCAR cell, run for a fixed simulated span.
+fn ads_cell() -> Cell {
+    let keys = 4_000u64;
+    let day = SimDuration::from_millis(150);
+    let sizes = SizeDist {
+        mu: (700f64).ln(),
+        sigma: 1.0,
+        min: 64,
+        max: 64 << 10,
+    };
+    let mut spec: CellSpec = base_spec(LookupStrategy::Scar, ReplicationMode::R32, 8);
+    spec.seed = 31;
+    spec.clients_per_host = 2;
+    spec.client.max_in_flight = 2048;
+    let mut wls: Vec<Box<dyn Workload>> = Vec::new();
+    for _ in 0..6 {
+        wls.push(Box::new(ProductionGets::ads("k", keys, 2_500.0, day)));
+    }
+    for _ in 0..2 {
+        let mut w = ProductionSets::steady("k", keys, sizes.clone(), 1_500.0);
+        w.backfill_multiplier = 6.0;
+        w.backfill_period = SimDuration::from_millis(150);
+        w.backfill_len = SimDuration::from_millis(15);
+        wls.push(Box::new(w));
+    }
+    let mut cell = Cell::build(spec, wls);
+    populate_cell(&mut cell, "k", keys, &sizes);
+    cell
+}
+
+/// F15-style Pony ramp: 20 clients ramp offered load 50x against an R=1
+/// SCAR cell, pushing host engine pools through scale-out.
+fn pony_ramp_cell() -> Cell {
+    let keys = 4_000u64;
+    let mut spec: CellSpec = base_spec(LookupStrategy::Scar, ReplicationMode::R1, 10);
+    spec.seed = 43;
+    spec.colocate_fraction = 0.5;
+    spec.clients_per_host = 1;
+    spec.client.max_in_flight = 4096;
+    let pony = PonyCfg {
+        min_engines: 1,
+        max_engines: 4,
+        op_cost: SimDuration::from_micros(3),
+        per_kb: SimDuration::from_nanos(500),
+        window: SimDuration::from_millis(1),
+        ..PonyCfg::default()
+    };
+    spec.backend.pony = pony.clone();
+    spec.client.pony = pony;
+    let wls: Vec<Box<dyn Workload>> = (0..20)
+        .map(|_| {
+            Box::new(RampWorkload {
+                prefix: "k".into(),
+                keys,
+                rate0: 2_000.0,
+                rate1: 100_000.0,
+                duration: SimDuration::from_secs(2),
+                stop_at_end: false,
+            }) as Box<dyn Workload>
+        })
+        .collect();
+    let mut cell = Cell::build(spec, wls);
+    populate_cell(&mut cell, "k", keys, &SizeDist::fixed(4096));
+    cell
+}
+
+fn run_workload(name: &'static str, build: fn() -> Cell, sim_span: SimDuration) -> Sample {
+    let mut cell = build();
+    let events_at_start = cell.sim.events_processed();
+    let start = Instant::now();
+    cell.run_for(sim_span);
+    let wall_s = start.elapsed().as_secs_f64();
+    let events = cell.sim.events_processed() - events_at_start;
+    Sample {
+        name,
+        events,
+        wall_s,
+        events_per_sec: events as f64 / wall_s.max(1e-9),
+    }
+}
+
+fn to_json(samples: &[Sample]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"simcore\",\n  \"workloads\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events\": {}, \"wall_s\": {:.3}, \"events_per_sec\": {:.0}}}{}\n",
+            s.name,
+            s.events,
+            s.wall_s,
+            s.events_per_sec,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Minimal extraction of `(name, events_per_sec)` pairs from a baseline
+/// file previously written by [`to_json`] (no JSON dependency available).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let name = rest[..name_end].to_string();
+        let Some(eps_at) = line.find("\"events_per_sec\": ") else {
+            continue;
+        };
+        let eps_txt: String = line[eps_at + 18..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(eps) = eps_txt.parse::<f64>() {
+            out.push((name, eps));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut out_path = "BENCH_simcore.json".to_string();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--out" => out_path = it.next().expect("--out FILE"),
+            other => panic!("unknown arg {other:?}; usage: simperf [--check] [--out FILE]"),
+        }
+    }
+
+    let samples = vec![
+        run_workload("ads_week", ads_cell, SimDuration::from_millis(1060)),
+        run_workload("pony_ramp", pony_ramp_cell, SimDuration::from_millis(2010)),
+    ];
+    let mut total_events = 0u64;
+    let mut total_wall = 0f64;
+    for s in &samples {
+        println!(
+            "{:<12} {:>12} events {:>8.2}s wall {:>12.0} events/s",
+            s.name, s.events, s.wall_s, s.events_per_sec
+        );
+        total_events += s.events;
+        total_wall += s.wall_s;
+    }
+    println!(
+        "{:<12} {:>12} events {:>8.2}s wall {:>12.0} events/s",
+        "total",
+        total_events,
+        total_wall,
+        total_events as f64 / total_wall.max(1e-9)
+    );
+
+    if check {
+        let baseline = std::fs::read_to_string(&out_path)
+            .unwrap_or_else(|e| panic!("--check needs baseline {out_path}: {e}"));
+        let parsed = parse_baseline(&baseline);
+        if parsed.is_empty() {
+            // A corrupt or empty baseline must fail loudly, not gate nothing.
+            eprintln!("[simperf] baseline {out_path} contains no workloads");
+            std::process::exit(1);
+        }
+        let mut failed = false;
+        for (name, base_eps) in parsed {
+            let Some(s) = samples.iter().find(|s| s.name == name) else {
+                eprintln!("[simperf] baseline workload {name:?} no longer exists");
+                failed = true;
+                continue;
+            };
+            let ratio = s.events_per_sec / base_eps;
+            if ratio < 1.0 - REGRESSION_TOLERANCE {
+                eprintln!(
+                    "[simperf] REGRESSION {name}: {:.0} events/s vs baseline {:.0} ({:.1}%)",
+                    s.events_per_sec,
+                    base_eps,
+                    (ratio - 1.0) * 100.0
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "[simperf] ok {name}: {:.0} events/s vs baseline {:.0} ({:+.1}%)",
+                    s.events_per_sec,
+                    base_eps,
+                    (ratio - 1.0) * 100.0
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    } else {
+        std::fs::write(&out_path, to_json(&samples)).expect("write bench json");
+        eprintln!("[simperf] wrote {out_path}");
+    }
+}

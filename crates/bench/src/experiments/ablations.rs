@@ -41,7 +41,9 @@ pub(crate) fn a1_measure(prefer: bool) -> (u64, u64) {
     let victim_shard = place(hash, 3, 1).shard;
     let victim_host = cell.backend_hosts[victim_shard as usize];
     let blaster_host = cell.sim.add_host(HostCfg::with_gbps(100.0).no_cstates());
-    let rx_sink = cell.sim.add_node(victim_host, Box::new(SinkNode::default()));
+    let rx_sink = cell
+        .sim
+        .add_node(victim_host, Box::new(SinkNode::default()));
     cell.sim
         .add_node(blaster_host, Box::new(AntagonistNode::new(rx_sink, 95.0)));
     let remote = cell.sim.add_host(HostCfg::with_gbps(100.0).no_cstates());
@@ -51,7 +53,11 @@ pub(crate) fn a1_measure(prefer: bool) -> (u64, u64) {
     cell.run_for(SimDuration::from_millis(20));
     cell.sim.metrics_mut().hist("cm.get.latency_ns").clear();
     cell.run_for(SimDuration::from_millis(200));
-    let h = cell.sim.metrics().hist_ref("cm.get.latency_ns").expect("gets ran");
+    let h = cell
+        .sim
+        .metrics()
+        .hist_ref("cm.get.latency_ns")
+        .expect("gets ran");
     (h.percentile(50.0), h.percentile(99.0))
 }
 
@@ -92,7 +98,10 @@ pub(crate) fn a2_measure(tombstone_capacity: usize) -> u64 {
     // Phase 1: erase 4096 distinct keys at high versions (tombstones).
     for i in 0..4096u64 {
         let key = format!("erased-{i}");
-        store.erase(hasher.hash(key.as_bytes()), VersionNumber::new(1_000_000, 1, i as u32));
+        store.erase(
+            hasher.hash(key.as_bytes()),
+            VersionNumber::new(1_000_000, 1, i as u32),
+        );
     }
     // Phase 2: SET 2000 unrelated keys at modest versions; a too-small
     // tombstone cache pushed its summary high, so these get rejected and
@@ -152,7 +161,12 @@ pub(crate) fn a3_measure(target_load: f64) -> f64 {
     for i in 0..inserts {
         let key = format!("lf-{i}");
         let hash = hasher.hash(key.as_bytes());
-        if let Ok(p) = store.prepare_set(key.as_bytes(), b"v", hash, VersionNumber::new(1, 0, i as u32 + 1)) {
+        if let Ok(p) = store.prepare_set(
+            key.as_bytes(),
+            b"v",
+            hash,
+            VersionNumber::new(1, 0, i as u32 + 1),
+        ) {
             store.write_data(p.data_offset, &p.entry_bytes);
             let _ = store.commit_set(&p);
         }
@@ -166,7 +180,10 @@ pub fn a3() -> Report {
         "a3",
         "Ablation: index load factor vs associativity-conflict (bucket eviction) rate",
     );
-    report.line(format!("{:>12} {:>22}", "load_factor", "conflicts_per_insert"));
+    report.line(format!(
+        "{:>12} {:>22}",
+        "load_factor", "conflicts_per_insert"
+    ));
     for load in [0.3, 0.5, 0.7, 0.9, 1.1] {
         let rate = a3_measure(load);
         report.line(format!("{load:>12.1} {rate:>22.4}"));

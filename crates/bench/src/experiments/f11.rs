@@ -39,7 +39,9 @@ fn measure(replication: ReplicationMode, load: bool) -> (u64, u64) {
         // (a remote blaster at its RX) and outbound (a co-tenant blaster
         // occupying its TX).
         let blaster_host = cell.sim.add_host(HostCfg::with_gbps(100.0).no_cstates());
-        let rx_sink = cell.sim.add_node(victim_host, Box::new(SinkNode::default()));
+        let rx_sink = cell
+            .sim
+            .add_node(victim_host, Box::new(SinkNode::default()));
         cell.sim
             .add_node(blaster_host, Box::new(AntagonistNode::new(rx_sink, 95.0)));
         let remote_sink_host = cell.sim.add_host(HostCfg::with_gbps(100.0).no_cstates());
@@ -53,7 +55,11 @@ fn measure(replication: ReplicationMode, load: bool) -> (u64, u64) {
     cell.run_for(SimDuration::from_millis(20));
     cell.sim.metrics_mut().hist("cm.get.latency_ns").clear();
     cell.run_for(SimDuration::from_millis(200));
-    let h = cell.sim.metrics().hist_ref("cm.get.latency_ns").expect("gets ran");
+    let h = cell
+        .sim
+        .metrics()
+        .hist_ref("cm.get.latency_ns")
+        .expect("gets ran");
     (h.percentile(50.0), h.percentile(99.0))
 }
 

@@ -29,7 +29,9 @@ fn measure(strategy: LookupStrategy, client_load: bool) -> u64 {
         // Competing inbound traffic at the client host exacerbates incast.
         let client_host = cell.client_hosts[0];
         let blaster_host = cell.sim.add_host(HostCfg::with_gbps(50.0).no_cstates());
-        let sink = cell.sim.add_node(client_host, Box::new(SinkNode::default()));
+        let sink = cell
+            .sim
+            .add_node(client_host, Box::new(SinkNode::default()));
         cell.sim
             .add_node(blaster_host, Box::new(AntagonistNode::new(sink, 30.0)));
     }

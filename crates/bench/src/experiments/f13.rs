@@ -7,7 +7,6 @@
 //! latency barely moves — warm sparing "effectively hides planned
 //! maintenance".
 
-
 use cliquemap::backend::BackendCfg;
 use cliquemap::cell::{Cell, CellSpec, InjectorNode};
 use cliquemap::client::LookupStrategy;
@@ -61,10 +60,7 @@ pub(crate) fn timeline(
         "{:>9} {:>9} {:>10} {:>14} {:>8} {:>8}",
         "t_ms", "p50_us", "p99.9_us", "rpc_MB_per_s", "errors", "event"
     ));
-    let mut sampler = WindowSampler::new(
-        &["cm.get.latency_ns"],
-        &["cm.rpc_bytes", "cm.op_errors"],
-    );
+    let mut sampler = WindowSampler::new(&["cm.get.latency_ns"], &["cm.rpc_bytes", "cm.op_errors"]);
     cell.run_for(warmup);
     sampler.sample(cell);
     let start = cell.sim.now();
@@ -111,7 +107,12 @@ pub fn run() -> Report {
     let at = SimTime(160_000_000);
     cell.sim.add_node(
         injector_host,
-        Box::new(InjectorNode::new(at, cell.backends[0], method::PREPARE_MAINTENANCE, body)),
+        Box::new(InjectorNode::new(
+            at,
+            cell.backends[0],
+            method::PREPARE_MAINTENANCE,
+            body,
+        )),
     );
     timeline(
         &mut report,
@@ -151,15 +152,14 @@ mod tests {
         let mbps: Vec<f64> = rows.iter().map(|r| r[3].parse().unwrap()).collect();
         let pre = mbps[..5].iter().cloned().fold(0.0, f64::max);
         let during = mbps[5..12].iter().cloned().fold(0.0, f64::max);
-        assert!(during > pre * 2.0, "no migration byte spike: pre {pre} during {during}");
+        assert!(
+            during > pre * 2.0,
+            "no migration byte spike: pre {pre} during {during}"
+        );
         // Client-observed errors stay rare throughout ("fewer than 1 op in
         // 1000 observes degraded performance").
         let total_errors: u64 = rows.iter().map(|r| r[4].parse::<u64>().unwrap()).sum();
-        let gets = r
-            .lines
-            .iter()
-            .skip(1)
-            .count() as u64;
+        let gets = r.lines.iter().skip(1).count() as u64;
         let _ = gets;
         assert!(total_errors < 100, "errors {total_errors}");
         // Median latency in the last windows is comparable to the first.

@@ -22,25 +22,38 @@ pub fn run() -> Report {
         "Unplanned maintenance: crash, restart, and cohort repairs (latency + RPC bytes)",
     );
     let (mut cell, mut template) = maintenance_cell(41);
-    let _ = (LookupStrategy::TwoR, ReplicationMode::R32, InjectorNode::new
-        as fn(SimTime, simnet::NodeId, u16, bytes::Bytes) -> InjectorNode);
+    let _ = (
+        LookupStrategy::TwoR,
+        ReplicationMode::R32,
+        InjectorNode::new as fn(SimTime, simnet::NodeId, u16, bytes::Bytes) -> InjectorNode,
+    );
     // Crash backend 0 at 150ms; restart it (same address, empty store,
     // recover-on-start) at 250ms.
     let crash_at = SimTime(160_000_000);
     let restart_at = SimTime(260_000_000);
     // Run the timeline manually so we can inject the crash/restart.
-    report.line(format!("crash at {:.0}ms, restart at {:.0}ms",
-        crash_at.as_secs_f64() * 1e3, restart_at.as_secs_f64() * 1e3));
+    report.line(format!(
+        "crash at {:.0}ms, restart at {:.0}ms",
+        crash_at.as_secs_f64() * 1e3,
+        restart_at.as_secs_f64() * 1e3
+    ));
     let victim = cell.backends[0];
     // Phase 1: pre-crash.
     let phase = |cell: &mut cliquemap::cell::Cell,
-                     report: &mut Report,
-                     until: SimTime,
-                     warmup: SimDuration,
-                     marks: &[(SimTime, &str)]| {
+                 report: &mut Report,
+                 until: SimTime,
+                 warmup: SimDuration,
+                 marks: &[(SimTime, &str)]| {
         let now = cell.sim.now();
         let span = until.since(now + warmup);
-        timeline(report, cell, span, SimDuration::from_millis(25), warmup, marks);
+        timeline(
+            report,
+            cell,
+            span,
+            SimDuration::from_millis(25),
+            warmup,
+            marks,
+        );
     };
     phase(
         &mut cell,
@@ -58,7 +71,8 @@ pub fn run() -> Report {
     template.store.config_id = 1;
     template.config_store = Some(cell.config_store);
     template.recover_on_start = true;
-    cell.sim.revive(victim, Box::new(BackendNode::new(template)));
+    cell.sim
+        .revive(victim, Box::new(BackendNode::new(template)));
     report.line("-- restart + repairs --".to_string());
     phase(
         &mut cell,
@@ -119,6 +133,9 @@ mod tests {
                 }
             }
         }
-        assert!(burst > pre * 1.5, "no repair byte burst: pre {pre} post {burst}");
+        assert!(
+            burst > pre * 1.5,
+            "no repair byte burst: pre {pre} post {burst}"
+        );
     }
 }

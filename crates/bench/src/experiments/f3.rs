@@ -19,8 +19,8 @@ use cliquemap::version::VersionNumber;
 use cliquemap::workload::UniformWorkload;
 use workloads::{Prefill, SizeDist};
 
-use crate::harness::Report;
 use crate::experiments::base_spec;
+use crate::harness::Report;
 
 const BACKENDS: u32 = 8;
 const KEYS: u64 = 32_000;
@@ -61,9 +61,7 @@ fn install_corpus(cell: &mut Cell, keys: std::ops::Range<u64>, sizes: &SizeDist)
                 while store.needs_data_growth() {
                     store.grow_data();
                 }
-                if let Ok(p) =
-                    store.prepare_set(&key, &value, hash, VersionNumber::new(1, 0, 1))
-                {
+                if let Ok(p) = store.prepare_set(&key, &value, hash, VersionNumber::new(1, 0, 1)) {
                     store.write_data(p.data_offset, &p.entry_bytes);
                     let _ = store.commit_set(&p);
                 }
@@ -98,7 +96,10 @@ fn compact_fleet(cell: &mut Cell, slack: f64) {
 
 /// Regenerate Figure 3.
 pub fn run() -> Report {
-    let mut report = Report::new("f3", "Memory reshaping in CliqueMap and subsequent DRAM savings");
+    let mut report = Report::new(
+        "f3",
+        "Memory reshaping in CliqueMap and subsequent DRAM savings",
+    );
     let mut spec: CellSpec = base_spec(LookupStrategy::TwoR, ReplicationMode::R1, BACKENDS);
     // Pre-provisioned era: populated == reserved maximum.
     spec.backend.store.data_capacity = PROVISIONED;
@@ -113,10 +114,7 @@ pub fn run() -> Report {
     };
     install_corpus(&mut cell, 0..KEYS, &sizes);
 
-    report.line(format!(
-        "{:>6} {:>14} {:>10}",
-        "week", "memory_TB", "event"
-    ));
+    report.line(format!("{:>6} {:>14} {:>10}", "week", "memory_TB", "event"));
     let row = |week: u32, cell: &mut Cell, event: &str| {
         let resident = fleet_resident(cell);
         format!("{week:>6} {:>14.1} {event:>10}", tb(resident))
@@ -155,11 +153,10 @@ mod tests {
     #[test]
     fn savings_shape_matches_figure() {
         let r = run();
-        let parse = |line: &str| -> f64 {
-            line.split_whitespace().nth(1).unwrap().parse().unwrap()
-        };
+        let parse =
+            |line: &str| -> f64 { line.split_whitespace().nth(1).unwrap().parse().unwrap() };
         let week = |w: usize| parse(&r.lines[w]); // lines[0] is the header
-        // Flat pre-provisioned plateau.
+                                                  // Flat pre-provisioned plateau.
         assert_eq!(week(1), week(3));
         // Launch saves roughly 10%.
         let saving = 1.0 - week(4) / week(3);

@@ -21,8 +21,7 @@ const BACKENDS: u32 = 8;
 const CLIENTS: usize = 8;
 
 fn cell_for(lang: &str, peak: bool, seed: u64) -> Cell {
-    let mut spec: CellSpec =
-        base_spec(LookupStrategy::Scar, ReplicationMode::R1, BACKENDS);
+    let mut spec: CellSpec = base_spec(LookupStrategy::Scar, ReplicationMode::R1, BACKENDS);
     spec.seed = seed;
     spec.client.shim = ShimSpec::by_name(lang);
     spec.client.pacing = if peak { Pacing::Closed } else { Pacing::Open };

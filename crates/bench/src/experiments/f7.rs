@@ -28,9 +28,7 @@ fn measure(strategy: LookupStrategy) -> StrategyCost {
     let mut spec: CellSpec = base_spec(strategy, ReplicationMode::R1, 4);
     spec.seed = 17;
     let workloads: Vec<Box<dyn Workload>> = (0..4)
-        .map(|_| {
-            Box::new(UniformWorkload::gets(KEYS, 50_000.0, u64::MAX)) as Box<dyn Workload>
-        })
+        .map(|_| Box::new(UniformWorkload::gets(KEYS, 50_000.0, u64::MAX)) as Box<dyn Workload>)
         .collect();
     let mut cell = Cell::build(spec, workloads);
     populate_cell(&mut cell, "key-", KEYS, &SizeDist::fixed(64));

@@ -136,16 +136,11 @@ mod tests {
             .iter()
             .skip(1)
             .filter(|l| !l.starts_with("errors"))
-            .map(|l| {
-                l.split_whitespace()
-                    .map(|v| v.parse().unwrap())
-                    .collect()
-            })
+            .map(|l| l.split_whitespace().map(|v| v.parse().unwrap()).collect())
             .collect();
         assert_eq!(rows.len(), 28);
-        let mean = |col: usize| -> f64 {
-            rows.iter().map(|r| r[col]).sum::<f64>() / rows.len() as f64
-        };
+        let mean =
+            |col: usize| -> f64 { rows.iter().map(|r| r[col]).sum::<f64>() / rows.len() as f64 };
         // GET rate well above SET rate (the design target).
         assert!(mean(5) > mean(6) * 1.5, "gets {} sets {}", mean(5), mean(6));
         // Tail latency far above median (batch incast).

@@ -14,7 +14,10 @@ use crate::harness::Report;
 
 /// Regenerate Figure 9.
 pub fn run() -> Report {
-    let mut report = Report::new("f9", "Geo workload: diurnal GETs with a steady update stream");
+    let mut report = Report::new(
+        "f9",
+        "Geo workload: diurnal GETs with a steady update stream",
+    );
     ProductionRun {
         keys: 4_000,
         day: SimDuration::from_millis(150),
@@ -24,9 +27,7 @@ pub fn run() -> Report {
         writers: 2,
         sizes: SizeDist::geo(),
         make_reader: |keys, day| Box::new(ProductionGets::geo("k", keys, 2_000.0, day)),
-        make_writer: |keys, sizes| {
-            Box::new(ProductionSets::steady("k", keys, sizes, 2_500.0))
-        },
+        make_writer: |keys, sizes| Box::new(ProductionSets::steady("k", keys, sizes, 2_500.0)),
     }
     .execute(&mut report);
     report

@@ -55,7 +55,13 @@ impl Report {
                 continue;
             }
             // Key=value annotation lines become comments.
-            if cols.iter().any(|c| c.contains('=')) && !cols[0].chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            if cols.iter().any(|c| c.contains('='))
+                && !cols[0]
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_digit())
+                    .unwrap_or(false)
+            {
                 out.push_str("# ");
                 out.push_str(l.trim());
                 out.push('\n');
@@ -161,7 +167,11 @@ impl WindowSampler {
             counters.push((name.clone(), v - self.last_counters[i]));
             self.last_counters[i] = v;
         }
-        WindowSnapshot { at, hists, counters }
+        WindowSnapshot {
+            at,
+            hists,
+            counters,
+        }
     }
 }
 

@@ -19,7 +19,7 @@ use bytes::Bytes;
 
 use rma::{PonyCfg, PonyHost, RmaEnvelope, Transport, TransportKind};
 use rpc::{CallTable, Completion, RpcCostModel, Status};
-use simnet::{Ctx, Deferred, Event, Node, NodeId, SimDuration};
+use simnet::{Ctx, Deferred, Event, MetricId, Metrics, Node, NodeId, SimDuration};
 
 use crate::config::CellConfig;
 use crate::hash::{DefaultHasher, KeyHash, KeyHasher};
@@ -195,6 +195,57 @@ pub struct BackendNode {
     growth_pending: bool,
     /// Set once this node has migrated away and is about to exit.
     retired: bool,
+    /// Interned metric handles; resolved on [`Event::Start`].
+    mids: Option<BackendMetricIds>,
+}
+
+/// Interned handles for every metric the backend writes; resolved once at
+/// [`Event::Start`] so serving paths (RMA, RPC) never touch a metric name.
+#[derive(Clone, Copy)]
+struct BackendMetricIds {
+    rpc_bytes: MetricId,
+    rma_ops: MetricId,
+    repair_sets_in: MetricId,
+    index_resizes: MetricId,
+    index_resizes_done: MetricId,
+    dirty_quorums: MetricId,
+    recovery_fetches: MetricId,
+    recovered_entries: MetricId,
+    repairs: MetricId,
+    migrations_started: MetricId,
+    migrations_aborted: MetricId,
+    migrate_in_entries: MetricId,
+    takeovers: MetricId,
+    config_adoptions: MetricId,
+    data_growths: MetricId,
+    retired: MetricId,
+    rpc_timeouts: MetricId,
+    access_records: MetricId,
+}
+
+impl BackendMetricIds {
+    fn resolve(m: &mut Metrics) -> BackendMetricIds {
+        BackendMetricIds {
+            rpc_bytes: m.handle("cm.rpc_bytes"),
+            rma_ops: m.handle("cm.backend.rma_ops"),
+            repair_sets_in: m.handle("cm.backend.repair_sets_in"),
+            index_resizes: m.handle("cm.backend.index_resizes"),
+            index_resizes_done: m.handle("cm.backend.index_resizes_done"),
+            dirty_quorums: m.handle("cm.backend.dirty_quorums"),
+            recovery_fetches: m.handle("cm.backend.recovery_fetches"),
+            recovered_entries: m.handle("cm.backend.recovered_entries"),
+            repairs: m.handle("cm.backend.repairs"),
+            migrations_started: m.handle("cm.backend.migrations_started"),
+            migrations_aborted: m.handle("cm.backend.migrations_aborted"),
+            migrate_in_entries: m.handle("cm.backend.migrate_in_entries"),
+            takeovers: m.handle("cm.backend.takeovers"),
+            config_adoptions: m.handle("cm.backend.config_adoptions"),
+            data_growths: m.handle("cm.backend.data_growths"),
+            retired: m.handle("cm.backend.retired"),
+            rpc_timeouts: m.handle("cm.backend.rpc_timeouts"),
+            access_records: m.handle("cm.backend.access_records"),
+        }
+    }
 }
 
 impl std::fmt::Debug for BackendNode {
@@ -228,8 +279,15 @@ impl BackendNode {
             config: None,
             growth_pending: false,
             retired: false,
+            mids: None,
             cfg,
         }
+    }
+
+    /// Cached metric handles (resolved before any request can arrive).
+    #[inline]
+    fn m(&self) -> &BackendMetricIds {
+        self.mids.as_ref().expect("metric ids resolved at Start")
     }
 
     /// Store access for harness inspection.
@@ -266,7 +324,7 @@ impl BackendNode {
             id: req_id,
             body,
         });
-        ctx.metrics().add("cm.rpc_bytes", resp.len() as u64);
+        ctx.metrics().add_id(self.m().rpc_bytes, resp.len() as u64);
         ctx.send(dst, resp);
     }
 
@@ -282,7 +340,7 @@ impl BackendNode {
             now,
         );
         if let Some(served) = served {
-            ctx.metrics().add("cm.backend.rma_ops", 1);
+            ctx.metrics().add_id(self.m().rma_ops, 1);
             let delay = served.ready_at.since(now);
             self.defer_send(ctx, src, served.response, delay);
         }
@@ -295,7 +353,8 @@ impl BackendNode {
             self.respond_rpc(ctx, src, req.id, Status::ProtocolMismatch, Bytes::new());
             return;
         }
-        ctx.metrics().add("cm.rpc_bytes", req.body.len() as u64 + 35);
+        ctx.metrics()
+            .add_id(self.m().rpc_bytes, req.body.len() as u64 + 35);
         // Server framework CPU before the handler runs; the lean messaging
         // path (MSG_GET) charges far less — that difference is Fig. 7.
         let cost = if req.method == method::MSG_GET {
@@ -330,7 +389,7 @@ impl BackendNode {
             method::ACCESS_RECORDS => {
                 if let Some(recs) = messages::AccessRecords::decode(req.body) {
                     ctx.metrics()
-                        .add("cm.backend.access_records", recs.hashes.len() as u64);
+                        .add_id(self.m().access_records, recs.hashes.len() as u64);
                     self.store.apply_access_records(&recs.hashes);
                     self.respond_rpc(ctx, src, req.id, Status::Ok, Bytes::new());
                 } else {
@@ -372,13 +431,16 @@ impl BackendNode {
             return;
         };
         let hash = self.cfg.hasher.hash(&set.key);
-        match self.store.prepare_set(&set.key, &set.value, hash, set.version) {
+        match self
+            .store
+            .prepare_set(&set.key, &set.value, hash, set.version)
+        {
             Err(status) => {
                 self.respond_rpc(ctx, src, req.id, status, Bytes::new());
             }
             Ok(prepared) => {
                 if is_repair {
-                    ctx.metrics().add("cm.backend.repair_sets_in", 1);
+                    ctx.metrics().add_id(self.m().repair_sets_in, 1);
                 }
                 if let Some(m) = &mut self.migration {
                     // Mutations landing mid-migration are forwarded in the
@@ -393,13 +455,7 @@ impl BackendNode {
 
     /// Stream the prepared entry's bytes in `set_chunks` timed pieces; the
     /// final piece commits and responds.
-    fn write_chunks(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        src: NodeId,
-        req_id: u64,
-        prepared: PreparedSet,
-    ) {
+    fn write_chunks(&mut self, ctx: &mut Ctx<'_>, src: NodeId, req_id: u64, prepared: PreparedSet) {
         let chunks = self.cfg.set_chunks.max(1) as usize;
         let chunk_len = prepared.entry_bytes.len().div_ceil(chunks);
         let first = chunk_len.min(prepared.entry_bytes.len());
@@ -521,10 +577,8 @@ impl BackendNode {
     fn reshape_check(&mut self, ctx: &mut Ctx<'_>) {
         if self.store.needs_index_resize() && self.migration.is_none() {
             self.store.begin_index_resize();
-            ctx.metrics().add("cm.backend.index_resizes", 1);
-            let dur = SimDuration(
-                self.cfg.resize_ns_per_entry * self.store.live_entries().max(1),
-            );
+            ctx.metrics().add_id(self.m().index_resizes, 1);
+            let dur = SimDuration(self.cfg.resize_ns_per_entry * self.store.live_entries().max(1));
             let tok = self.work.defer(Work::FinishResize);
             ctx.set_timer(dur, tok);
         }
@@ -673,7 +727,7 @@ impl BackendNode {
                         Some(pv) => pv < local_version,
                     };
                     if dirty {
-                        ctx.metrics().add("cm.backend.dirty_quorums", 1);
+                        ctx.metrics().add_id(self.m().dirty_quorums, 1);
                         self.repair_key(ctx, hash, &config);
                     }
                 }
@@ -696,7 +750,8 @@ impl BackendNode {
                         fetches += 1;
                     }
                 }
-                ctx.metrics().add("cm.backend.recovery_fetches", fetches as u64);
+                ctx.metrics()
+                    .add_id(self.m().recovery_fetches, fetches as u64);
             }
         }
     }
@@ -731,7 +786,7 @@ impl BackendNode {
                 self.call(ctx, replica, method::REPAIR_SET, body.clone(), tag::REPAIR);
             }
         }
-        ctx.metrics().add("cm.backend.repairs", 1);
+        ctx.metrics().add_id(self.m().repairs, 1);
     }
 
     // ---- Warm-spare migration (§6.1) ------------------------------------
@@ -753,7 +808,7 @@ impl BackendNode {
             new_config: None,
             sent_last: false,
         });
-        ctx.metrics().add("cm.backend.migrations_started", 1);
+        ctx.metrics().add_id(self.m().migrations_started, 1);
         // Learn the current config so we can republish it with the spare
         // in our place.
         if let Some(store) = self.cfg.config_store {
@@ -802,7 +857,7 @@ impl BackendNode {
                 self.store.write_data(p.data_offset, &p.entry_bytes);
                 let _ = self.store.commit_set(&p);
             }
-            ctx.metrics().add("cm.backend.migrate_in_entries", 1);
+            ctx.metrics().add_id(self.m().migrate_in_entries, 1);
         }
         if chunk.last {
             // Adopt the shard identity; restamp buckets with the new config
@@ -810,13 +865,15 @@ impl BackendNode {
             self.store.set_shard(chunk.shard);
             self.store.set_config_id(chunk.new_config_id);
             self.cfg.is_spare = false;
-            ctx.metrics().add("cm.backend.takeovers", 1);
+            ctx.metrics().add_id(self.m().takeovers, 1);
         }
         self.respond_rpc(ctx, src, req.id, Status::Ok, Bytes::new());
     }
 
     fn finish_migration(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(m) = self.migration.take() else { return };
+        let Some(m) = self.migration.take() else {
+            return;
+        };
         if let (Some(config), Some(store)) = (m.new_config, self.cfg.config_store) {
             // Restamp our buckets with the new config id: clients that
             // still RMA-read from us during the handoff see a config
@@ -839,7 +896,13 @@ impl BackendNode {
     fn config_poll(&mut self, ctx: &mut Ctx<'_>) {
         if let Some(store) = self.cfg.config_store {
             if !self.retired && self.migration.is_none() {
-                self.call(ctx, store, method::GET_CONFIG, Bytes::new(), tag::CONFIG_POLL);
+                self.call(
+                    ctx,
+                    store,
+                    method::GET_CONFIG,
+                    Bytes::new(),
+                    tag::CONFIG_POLL,
+                );
             }
         }
         if let Some(poll) = self.cfg.config_poll {
@@ -856,7 +919,7 @@ impl BackendNode {
         let (id, wire) = self
             .calls
             .begin(dst, m, body, ctx.now(), deadline, user_tag);
-        ctx.metrics().add("cm.rpc_bytes", wire.len() as u64);
+        ctx.metrics().add_id(self.m().rpc_bytes, wire.len() as u64);
         ctx.send(dst, wire);
         ctx.set_timer(SimDuration(50_000_000), CallTable::timer_token(id));
     }
@@ -883,20 +946,19 @@ impl BackendNode {
                     }
                 }
             }
-            t if t == tag::FETCH
-                && done.status == Status::Ok => {
-                    if let Some(resp) = messages::GetResp::decode(done.body) {
-                        let hash = self.cfg.hasher.hash(&resp.key);
-                        if let Ok(p) =
-                            self.store
-                                .prepare_set(&resp.key, &resp.value, hash, resp.version)
-                        {
-                            self.store.write_data(p.data_offset, &p.entry_bytes);
-                            let _ = self.store.commit_set(&p);
-                            ctx.metrics().add("cm.backend.recovered_entries", 1);
-                        }
+            t if t == tag::FETCH && done.status == Status::Ok => {
+                if let Some(resp) = messages::GetResp::decode(done.body) {
+                    let hash = self.cfg.hasher.hash(&resp.key);
+                    if let Ok(p) =
+                        self.store
+                            .prepare_set(&resp.key, &resp.value, hash, resp.version)
+                    {
+                        self.store.write_data(p.data_offset, &p.entry_bytes);
+                        let _ = self.store.commit_set(&p);
+                        ctx.metrics().add_id(self.m().recovered_entries, 1);
                     }
                 }
+            }
             t if t == tag::REPAIR => {
                 // Best-effort; failures will be caught by the next scan.
             }
@@ -912,52 +974,50 @@ impl BackendNode {
                     // Spare failed mid-migration: abandon (a future
                     // PREPARE_MAINTENANCE can retry with another spare).
                     self.migration = None;
-                    ctx.metrics().add("cm.backend.migrations_aborted", 1);
+                    ctx.metrics().add_id(self.m().migrations_aborted, 1);
                 }
             }
-            t if t == tag::CONFIG_FOR_MIGRATION
-                && done.status == Status::Ok => {
-                    if let Some(mut config) = CellConfig::decode(done.body) {
-                        let my_shard = self.store.shard();
-                        let spare = self.migration.as_ref().map(|m| m.spare);
-                        if let Some(spare) = spare {
-                            config.reassign(my_shard, spare);
-                            config.spares.retain(|&s| s != spare.0);
-                            if let Some(m) = &mut self.migration {
-                                m.new_config = Some(config);
-                            }
-                            self.send_next_migration_chunk(ctx);
+            t if t == tag::CONFIG_FOR_MIGRATION && done.status == Status::Ok => {
+                if let Some(mut config) = CellConfig::decode(done.body) {
+                    let my_shard = self.store.shard();
+                    let spare = self.migration.as_ref().map(|m| m.spare);
+                    if let Some(spare) = spare {
+                        config.reassign(my_shard, spare);
+                        config.spares.retain(|&s| s != spare.0);
+                        if let Some(m) = &mut self.migration {
+                            m.new_config = Some(config);
                         }
+                        self.send_next_migration_chunk(ctx);
                     }
                 }
+            }
             t if (t == tag::CONFIG_FOR_SCAN || t == (tag::CONFIG_FOR_SCAN | 0x100))
-                && done.status == Status::Ok => {
-                    if let Some(config) = CellConfig::decode(done.body) {
-                        let mode = if t == tag::CONFIG_FOR_SCAN {
-                            ScanMode::Push
-                        } else {
-                            ScanMode::Pull
-                        };
-                        self.start_scan_with_config(ctx, config, mode);
+                && done.status == Status::Ok =>
+            {
+                if let Some(config) = CellConfig::decode(done.body) {
+                    let mode = if t == tag::CONFIG_FOR_SCAN {
+                        ScanMode::Push
+                    } else {
+                        ScanMode::Pull
+                    };
+                    self.start_scan_with_config(ctx, config, mode);
+                }
+            }
+            t if t == tag::CONFIG_POLL && done.status == Status::Ok => {
+                if let Some(config) = CellConfig::decode(done.body) {
+                    if config.config_id > self.store.config_id() {
+                        ctx.metrics().add_id(self.m().config_adoptions, 1);
+                        self.store.set_config_id(config.config_id);
                     }
+                    self.config = Some(config);
                 }
-            t if t == tag::CONFIG_POLL
-                && done.status == Status::Ok => {
-                    if let Some(config) = CellConfig::decode(done.body) {
-                        if config.config_id > self.store.config_id() {
-                            ctx.metrics().add("cm.backend.config_adoptions", 1);
-                            self.store.set_config_id(config.config_id);
-                        }
-                        self.config = Some(config);
-                    }
-                }
-            t if t == tag::UPDATE_CONFIG
-                && self.retired => {
-                    // Grace period: keep serving (self-invalidating) reads
-                    // while clients converge to the spare, then exit.
-                    let tok = self.work.defer(Work::Exit);
-                    ctx.set_timer(SimDuration::from_millis(100), tok);
-                }
+            }
+            t if t == tag::UPDATE_CONFIG && self.retired => {
+                // Grace period: keep serving (self-invalidating) reads
+                // while clients converge to the spare, then exit.
+                let tok = self.work.defer(Work::Exit);
+                ctx.set_timer(SimDuration::from_millis(100), tok);
+            }
             _ => {}
         }
     }
@@ -967,6 +1027,7 @@ impl Node for BackendNode {
     fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
         match ev {
             Event::Start => {
+                self.mids = Some(BackendMetricIds::resolve(ctx.metrics()));
                 let tok = self.work.defer(Work::ReshapeCheck);
                 ctx.set_timer(self.cfg.reshape_check, tok);
                 if let Some(interval) = self.cfg.scan_interval {
@@ -1011,25 +1072,25 @@ impl Node for BackendNode {
                         Work::ReshapeCheck => self.reshape_check(ctx),
                         Work::FinishResize => {
                             self.store.finish_index_resize();
-                            ctx.metrics().add("cm.backend.index_resizes_done", 1);
+                            ctx.metrics().add_id(self.m().index_resizes_done, 1);
                         }
                         Work::GrowData => {
                             self.growth_pending = false;
                             if self.store.needs_data_growth() {
                                 self.store.grow_data();
-                                ctx.metrics().add("cm.backend.data_growths", 1);
+                                ctx.metrics().add_id(self.m().data_growths, 1);
                             }
                         }
                         Work::ScanTick => self.scan_tick(ctx),
                         Work::Exit => {
-                            ctx.metrics().add("cm.backend.retired", 1);
+                            ctx.metrics().add_id(self.m().retired, 1);
                             ctx.exit_self();
                         }
                         Work::ConfigPoll => self.config_poll(ctx),
                     }
                 } else if let Some(call_id) = CallTable::call_of_timer(token) {
                     if let Some(call) = self.calls.expire(call_id) {
-                        ctx.metrics().add("cm.backend.rpc_timeouts", 1);
+                        ctx.metrics().add_id(self.m().rpc_timeouts, 1);
                         // Synthesize a failed completion so state machines
                         // (scan, migration) advance rather than stall.
                         self.on_rpc_completion(
@@ -1085,14 +1146,9 @@ mod tests {
             match ev {
                 Event::Start => {
                     for (i, (m, body)) in self.script.clone().into_iter().enumerate() {
-                        let (_, wire) = self.calls.begin(
-                            self.target,
-                            m,
-                            body,
-                            ctx.now(),
-                            u64::MAX,
-                            i as u64,
-                        );
+                        let (_, wire) =
+                            self.calls
+                                .begin(self.target, m, body, ctx.now(), u64::MAX, i as u64);
                         ctx.send(self.target, wire);
                     }
                 }
@@ -1131,10 +1187,7 @@ mod tests {
 
     #[test]
     fn connect_returns_geometry() {
-        let responses = probe_run(
-            BackendCfg::default(),
-            vec![(method::CONNECT, Bytes::new())],
-        );
+        let responses = probe_run(BackendCfg::default(), vec![(method::CONNECT, Bytes::new())]);
         assert_eq!(responses.len(), 1);
         assert_eq!(responses[0].1, Status::Ok);
         let g = Geometry::decode(responses[0].2.clone()).unwrap();
@@ -1162,14 +1215,18 @@ mod tests {
             Box::new(Probe::new(backend, vec![(method::SET, set.encode())])),
         );
         sim.run_for(SimDuration::from_millis(20));
-        let r1 = sim.with_node::<Probe, _>(p1, |p| p.responses.clone()).unwrap();
+        let r1 = sim
+            .with_node::<Probe, _>(p1, |p| p.responses.clone())
+            .unwrap();
         assert_eq!(r1[0].1, Status::Ok);
         let p2 = sim.add_node(
             ph,
             Box::new(Probe::new(backend, vec![(method::GET_RPC, get.encode())])),
         );
         sim.run_for(SimDuration::from_millis(20));
-        let r2 = sim.with_node::<Probe, _>(p2, |p| p.responses.clone()).unwrap();
+        let r2 = sim
+            .with_node::<Probe, _>(p2, |p| p.responses.clone())
+            .unwrap();
         assert_eq!(r2[0].1, Status::Ok);
         let resp = GetResp::decode(r2[0].2.clone()).unwrap();
         assert_eq!(&resp.value[..], b"value");
@@ -1203,7 +1260,9 @@ mod tests {
         );
         sim.run_for(SimDuration::from_millis(20));
         let msg_cpu = sim.host(simnet::HostId(0)).cpu_busy_ns - host_cpu_before;
-        let r = sim.with_node::<Probe, _>(p, |p| p.responses.clone()).unwrap();
+        let r = sim
+            .with_node::<Probe, _>(p, |p| p.responses.clone())
+            .unwrap();
         assert_eq!(r[0].1, Status::Ok);
         let before_full = sim.host(simnet::HostId(0)).cpu_busy_ns;
         let get2 = GetReq {
@@ -1215,7 +1274,9 @@ mod tests {
         );
         sim.run_for(SimDuration::from_millis(20));
         let full_cpu = sim.host(simnet::HostId(0)).cpu_busy_ns - before_full;
-        let r2 = sim.with_node::<Probe, _>(p2, |p| p.responses.clone()).unwrap();
+        let r2 = sim
+            .with_node::<Probe, _>(p2, |p| p.responses.clone())
+            .unwrap();
         assert_eq!(r2[0].1, Status::Ok);
         assert!(
             full_cpu > msg_cpu * 5,
@@ -1247,7 +1308,9 @@ mod tests {
             Box::new(Probe::new(backend, vec![(method::SET, lo.encode())])),
         );
         sim.run_for(SimDuration::from_millis(20));
-        let r = sim.with_node::<Probe, _>(p, |p| p.responses.clone()).unwrap();
+        let r = sim
+            .with_node::<Probe, _>(p, |p| p.responses.clone())
+            .unwrap();
         assert_eq!(r[0].1, Status::VersionRejected);
     }
 

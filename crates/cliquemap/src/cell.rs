@@ -151,7 +151,7 @@ impl Cell {
         let mut pony_pools: HashMap<HostId, Rc<RefCell<PonyHost>>> = HashMap::new();
         let pony_cfg = spec.backend.pony.clone();
         let pool_for = move |pools: &mut HashMap<HostId, Rc<RefCell<PonyHost>>>,
-                                 host: HostId|
+                             host: HostId|
               -> Rc<RefCell<PonyHost>> {
             pools
                 .entry(host)
@@ -271,7 +271,8 @@ impl Cell {
 
     /// Total completed GETs across the cell.
     pub fn gets_completed(&self) -> u64 {
-        self.sim.metrics().counter("cm.get.completed") + self.sim.metrics().counter("cm.get.batches")
+        self.sim.metrics().counter("cm.get.completed")
+            + self.sim.metrics().counter("cm.get.batches")
     }
 
     /// GET hit count.
@@ -418,9 +419,12 @@ mod tests {
             ReplicationMode::R32,
             vec![
                 (0, set("e", "1")),
-                (500, ClientOp::Erase {
-                    key: Bytes::from_static(b"e"),
-                }),
+                (
+                    500,
+                    ClientOp::Erase {
+                        key: Bytes::from_static(b"e"),
+                    },
+                ),
                 (1000, get("e")),
             ],
         );
@@ -437,10 +441,13 @@ mod tests {
             vec![
                 (0, set("c", "v1")),
                 (500, get("c")),
-                (600, ClientOp::Cas {
-                    key: Bytes::from_static(b"c"),
-                    value: Bytes::from_static(b"v2"),
-                }),
+                (
+                    600,
+                    ClientOp::Cas {
+                        key: Bytes::from_static(b"c"),
+                        value: Bytes::from_static(b"v2"),
+                    },
+                ),
                 (1200, get("c")),
             ],
         );
@@ -457,13 +464,16 @@ mod tests {
             vec![
                 (0, set("b1", "x")),
                 (100, set("b2", "y")),
-                (1000, ClientOp::MultiGet {
-                    keys: vec![
-                        Bytes::from_static(b"b1"),
-                        Bytes::from_static(b"b2"),
-                        Bytes::from_static(b"b3"),
-                    ],
-                }),
+                (
+                    1000,
+                    ClientOp::MultiGet {
+                        keys: vec![
+                            Bytes::from_static(b"b1"),
+                            Bytes::from_static(b"b2"),
+                            Bytes::from_static(b"b3"),
+                        ],
+                    },
+                ),
             ],
         );
         assert_eq!(done.len(), 3, "{done:?}");
@@ -553,7 +563,10 @@ mod tests {
         }
         let mut cell = Cell::build(spec, vec![script(ops)]);
         cell.run_for(SimDuration::from_secs(1));
-        assert!(cell.misses() > 0, "displaced keys should miss without fallback");
+        assert!(
+            cell.misses() > 0,
+            "displaced keys should miss without fallback"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ use bytes::Bytes;
 
 use rma::{PonyCfg, RmaOpTable, RmaStatus, Transport, TransportKind, WindowId};
 use rpc::{CallTable, RetryPolicy, RetryState, RpcCostModel, Status};
-use simnet::{Ctx, Deferred, Event, Node, NodeId, SimDuration, SimTime};
+use simnet::{Ctx, Deferred, Event, MetricId, Metrics, Node, NodeId, SimDuration, SimTime};
 
 use crate::config::{CellConfig, ReplicationMode};
 use crate::hash::{place, DefaultHasher, KeyHash, KeyHasher};
@@ -242,6 +242,8 @@ pub struct ClientNode {
     access_buffer: BTreeMap<NodeId, Vec<KeyHash>>,
     /// Completed-op log for tests (bounded).
     pub completions: Vec<(OpOutcome, u64)>,
+    /// Interned metric handles; resolved on [`Event::Start`].
+    mids: Option<ClientMetricIds>,
 }
 
 impl std::fmt::Debug for ClientNode {
@@ -254,6 +256,113 @@ impl std::fmt::Debug for ClientNode {
 }
 
 const COMPLETION_LOG_CAP: usize = 100_000;
+
+/// Why an attempt failed (per-reason retry counters).
+#[derive(Debug, Clone, Copy)]
+enum RetryReason {
+    Inquorate,
+    Speculation,
+    ConfigMismatch,
+    TornRead,
+    MsgDecode,
+    MsgError,
+    MsgTimeout,
+    FallbackDecode,
+    FallbackError,
+    FallbackTimeout,
+    MutationFailures,
+}
+
+const RETRY_REASONS: [(RetryReason, &str); 11] = [
+    (RetryReason::Inquorate, "cm.retry.inquorate"),
+    (RetryReason::Speculation, "cm.retry.speculation"),
+    (RetryReason::ConfigMismatch, "cm.retry.config_mismatch"),
+    (RetryReason::TornRead, "cm.retry.torn_read"),
+    (RetryReason::MsgDecode, "cm.retry.msg_decode"),
+    (RetryReason::MsgError, "cm.retry.msg_error"),
+    (RetryReason::MsgTimeout, "cm.retry.msg_timeout"),
+    (RetryReason::FallbackDecode, "cm.retry.fallback_decode"),
+    (RetryReason::FallbackError, "cm.retry.fallback_error"),
+    (RetryReason::FallbackTimeout, "cm.retry.fallback_timeout"),
+    (RetryReason::MutationFailures, "cm.retry.mutation_failures"),
+];
+
+/// Interned handles for every metric the client writes per-op; resolved
+/// once at [`Event::Start`] so the GET/SET hot paths never touch a name.
+#[derive(Clone, Copy)]
+struct ClientMetricIds {
+    overload_drops: MetricId,
+    cpu_ns: MetricId,
+    op_errors: MetricId,
+    get_hits: MetricId,
+    get_misses: MetricId,
+    get_overflow_fallbacks: MetricId,
+    get_overflow_hits: MetricId,
+    get_torn_reads: MetricId,
+    get_hash_collisions: MetricId,
+    get_batches: MetricId,
+    get_completed: MetricId,
+    set_completed: MetricId,
+    set_acked: MetricId,
+    set_superseded: MetricId,
+    retries: MetricId,
+    rpc_bytes: MetricId,
+    config_refreshes: MetricId,
+    config_mismatches: MetricId,
+    stale_backend_config: MetricId,
+    geometry_invalidations: MetricId,
+    access_flushes: MetricId,
+    rma_timeouts: MetricId,
+    rpc_timeouts: MetricId,
+    rma_rtt_ns: MetricId,
+    getkey_latency_ns: MetricId,
+    get_latency_ns: MetricId,
+    set_latency_ns: MetricId,
+    retry: [MetricId; RETRY_REASONS.len()],
+}
+
+impl ClientMetricIds {
+    fn resolve(m: &mut Metrics) -> ClientMetricIds {
+        let mut retry = [m.handle(RETRY_REASONS[0].1); RETRY_REASONS.len()];
+        for (i, (_, name)) in RETRY_REASONS.iter().enumerate() {
+            retry[i] = m.handle(name);
+        }
+        ClientMetricIds {
+            overload_drops: m.handle("cm.client.overload_drops"),
+            cpu_ns: m.handle("cm.client.cpu_ns"),
+            op_errors: m.handle("cm.op_errors"),
+            get_hits: m.handle("cm.get.hits"),
+            get_misses: m.handle("cm.get.misses"),
+            get_overflow_fallbacks: m.handle("cm.get.overflow_fallbacks"),
+            get_overflow_hits: m.handle("cm.get.overflow_hits"),
+            get_torn_reads: m.handle("cm.get.torn_reads"),
+            get_hash_collisions: m.handle("cm.get.hash_collisions"),
+            get_batches: m.handle("cm.get.batches"),
+            get_completed: m.handle("cm.get.completed"),
+            set_completed: m.handle("cm.set.completed"),
+            set_acked: m.handle("cm.set.acked"),
+            set_superseded: m.handle("cm.set.superseded"),
+            retries: m.handle("cm.retries"),
+            rpc_bytes: m.handle("cm.rpc_bytes"),
+            config_refreshes: m.handle("cm.client.config_refreshes"),
+            config_mismatches: m.handle("cm.client.config_mismatches"),
+            stale_backend_config: m.handle("cm.client.stale_backend_config"),
+            geometry_invalidations: m.handle("cm.client.geometry_invalidations"),
+            access_flushes: m.handle("cm.client.access_flushes"),
+            rma_timeouts: m.handle("cm.client.rma_timeouts"),
+            rpc_timeouts: m.handle("cm.client.rpc_timeouts"),
+            rma_rtt_ns: m.handle("cm.rma.rtt_ns"),
+            getkey_latency_ns: m.handle("cm.getkey.latency_ns"),
+            get_latency_ns: m.handle("cm.get.latency_ns"),
+            set_latency_ns: m.handle("cm.set.latency_ns"),
+            retry,
+        }
+    }
+
+    fn retry_reason(&self, reason: RetryReason) -> MetricId {
+        self.retry[reason as usize]
+    }
+}
 
 impl ClientNode {
     /// Build a client that will drive `workload`.
@@ -285,7 +394,14 @@ impl ClientNode {
             workload_done: false,
             access_buffer: BTreeMap::new(),
             completions: Vec::new(),
+            mids: None,
         }
+    }
+
+    /// Cached metric handles (resolved before any op can run).
+    #[inline]
+    fn m(&self) -> &ClientMetricIds {
+        self.mids.as_ref().expect("metric ids resolved at Start")
     }
 
     // ---- op intake -------------------------------------------------------
@@ -298,7 +414,8 @@ impl ClientNode {
         let res = {
             let rng = ctx.rng();
             self.workload.next(now, rng)
-        }; match res {
+        };
+        match res {
             None => {
                 self.workload_done = true;
             }
@@ -336,14 +453,14 @@ impl ClientNode {
             },
         };
         if self.in_flight >= self.cfg.max_in_flight {
-            ctx.metrics().add("cm.client.overload_drops", 1);
+            ctx.metrics().add_id(self.m().overload_drops, 1);
             return;
         }
         let (op, batch) = parked;
         if let Some(shim) = &self.cfg.shim {
             let cost = shim.per_op_cpu(Self::op_bytes(&op));
             ctx.charge_cpu(cost);
-            ctx.metrics().add("cm.client.cpu_ns", cost.nanos());
+            ctx.metrics().add_id(self.m().cpu_ns, cost.nanos());
         }
         match op {
             ClientOp::MultiGet { keys } => {
@@ -446,7 +563,16 @@ impl ClientNode {
                 self.issue_get_attempt(ctx, op_id);
             }
             ClientOp::Set { key, value } => {
-                self.start_mutation(ctx, op_id, MutationKind::Set, key, value, None, batch, replicas);
+                self.start_mutation(
+                    ctx,
+                    op_id,
+                    MutationKind::Set,
+                    key,
+                    value,
+                    None,
+                    batch,
+                    replicas,
+                );
             }
             ClientOp::Erase { key } => {
                 self.start_mutation(
@@ -487,7 +613,7 @@ impl ClientNode {
     /// the Fig. 16/17 low-load latency hump), then issues its sub-ops.
     fn issue_get_attempt(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
         ctx.metrics()
-            .add("cm.client.cpu_ns", self.cfg.get_cpu.nanos());
+            .add_id(self.m().cpu_ns, self.cfg.get_cpu.nanos());
         let tok = self.work.defer(Work::IssueAttempt(op_id));
         ctx.spawn_cpu(self.cfg.get_cpu, tok);
     }
@@ -523,7 +649,7 @@ impl ClientNode {
                     _ => true,
                 };
                 if deadline_passed {
-                    ctx.metrics().add("cm.op_errors", 1);
+                    ctx.metrics().add_id(self.m().op_errors, 1);
                     self.complete_op(ctx, op_id, crate::workload::OpOutcome::Error, now);
                     return;
                 }
@@ -579,7 +705,7 @@ impl ClientNode {
                 let body = messages::GetReq { key }.encode();
                 ctx.charge_cpu(self.cfg.msg_cost.client_send);
                 ctx.metrics()
-                    .add("cm.client.cpu_ns", self.cfg.msg_cost.client_send.nanos());
+                    .add_id(self.m().cpu_ns, self.cfg.msg_cost.client_send.nanos());
                 self.rpc_call(ctx, primary, method::MSG_GET, body, op_id, attempt, 0);
             }
         }
@@ -672,7 +798,7 @@ impl ClientNode {
     fn charge_rma_op(&mut self, ctx: &mut Ctx<'_>) {
         ctx.charge_cpu(self.cfg.rma_op_cpu);
         ctx.metrics()
-            .add("cm.client.cpu_ns", self.cfg.rma_op_cpu.nanos());
+            .add_id(self.m().cpu_ns, self.cfg.rma_op_cpu.nanos());
     }
 
     fn send_rma(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, wire: Bytes, rma_id: u64) {
@@ -730,15 +856,16 @@ impl ClientNode {
                 .iter()
                 .filter(|(_, v)| matches!(v, Vote::Entry(ver, _) if ver == version))
                 .count() as u32;
-            let from_is_member = get.votes.iter().any(
-                |(n, v)| n == from && matches!(v, Vote::Entry(ver, _) if ver == version),
-            );
+            let from_is_member = get
+                .votes
+                .iter()
+                .any(|(n, v)| n == from && matches!(v, Vote::Entry(ver, _) if ver == version));
             if agree >= read_quorum && from_is_member {
                 let (_, version, value) = get.data.take().expect("checked");
                 let key = get.key.clone();
                 self.memo.remember(&key, version);
                 self.note_access(op_id);
-                ctx.metrics().add("cm.get.hits", 1);
+                ctx.metrics().add_id(self.m().get_hits, 1);
                 self.complete_op(ctx, op_id, OpOutcome::Hit, ctx.now());
                 let _ = value;
                 return;
@@ -759,7 +886,7 @@ impl ClientNode {
                 let attempt = get.attempt;
                 get.saw_overflow = false; // only once per attempt
                 get.fallback_pending = replicas.len() as u8;
-                ctx.metrics().add("cm.get.overflow_fallbacks", 1);
+                ctx.metrics().add_id(self.m().get_overflow_fallbacks, 1);
                 for replica in replicas {
                     let body = messages::GetReq { key: key.clone() }.encode();
                     self.rpc_call(ctx, replica, method::GET_RPC, body, op_id, attempt, 2);
@@ -769,7 +896,7 @@ impl ClientNode {
             if get.fallback_pending > 0 {
                 return; // fallback verdicts still arriving
             }
-            ctx.metrics().add("cm.get.misses", 1);
+            ctx.metrics().add_id(self.m().get_misses, 1);
             self.complete_op(ctx, op_id, OpOutcome::Miss, ctx.now());
             return;
         }
@@ -821,14 +948,14 @@ impl ClientNode {
             let data_pending = get.data_requested && get.data.is_none();
             if entry_or_absent < read_quorum {
                 // Too many failures: cannot reach quorum this attempt.
-                self.fail_attempt(ctx, op_id, "inquorate");
+                self.fail_attempt(ctx, op_id, RetryReason::Inquorate);
             } else if !data_pending && get.data_requested {
                 // Data fetched but didn't quorum (speculation failed or
                 // torn): retry, avoiding the preferred backend.
-                self.fail_attempt(ctx, op_id, "speculation");
+                self.fail_attempt(ctx, op_id, RetryReason::Speculation);
             } else if !get.data_requested && self.cfg.strategy == LookupStrategy::Scar {
                 // SCAR: all responses in, no data, no miss quorum.
-                self.fail_attempt(ctx, op_id, "inquorate");
+                self.fail_attempt(ctx, op_id, RetryReason::Inquorate);
             }
         }
     }
@@ -846,8 +973,8 @@ impl ClientNode {
         }
     }
 
-    fn fail_attempt(&mut self, ctx: &mut Ctx<'_>, op_id: u64, reason: &str) {
-        ctx.metrics().add(&format!("cm.retry.{reason}"), 1);
+    fn fail_attempt(&mut self, ctx: &mut Ctx<'_>, op_id: u64, reason: RetryReason) {
+        ctx.metrics().add_id(self.m().retry_reason(reason), 1);
         let now = ctx.now();
         let policy = self.cfg.retry;
         let Some(state) = self.ops.get_mut(&op_id) else {
@@ -866,12 +993,12 @@ impl ClientNode {
         };
         match retry.on_failure(&policy, now) {
             rpc::RetryDecision::RetryAfter(backoff) => {
-                ctx.metrics().add("cm.retries", 1);
+                ctx.metrics().add_id(self.m().retries, 1);
                 let tok = self.work.defer(Work::Retry(op_id));
                 ctx.set_timer(backoff, tok);
             }
             rpc::RetryDecision::GiveUp => {
-                ctx.metrics().add("cm.op_errors", 1);
+                ctx.metrics().add_id(self.m().op_errors, 1);
                 self.complete_op(ctx, op_id, OpOutcome::Error, now);
             }
         }
@@ -922,7 +1049,7 @@ impl ClientNode {
     fn issue_mutation_attempt(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
         ctx.charge_cpu(self.cfg.set_cpu);
         ctx.metrics()
-            .add("cm.client.cpu_ns", self.cfg.set_cpu.nanos());
+            .add_id(self.m().cpu_ns, self.cfg.set_cpu.nanos());
         let tt = ctx.truetime();
         let Some(OpState::Mutation(m)) = self.ops.get_mut(&op_id) else {
             return;
@@ -966,10 +1093,17 @@ impl ClientNode {
         };
         for r in replicas {
             #[cfg(feature = "dbg")]
-            eprintln!("[{}] mutation {:?} key={:?} -> {:?} v={}", ctx.now(), kind, m_key_dbg, r, m_version_dbg);
+            eprintln!(
+                "[{}] mutation {:?} key={:?} -> {:?} v={}",
+                ctx.now(),
+                kind,
+                m_key_dbg,
+                r,
+                m_version_dbg
+            );
             ctx.charge_cpu(self.cfg.rpc_cost.client_send);
             ctx.metrics()
-                .add("cm.client.cpu_ns", self.cfg.rpc_cost.client_send.nanos());
+                .add_id(self.m().cpu_ns, self.cfg.rpc_cost.client_send.nanos());
             self.rpc_call(ctx, r, method_id, body.clone(), op_id, attempt, 0);
         }
     }
@@ -1006,18 +1140,18 @@ impl ClientNode {
                 MutationKind::Erase => self.memo.forget(&key),
                 _ => self.memo.remember(&key, version),
             }
-            ctx.metrics().add("cm.set.acked", 1);
+            ctx.metrics().add_id(self.m().set_acked, 1);
             self.complete_op(ctx, op_id, OpOutcome::Done, ctx.now());
         } else if m.rejects > copies - wq {
             // A write quorum of acks is no longer possible: a newer version
             // exists (or CAS expectation failed).
             m.completed = true;
-            ctx.metrics().add("cm.set.superseded", 1);
+            ctx.metrics().add_id(self.m().set_superseded, 1);
             self.complete_op(ctx, op_id, OpOutcome::Superseded, ctx.now());
         } else if m.acks + m.rejects + m.failures >= copies {
             // All responded, quorum unreachable due to failures: retry with
             // a fresh version.
-            self.fail_attempt(ctx, op_id, "mutation_failures");
+            self.fail_attempt(ctx, op_id, RetryReason::MutationFailures);
         }
     }
 
@@ -1037,7 +1171,7 @@ impl ClientNode {
         let deadline = ctx.now().nanos() + self.cfg.attempt_timeout.nanos();
         let tag = sub_tag(op_id, attempt, phase);
         let (id, wire) = self.calls.begin(dst, m, body, ctx.now(), deadline, tag);
-        ctx.metrics().add("cm.rpc_bytes", wire.len() as u64);
+        ctx.metrics().add_id(self.m().rpc_bytes, wire.len() as u64);
         ctx.send(dst, wire);
         ctx.set_timer(self.cfg.attempt_timeout, CallTable::timer_token(id));
     }
@@ -1056,7 +1190,7 @@ impl ClientNode {
             deadline,
             CONNECT_TAG,
         );
-        ctx.metrics().add("cm.rpc_bytes", wire.len() as u64);
+        ctx.metrics().add_id(self.m().rpc_bytes, wire.len() as u64);
         ctx.send(backend, wire);
         ctx.set_timer(self.cfg.attempt_timeout, CallTable::timer_token(id));
     }
@@ -1066,7 +1200,7 @@ impl ClientNode {
             return;
         }
         self.config_refreshing = true;
-        ctx.metrics().add("cm.client.config_refreshes", 1);
+        ctx.metrics().add_id(self.m().config_refreshes, 1);
         let deadline = ctx.now().nanos() + self.cfg.attempt_timeout.nanos();
         let (id, wire) = self.calls.begin(
             self.cfg.config_store,
@@ -1181,23 +1315,23 @@ impl ClientNode {
         }
         ctx.charge_cpu(self.cfg.msg_cost.client_recv);
         ctx.metrics()
-            .add("cm.client.cpu_ns", self.cfg.msg_cost.client_recv.nanos());
+            .add_id(self.m().cpu_ns, self.cfg.msg_cost.client_recv.nanos());
         match done.status {
             Status::Ok => {
                 if let Some(resp) = messages::GetResp::decode(done.body) {
                     let key = resp.key.clone();
                     self.memo.remember(&key, resp.version);
-                    ctx.metrics().add("cm.get.hits", 1);
+                    ctx.metrics().add_id(self.m().get_hits, 1);
                     self.complete_op(ctx, op_id, OpOutcome::Hit, ctx.now());
                 } else {
-                    self.fail_attempt(ctx, op_id, "msg_decode");
+                    self.fail_attempt(ctx, op_id, RetryReason::MsgDecode);
                 }
             }
             Status::NotFound => {
-                ctx.metrics().add("cm.get.misses", 1);
+                ctx.metrics().add_id(self.m().get_misses, 1);
                 self.complete_op(ctx, op_id, OpOutcome::Miss, ctx.now());
             }
-            _ => self.fail_attempt(ctx, op_id, "msg_error"),
+            _ => self.fail_attempt(ctx, op_id, RetryReason::MsgError),
         }
     }
 
@@ -1222,25 +1356,25 @@ impl ClientNode {
                     get.fallback_pending = 0;
                     let key = resp.key.clone();
                     self.memo.remember(&key, resp.version);
-                    ctx.metrics().add("cm.get.hits", 1);
-                    ctx.metrics().add("cm.get.overflow_hits", 1);
+                    ctx.metrics().add_id(self.m().get_hits, 1);
+                    ctx.metrics().add_id(self.m().get_overflow_hits, 1);
                     self.complete_op(ctx, op_id, OpOutcome::Hit, ctx.now());
                     return;
                 }
                 if exhausted {
-                    self.fail_attempt(ctx, op_id, "fallback_decode");
+                    self.fail_attempt(ctx, op_id, RetryReason::FallbackDecode);
                 }
             }
             Status::NotFound => {
                 // Affirmatively absent everywhere consulted.
                 if exhausted {
-                    ctx.metrics().add("cm.get.misses", 1);
+                    ctx.metrics().add_id(self.m().get_misses, 1);
                     self.complete_op(ctx, op_id, OpOutcome::Miss, ctx.now());
                 }
             }
             _ => {
                 if exhausted {
-                    self.fail_attempt(ctx, op_id, "fallback_error");
+                    self.fail_attempt(ctx, op_id, RetryReason::FallbackError);
                 }
             }
         }
@@ -1250,16 +1384,15 @@ impl ClientNode {
 
     fn on_rma_completion(&mut self, ctx: &mut Ctx<'_>, done: rma::OpCompletion) {
         // Client-side transport completion processing cost.
-        let ready = self.transport.admit_completion(
-            ctx.now(),
-            done.data.len() + done.bucket.len(),
-        );
+        let ready = self
+            .transport
+            .admit_completion(ctx.now(), done.data.len() + done.bucket.len());
         let _ = ready; // engine occupancy is tracked; latency impact is
                        // folded into rma_op_cpu to keep the event count low.
         self.charge_rma_op(ctx);
         // Fabric + target-serve round trip, as a hardware timestamper on
         // the NIC would report it (the Fig. 16 quantity).
-        ctx.metrics().record("cm.rma.rtt_ns", done.rtt_ns);
+        ctx.metrics().record_id(self.m().rma_rtt_ns, done.rtt_ns);
         let (op_id, attempt, phase) = split_tag(done.op.user_tag);
         let replica = done.op.dst;
         match done.status {
@@ -1267,7 +1400,7 @@ impl ClientNode {
             RmaStatus::WindowRevoked | RmaStatus::BadGeneration | RmaStatus::OutOfBounds => {
                 // Stale geometry (reshape, growth, restart): drop it and
                 // re-learn via CONNECT on the retry path (§4.1).
-                ctx.metrics().add("cm.client.geometry_invalidations", 1);
+                ctx.metrics().add_id(self.m().geometry_invalidations, 1);
                 self.geometry.remove(&replica);
                 self.record_vote(ctx, op_id, attempt, replica, Vote::Failed);
                 return;
@@ -1287,12 +1420,7 @@ impl ClientNode {
 
     /// Validate a fetched bucket (config id) and extract this replica's
     /// vote. Returns `None` if the whole op failed (config refresh).
-    fn parse_bucket_vote(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        op_id: u64,
-        bucket: &[u8],
-    ) -> Option<Vote> {
+    fn parse_bucket_vote(&mut self, ctx: &mut Ctx<'_>, op_id: u64, bucket: &[u8]) -> Option<Vote> {
         if bucket.len() < layout::BUCKET_HEADER_BYTES {
             return Some(Vote::Failed);
         }
@@ -1301,7 +1429,7 @@ impl ClientNode {
         if got > expected {
             // The backend knows a newer configuration than we do (e.g. it
             // migrated its shard away): refresh and retry (§6.1).
-            ctx.metrics().add("cm.client.config_mismatches", 1);
+            ctx.metrics().add_id(self.m().config_mismatches, 1);
             self.refresh_config(ctx);
             return None;
         }
@@ -1309,7 +1437,7 @@ impl ClientNode {
             // The backend is lagging behind a config update that doesn't
             // concern it (we selected it from the *current* config, so its
             // data is still authoritative). Tolerate the stale stamp.
-            ctx.metrics().add("cm.client.stale_backend_config", 1);
+            ctx.metrics().add_id(self.m().stale_backend_config, 1);
         }
         let Some(OpState::Get(get)) = self.ops.get_mut(&op_id) else {
             return Some(Vote::Failed);
@@ -1334,7 +1462,7 @@ impl ClientNode {
     ) {
         match self.parse_bucket_vote(ctx, op_id, &done.data) {
             Some(vote) => self.record_vote(ctx, op_id, attempt, replica, vote),
-            None => self.fail_attempt(ctx, op_id, "config_mismatch"),
+            None => self.fail_attempt(ctx, op_id, RetryReason::ConfigMismatch),
         }
     }
 
@@ -1356,22 +1484,18 @@ impl ClientNode {
         match parse_data_entry(&done.data) {
             Err(_) => {
                 // Torn read — rare, but normal (§3).
-                ctx.metrics().add("cm.get.torn_reads", 1);
-                self.fail_attempt(ctx, op_id, "torn_read");
+                ctx.metrics().add_id(self.m().get_torn_reads, 1);
+                self.fail_attempt(ctx, op_id, RetryReason::TornRead);
             }
             Ok(entry) => {
                 if entry.key != &get.key[..] {
                     // 128-bit hash collision: affirmatively not our key.
-                    ctx.metrics().add("cm.get.hash_collisions", 1);
-                    ctx.metrics().add("cm.get.misses", 1);
+                    ctx.metrics().add_id(self.m().get_hash_collisions, 1);
+                    ctx.metrics().add_id(self.m().get_misses, 1);
                     self.complete_op(ctx, op_id, OpOutcome::Miss, ctx.now());
                     return;
                 }
-                get.data = Some((
-                    replica,
-                    entry.version,
-                    Bytes::copy_from_slice(entry.data),
-                ));
+                get.data = Some((replica, entry.version, Bytes::copy_from_slice(entry.data)));
                 self.evaluate_get(ctx, op_id);
             }
         }
@@ -1386,7 +1510,7 @@ impl ClientNode {
         done: rma::OpCompletion,
     ) {
         let Some(vote) = self.parse_bucket_vote(ctx, op_id, &done.bucket) else {
-            self.fail_attempt(ctx, op_id, "config_mismatch");
+            self.fail_attempt(ctx, op_id, RetryReason::ConfigMismatch);
             return;
         };
         // Inline data: first valid response becomes the preferred copy.
@@ -1395,17 +1519,14 @@ impl ClientNode {
                 if get.attempt == attempt && get.data.is_none() {
                     match parse_data_entry(&done.data) {
                         Ok(entry) if entry.key == &get.key[..] => {
-                            get.data = Some((
-                                replica,
-                                entry.version,
-                                Bytes::copy_from_slice(entry.data),
-                            ));
+                            get.data =
+                                Some((replica, entry.version, Bytes::copy_from_slice(entry.data)));
                         }
                         Ok(_) => {
-                            ctx.metrics().add("cm.get.hash_collisions", 1);
+                            ctx.metrics().add_id(self.m().get_hash_collisions, 1);
                         }
                         Err(_) => {
-                            ctx.metrics().add("cm.get.torn_reads", 1);
+                            ctx.metrics().add_id(self.m().get_torn_reads, 1);
                         }
                     }
                 }
@@ -1439,7 +1560,7 @@ impl ClientNode {
         if let Some(shim) = &self.cfg.shim {
             let cost = shim.per_op_cpu(0);
             ctx.charge_cpu(cost);
-            ctx.metrics().add("cm.client.cpu_ns", cost.nanos());
+            ctx.metrics().add_id(self.m().cpu_ns, cost.nanos());
         }
         match batch {
             Some(batch_id) => {
@@ -1454,13 +1575,15 @@ impl ClientNode {
                     b.remaining == 0
                 };
                 if is_get {
-                    ctx.metrics().record("cm.getkey.latency_ns", observed.nanos());
+                    ctx.metrics()
+                        .record_id(self.m().getkey_latency_ns, observed.nanos());
                 }
                 if finished {
                     let b = self.batches.remove(&batch_id).expect("batch exists");
                     let batch_latency = at.since(b.started) + shim_overhead;
-                    ctx.metrics().record("cm.get.latency_ns", batch_latency.nanos());
-                    ctx.metrics().add("cm.get.batches", 1);
+                    ctx.metrics()
+                        .record_id(self.m().get_latency_ns, batch_latency.nanos());
+                    ctx.metrics().add_id(self.m().get_batches, 1);
                     self.log_completion(
                         if b.failed { OpOutcome::Error } else { outcome },
                         batch_latency.nanos(),
@@ -1469,16 +1592,14 @@ impl ClientNode {
                 }
             }
             None => {
-                let name = if is_get {
-                    "cm.get.latency_ns"
+                let m = *self.m();
+                let (lat, completed) = if is_get {
+                    (m.get_latency_ns, m.get_completed)
                 } else {
-                    "cm.set.latency_ns"
+                    (m.set_latency_ns, m.set_completed)
                 };
-                ctx.metrics().record(name, observed.nanos());
-                ctx.metrics().add(
-                    if is_get { "cm.get.completed" } else { "cm.set.completed" },
-                    1,
-                );
+                ctx.metrics().record_id(lat, observed.nanos());
+                ctx.metrics().add_id(completed, 1);
                 self.log_completion(outcome, observed.nanos());
                 self.on_op_finished(ctx);
             }
@@ -1498,8 +1619,7 @@ impl ClientNode {
                 // until the response crosses the pipe back and the next
                 // request is marshalled — the Fig. 6a rate gap.
                 Some(shim) => {
-                    let delay =
-                        shim.round_trip_overhead() + shim.per_op_cpu(0).saturating_mul(2);
+                    let delay = shim.round_trip_overhead() + shim.per_op_cpu(0).saturating_mul(2);
                     let tok = self.work.defer(Work::NextOp);
                     ctx.set_timer(delay, tok);
                 }
@@ -1514,13 +1634,18 @@ impl ClientNode {
             if hashes.is_empty() {
                 continue;
             }
-            ctx.metrics().add("cm.client.access_flushes", 1);
+            ctx.metrics().add_id(self.m().access_flushes, 1);
             let body = messages::AccessRecords { hashes }.encode();
             let deadline = ctx.now().nanos() + self.cfg.attempt_timeout.nanos();
-            let (id, wire) =
-                self.calls
-                    .begin(backend, method::ACCESS_RECORDS, body, ctx.now(), deadline, IGNORE_TAG);
-            ctx.metrics().add("cm.rpc_bytes", wire.len() as u64);
+            let (id, wire) = self.calls.begin(
+                backend,
+                method::ACCESS_RECORDS,
+                body,
+                ctx.now(),
+                deadline,
+                IGNORE_TAG,
+            );
+            ctx.metrics().add_id(self.m().rpc_bytes, wire.len() as u64);
             ctx.send(backend, wire);
             ctx.set_timer(self.cfg.attempt_timeout, CallTable::timer_token(id));
         }
@@ -1548,6 +1673,7 @@ impl Node for ClientNode {
     fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
         match ev {
             Event::Start => {
+                self.mids = Some(ClientMetricIds::resolve(ctx.metrics()));
                 self.refresh_config(ctx);
                 self.schedule_next(ctx);
                 if let Some(interval) = self.cfg.access_flush {
@@ -1580,13 +1706,13 @@ impl Node for ClientNode {
                     }
                 } else if let Some(rma_id) = RmaOpTable::op_of_timer(token) {
                     if let Some(op) = self.rma.expire(rma_id) {
-                        ctx.metrics().add("cm.client.rma_timeouts", 1);
+                        ctx.metrics().add_id(self.m().rma_timeouts, 1);
                         let (op_id, attempt, _) = split_tag(op.user_tag);
                         self.record_vote(ctx, op_id, attempt, op.dst, Vote::Failed);
                     }
                 } else if let Some(call_id) = CallTable::call_of_timer(token) {
                     if let Some(call) = self.calls.expire(call_id) {
-                        ctx.metrics().add("cm.client.rpc_timeouts", 1);
+                        ctx.metrics().add_id(self.m().rpc_timeouts, 1);
                         match call.user_tag {
                             CONFIG_TAG => {
                                 self.config_refreshing = false;
@@ -1610,10 +1736,10 @@ impl Node for ClientNode {
                                     ),
                                     Some(OpState::Get(_)) if phase == 0 => {
                                         // MSG lookup timeout.
-                                        self.fail_attempt(ctx, op_id, "msg_timeout");
+                                        self.fail_attempt(ctx, op_id, RetryReason::MsgTimeout);
                                     }
                                     Some(OpState::Get(_)) => {
-                                        self.fail_attempt(ctx, op_id, "fallback_timeout");
+                                        self.fail_attempt(ctx, op_id, RetryReason::FallbackTimeout);
                                     }
                                     _ => {}
                                 }

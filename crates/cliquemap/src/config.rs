@@ -198,20 +198,16 @@ impl Node for ConfigStoreNode {
                     return;
                 };
                 let (status, body) = match req.method {
-                    crate::messages::method::GET_CONFIG => {
-                        (rpc::Status::Ok, self.config.encode())
-                    }
-                    crate::messages::method::UPDATE_CONFIG => {
-                        match CellConfig::decode(req.body) {
-                            Some(new_cfg) if new_cfg.config_id > self.config.config_id => {
-                                self.config = new_cfg;
-                                ctx.metrics().add("config_store.updates", 1);
-                                (rpc::Status::Ok, Bytes::new())
-                            }
-                            Some(_) => (rpc::Status::VersionRejected, Bytes::new()),
-                            None => (rpc::Status::Internal, Bytes::new()),
+                    crate::messages::method::GET_CONFIG => (rpc::Status::Ok, self.config.encode()),
+                    crate::messages::method::UPDATE_CONFIG => match CellConfig::decode(req.body) {
+                        Some(new_cfg) if new_cfg.config_id > self.config.config_id => {
+                            self.config = new_cfg;
+                            ctx.metrics().add("config_store.updates", 1);
+                            (rpc::Status::Ok, Bytes::new())
                         }
-                    }
+                        Some(_) => (rpc::Status::VersionRejected, Bytes::new()),
+                        None => (rpc::Status::Internal, Bytes::new()),
+                    },
                     _ => (rpc::Status::Internal, Bytes::new()),
                 };
                 let resp = rpc::encode_response(&rpc::Response {
@@ -260,10 +256,7 @@ mod tests {
     #[test]
     fn replica_mapping_follows_paper() {
         let c = sample();
-        assert_eq!(
-            c.replicas_for(3),
-            vec![NodeId(13), NodeId(14), NodeId(10)]
-        );
+        assert_eq!(c.replicas_for(3), vec![NodeId(13), NodeId(14), NodeId(10)]);
         assert_eq!(c.replicas_for(0), vec![NodeId(10), NodeId(11), NodeId(12)]);
     }
 

@@ -323,7 +323,10 @@ impl EvictionPolicy for ArcPolicy {
         if !self.t1.is_empty() && (self.t1.len() > self.p || self.t2.is_empty()) {
             self.t1.front().copied()
         } else {
-            self.t2.front().copied().or_else(|| self.t1.front().copied())
+            self.t2
+                .front()
+                .copied()
+                .or_else(|| self.t1.front().copied())
         }
     }
 
@@ -343,7 +346,8 @@ impl EvictionPolicy for ArcPolicy {
                 }
             }
         }
-        best.map(|(_, _, k)| k).or_else(|| candidates.first().copied())
+        best.map(|(_, _, k)| k)
+            .or_else(|| candidates.first().copied())
     }
 
     fn len(&self) -> usize {
@@ -485,7 +489,10 @@ mod tests {
                 p.on_remove(v);
             }
         }
-        let hot_alive = keys(5).iter().filter(|k| p.location.contains_key(k)).count();
+        let hot_alive = keys(5)
+            .iter()
+            .filter(|k| p.location.contains_key(k))
+            .count();
         assert!(hot_alive >= 4, "scan flushed hot set: {hot_alive}/5 left");
     }
 

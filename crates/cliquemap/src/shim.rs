@@ -79,8 +79,7 @@ impl ShimSpec {
 
     /// Shim CPU for an op carrying `bytes` of payload.
     pub fn per_op_cpu(&self, bytes: usize) -> SimDuration {
-        self.per_op_base
-            + SimDuration(self.per_kb.nanos() * (bytes as u64).div_ceil(1024))
+        self.per_op_base + SimDuration(self.per_kb.nanos() * (bytes as u64).div_ceil(1024))
     }
 
     /// Total extra latency a shim adds to an op (both pipe directions),

@@ -211,7 +211,10 @@ impl SlabAllocator {
             self.used -= k * self.slab_bytes;
             return;
         }
-        let slab = self.slabs.get_mut(&slab_idx).expect("free of unallocated slab");
+        let slab = self
+            .slabs
+            .get_mut(&slab_idx)
+            .expect("free of unallocated slab");
         let class = slab.class as usize;
         let slot_bytes = self.class_slots[class];
         debug_assert!(len <= slot_bytes, "free size mismatch");

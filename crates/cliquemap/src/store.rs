@@ -702,9 +702,9 @@ impl BackendStore {
         }
         // Build the new index.
         let new_buffer = self.regions.alloc_buffer(new_buckets as usize * bb);
-        let new_window = self
-            .regions
-            .register_window(new_buffer, 0, (new_buckets as usize * bb) as u64);
+        let new_window =
+            self.regions
+                .register_window(new_buffer, 0, (new_buckets as usize * bb) as u64);
         self.index_buffer = new_buffer;
         self.index_window = new_window;
         self.num_buckets = new_buckets;
@@ -817,10 +817,11 @@ impl BackendStore {
                 .slab
                 .alloc(bytes.len())
                 .expect("compacted pool fits the live corpus");
-            self.regions.write(self.data_buffer, offset as usize, &bytes);
+            self.regions
+                .write(self.data_buffer, offset as usize, &bytes);
             let bucket = self.bucket_of(hash);
-            let slot = layout::find_vacant(self.bucket_raw(bucket))
-                .expect("index geometry unchanged");
+            let slot =
+                layout::find_vacant(self.bucket_raw(bucket)).expect("index geometry unchanged");
             self.write_slot(
                 bucket,
                 slot,
@@ -998,7 +999,10 @@ mod tests {
         assert_eq!(s.erase(hash, v(20)), Status::Ok);
         assert!(s.fetch(hash).is_none());
         // A late SET below the tombstone version must be rejected.
-        assert_eq!(do_set(&mut s, b"k", b"ghost", v(15)), Status::VersionRejected);
+        assert_eq!(
+            do_set(&mut s, b"k", b"ghost", v(15)),
+            Status::VersionRejected
+        );
         // A newer SET resurrects the key legitimately.
         assert_eq!(do_set(&mut s, b"k", b"alive", v(30)), Status::Ok);
         assert_eq!(s.live_entries(), 1);
@@ -1009,7 +1013,10 @@ mod tests {
         let mut s = small_store();
         let hash = DefaultHasher.hash(b"never-set");
         assert_eq!(s.erase(hash, v(7)), Status::Ok);
-        assert_eq!(do_set(&mut s, b"never-set", b"x", v(5)), Status::VersionRejected);
+        assert_eq!(
+            do_set(&mut s, b"never-set", b"x", v(5)),
+            Status::VersionRejected
+        );
     }
 
     #[test]
@@ -1102,8 +1109,8 @@ mod tests {
     #[test]
     fn index_resize_preserves_corpus_and_doubles() {
         let mut s = small_store(); // 16 buckets * 4 = 64 slots
-        // Insert until the load factor crosses the reshape threshold (some
-        // keys may be lost to associativity evictions along the way).
+                                   // Insert until the load factor crosses the reshape threshold (some
+                                   // keys may be lost to associativity evictions along the way).
         let mut i = 0u32;
         while !s.needs_index_resize() {
             let key = format!("key-{i}");
@@ -1117,7 +1124,10 @@ mod tests {
         assert!(s.is_resizing());
         // Mutations stall during the resize.
         assert_eq!(do_set(&mut s, b"stalled", b"x", v(1000)), Status::Stalled);
-        assert_eq!(s.erase(DefaultHasher.hash(b"key-0"), v(1001)), Status::Stalled);
+        assert_eq!(
+            s.erase(DefaultHasher.hash(b"key-0"), v(1001)),
+            Status::Stalled
+        );
         s.finish_index_resize();
         assert_eq!(s.num_buckets(), 32);
         assert!(!s.is_resizing());
@@ -1160,7 +1170,12 @@ mod tests {
         let old_geom = s.geometry();
         // Fill past the watermark.
         for i in 0..3u32 {
-            do_set(&mut s, format!("f{i}").as_bytes(), &[1u8; 3000], v(i as u64 + 2));
+            do_set(
+                &mut s,
+                format!("f{i}").as_bytes(),
+                &[1u8; 3000],
+                v(i as u64 + 2),
+            );
         }
         assert!(s.needs_data_growth());
         let before = s.resident_bytes();
@@ -1229,12 +1244,7 @@ mod tests {
         // poisoned bytes that fail validation.
         let raw = s
             .regions()
-            .read_window(
-                WindowId(ptr.window),
-                ptr.generation,
-                ptr.offset,
-                ptr.len,
-            )
+            .read_window(WindowId(ptr.window), ptr.generation, ptr.offset, ptr.len)
             .unwrap();
         assert!(parse_data_entry(&raw).is_err());
     }
@@ -1309,7 +1319,12 @@ mod tests {
             Box::new(LruPolicy::new()),
         );
         for i in 0..3u32 {
-            do_set(&mut s, format!("k{i}").as_bytes(), format!("v{i}").as_bytes(), v(i as u64 + 1));
+            do_set(
+                &mut s,
+                format!("k{i}").as_bytes(),
+                format!("v{i}").as_bytes(),
+                v(i as u64 + 1),
+            );
         }
         assert_eq!(s.live_entries(), 2);
         assert_eq!(s.overflow_len(), 1);
@@ -1346,7 +1361,10 @@ mod tests {
         do_set(&mut s, b"b", b"2", v(5)); // displaces a into overflow
         assert_eq!(s.overflow_len(), 1);
         // A stale SET of the overflowed key must still be rejected.
-        assert_eq!(do_set(&mut s, b"a", b"stale", v(50)), Status::VersionRejected);
+        assert_eq!(
+            do_set(&mut s, b"a", b"stale", v(50)),
+            Status::VersionRejected
+        );
         assert_eq!(do_set(&mut s, b"a", b"fresh", v(200)), Status::Ok);
     }
 
@@ -1410,7 +1428,9 @@ mod tests {
         s.erase(hash_a, v(2));
         // ...and a new SET reuses it (same size class).
         let hash_b = DefaultHasher.hash(b"b");
-        let p = s.prepare_set(b"b", b"fedcba9876543210", hash_b, v(3)).unwrap();
+        let p = s
+            .prepare_set(b"b", b"fedcba9876543210", hash_b, v(3))
+            .unwrap();
         assert_eq!(p.data_offset, old_entry.ptr.offset, "slab must reuse slot");
         // Write only half the entry: a racing reader holding the old
         // pointer snapshots a torn mix.

@@ -22,9 +22,7 @@ impl VersionNumber {
 
     /// Compose from parts.
     pub fn new(truetime_ns: u64, client_id: u32, seq: u32) -> VersionNumber {
-        VersionNumber(
-            ((truetime_ns as u128) << 64) | ((client_id as u128) << 32) | seq as u128,
-        )
+        VersionNumber(((truetime_ns as u128) << 64) | ((client_id as u128) << 32) | seq as u128)
     }
 
     /// TrueTime component (upper 64 bits).

@@ -95,9 +95,7 @@ pub struct ScriptWorkload {
 impl ScriptWorkload {
     /// Build from a list of (delay, op).
     pub fn new(ops: Vec<(SimDuration, ClientOp)>) -> ScriptWorkload {
-        ScriptWorkload {
-            ops: ops.into(),
-        }
+        ScriptWorkload { ops: ops.into() }
     }
 
     /// Remaining operations.
@@ -180,9 +178,7 @@ impl Workload for UniformWorkload {
         }
         self.issued += 1;
         let key = Bytes::from(format!("key-{}", rng.gen_range(self.keys)));
-        let gap = SimDuration::from_secs_f64(
-            rng.exponential(self.mean_gap.as_secs_f64()),
-        );
+        let gap = SimDuration::from_secs_f64(rng.exponential(self.mean_gap.as_secs_f64()));
         let op = if rng.next_f64() < self.get_fraction {
             ClientOp::Get { key }
         } else {

@@ -10,9 +10,7 @@ use bytes::Bytes;
 
 use simnet::{NodeId, SimTime};
 
-use crate::codec::{
-    encode_read_req, encode_scar_req, ReadReq, RmaEnvelope, RmaStatus, ScarReq,
-};
+use crate::codec::{encode_read_req, encode_scar_req, ReadReq, RmaEnvelope, RmaStatus, ScarReq};
 use crate::region::WindowId;
 
 /// Token namespace base for RMA op deadline timers.
@@ -199,15 +197,7 @@ mod tests {
     #[test]
     fn read_issue_and_complete() {
         let mut t = RmaOpTable::new();
-        let (op_id, wire) = t.begin_read(
-            NodeId(5),
-            WindowId(1),
-            3,
-            4096,
-            512,
-            SimTime(1_000),
-            42,
-        );
+        let (op_id, wire) = t.begin_read(NodeId(5), WindowId(1), 3, 4096, 512, SimTime(1_000), 42);
         assert_eq!(t.in_flight(), 1);
         match decode(wire).unwrap() {
             RmaEnvelope::ReadReq(r) => {
@@ -233,16 +223,8 @@ mod tests {
     #[test]
     fn scar_issue_and_complete() {
         let mut t = RmaOpTable::new();
-        let (op_id, _wire) = t.begin_scar(
-            NodeId(2),
-            WindowId(0),
-            1,
-            64,
-            448,
-            0xABCD,
-            SimTime(0),
-            7,
-        );
+        let (op_id, _wire) =
+            t.begin_scar(NodeId(2), WindowId(0), 1, 64, 448, 0xABCD, SimTime(0), 7);
         let resp = decode(encode_scar_resp(&ScarResp {
             op_id,
             status: RmaStatus::NoMatch,
@@ -259,8 +241,7 @@ mod tests {
     #[test]
     fn late_response_dropped() {
         let mut t = RmaOpTable::new();
-        let (op_id, _) =
-            t.begin_read(NodeId(1), WindowId(0), 0, 0, 8, SimTime(0), 0);
+        let (op_id, _) = t.begin_read(NodeId(1), WindowId(0), 0, 0, 8, SimTime(0), 0);
         assert!(t.expire(op_id).is_some());
         let resp = decode(encode_read_resp(&ReadResp {
             op_id,

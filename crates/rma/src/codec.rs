@@ -263,10 +263,7 @@ mod tests {
             offset: 4096,
             len: 1024,
         };
-        assert_eq!(
-            decode(encode_read_req(&r)),
-            Some(RmaEnvelope::ReadReq(r))
-        );
+        assert_eq!(decode(encode_read_req(&r)), Some(RmaEnvelope::ReadReq(r)));
     }
 
     #[test]
@@ -276,10 +273,7 @@ mod tests {
             status: RmaStatus::Ok,
             data: Bytes::from_static(b"payload"),
         };
-        assert_eq!(
-            decode(encode_read_resp(&r)),
-            Some(RmaEnvelope::ReadResp(r))
-        );
+        assert_eq!(decode(encode_read_resp(&r)), Some(RmaEnvelope::ReadResp(r)));
     }
 
     #[test]

@@ -57,9 +57,7 @@ impl RegionTable {
     /// Allocate a zeroed buffer of `len` bytes ("populated" memory, i.e.
     /// resident DRAM in the paper's terms).
     pub fn alloc_buffer(&mut self, len: usize) -> BufferId {
-        self.buffers.push(Buffer {
-            data: vec![0; len],
-        });
+        self.buffers.push(Buffer { data: vec![0; len] });
         BufferId(self.buffers.len() as u32 - 1)
     }
 
@@ -159,7 +157,9 @@ impl RegionTable {
         if w.generation != generation {
             return Err(RmaStatus::BadGeneration);
         }
-        let end = offset.checked_add(len as u64).ok_or(RmaStatus::OutOfBounds)?;
+        let end = offset
+            .checked_add(len as u64)
+            .ok_or(RmaStatus::OutOfBounds)?;
         if end > w.len {
             return Err(RmaStatus::OutOfBounds);
         }

@@ -206,10 +206,8 @@ mod tests {
                 let at = i * entry;
                 let hash = u128::from_le_bytes(bucket[at..at + 16].try_into().unwrap());
                 if hash == key_hash && hash != 0 {
-                    let offset =
-                        u64::from_le_bytes(bucket[at + 16..at + 24].try_into().unwrap());
-                    let len =
-                        u32::from_le_bytes(bucket[at + 24..at + 28].try_into().unwrap());
+                    let offset = u64::from_le_bytes(bucket[at + 16..at + 24].try_into().unwrap());
+                    let len = u32::from_le_bytes(bucket[at + 24..at + 28].try_into().unwrap());
                     return ScarOutcome::Hit {
                         window: self.data_window,
                         generation: self.data_generation,

@@ -110,9 +110,7 @@ impl Transport {
                 pony.admit(now, cost)
             }
             TransportKind::OneRma | TransportKind::Rdma => {
-                let dma = SimDuration(
-                    self.hw_per_kb.nanos() * (payload_len as u64).div_ceil(1024),
-                );
+                let dma = SimDuration(self.hw_per_kb.nanos() * (payload_len as u64).div_ceil(1024));
                 now + self.hw_serve_latency + dma
             }
         }
@@ -128,9 +126,7 @@ impl Transport {
                 let cost = pony.read_cost(0);
                 pony.admit(now, cost)
             }
-            TransportKind::OneRma | TransportKind::Rdma => {
-                now + SimDuration::from_nanos(150)
-            }
+            TransportKind::OneRma | TransportKind::Rdma => now + SimDuration::from_nanos(150),
         }
     }
 
@@ -144,9 +140,7 @@ impl Transport {
                 let cost = pony.read_cost(payload_len);
                 pony.admit(now, cost)
             }
-            TransportKind::OneRma | TransportKind::Rdma => {
-                now + SimDuration::from_nanos(200)
-            }
+            TransportKind::OneRma | TransportKind::Rdma => now + SimDuration::from_nanos(200),
         }
     }
 

@@ -33,5 +33,5 @@ pub use codec::{
     Status, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, RPC_MAGIC,
 };
 pub use cost::RpcCostModel;
-pub use simnet::deferred::Deferred;
 pub use retry::{RetryDecision, RetryPolicy, RetryState};
+pub use simnet::deferred::Deferred;

@@ -177,9 +177,6 @@ mod tests {
     fn deadline_accessor() {
         let policy = RetryPolicy::default();
         let st = policy.start(SimTime(1_000));
-        assert_eq!(
-            st.deadline(&policy),
-            SimTime(1_000) + policy.op_deadline
-        );
+        assert_eq!(st.deadline(&policy), SimTime(1_000) + policy.op_deadline);
     }
 }

@@ -65,7 +65,7 @@ pub use host::{CpuAdmission, Host, HostCfg, HostId, NodeId};
 pub use node::{Event, Frame, Node};
 pub use rng::{SimRng, Zipf};
 pub use sim::{Ctx, FabricCfg, Sim};
-pub use stats::{Histogram, Metrics, TimeSeries};
+pub use stats::{Histogram, MetricId, Metrics, TimeSeries};
 pub use time::{serialization_delay, SimDuration, SimTime};
 pub use truetime::{TrueTime, TrueTimestamp};
 pub use util::{AntagonistNode, SinkNode};

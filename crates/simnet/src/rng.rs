@@ -138,8 +138,7 @@ impl Zipf {
         let zeta_theta = zeta(2, theta);
         let zeta_n = zeta(n, theta);
         let alpha = 1.0 / (1.0 - theta);
-        let eta =
-            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_theta / zeta_n);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_theta / zeta_n);
         Zipf {
             n,
             theta,
@@ -168,8 +167,7 @@ impl Zipf {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        let idx =
-            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        let idx = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         idx.min(self.n - 1)
     }
 
@@ -177,7 +175,6 @@ impl Zipf {
     pub fn theta(&self) -> f64 {
         self.theta
     }
-
 }
 
 #[cfg(test)]

@@ -7,14 +7,14 @@
 //! are bit-identical.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use bytes::Bytes;
 
 use crate::host::{Host, HostCfg, HostId, NodeId};
 use crate::node::{Event, Frame, Node};
 use crate::rng::SimRng;
-use crate::stats::Metrics;
+use crate::stats::{MetricId, Metrics};
 use crate::time::{SimDuration, SimTime};
 use crate::truetime::{TrueTime, TrueTimestamp};
 
@@ -69,13 +69,27 @@ enum Pending {
     },
     /// Frame reached the destination host; contend for its RX link.
     RxArrive { frame: Frame },
+    /// Recycled pool entry awaiting reuse (never enters the queue).
+    Vacant,
 }
 
+/// One heap entry. The payload lives behind a pooled `Box` so sift
+/// operations move 24 bytes instead of a full inline `Frame` — `Pending`
+/// is ~5x larger and every `BinaryHeap` sift would copy it otherwise.
 struct Scheduled {
     at: SimTime,
     seq: u64,
-    pending: Pending,
+    pending: Box<Pending>,
 }
+
+// The whole point of boxing the payload: heap sifts stay cheap. If this
+// fires, a field crept into the hot heap entry.
+const _: () = assert!(std::mem::size_of::<Scheduled>() <= 32);
+
+/// Upper bound on the `Box<Pending>` freelist; entries beyond this are
+/// simply dropped. Bounds pool memory while amortizing nearly all per-event
+/// allocation at steady state.
+const PENDING_POOL_CAP: usize = 4096;
 
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
@@ -106,27 +120,64 @@ struct NodeSlot {
 pub struct Sim {
     now: SimTime,
     seq: u64,
+    events: u64,
     queue: BinaryHeap<Reverse<Scheduled>>,
+    /// Same-timestamp fast path: events scheduled for exactly `now` while
+    /// the heap holds nothing at `now` bypass the heap entirely. They run
+    /// before anything in the heap (which is strictly later) in insertion
+    /// (= seq) order, so total order is unchanged.
+    fifo: VecDeque<Box<Pending>>,
+    /// Freelist of recycled `Pending` boxes (capped at
+    /// [`PENDING_POOL_CAP`]). The boxes themselves are the resource being
+    /// pooled — they move into heap/fifo entries without reallocating.
+    #[allow(clippy::vec_box)]
+    pool: Vec<Box<Pending>>,
     hosts: Vec<Host>,
     nodes: Vec<NodeSlot>,
     fabric: FabricCfg,
     rng: SimRng,
     metrics: Metrics,
+    mids: SimMetricIds,
     truetime: TrueTime,
+}
+
+/// Interned handles for the engine's own counters, resolved at
+/// construction so the dispatch loop never touches a metric name.
+#[derive(Clone, Copy)]
+struct SimMetricIds {
+    dropped_dead: MetricId,
+    dropped_stale: MetricId,
+    cstate_exits: MetricId,
+}
+
+impl SimMetricIds {
+    fn resolve(m: &mut Metrics) -> SimMetricIds {
+        SimMetricIds {
+            dropped_dead: m.handle("simnet.dropped_dead"),
+            dropped_stale: m.handle("simnet.dropped_stale"),
+            cstate_exits: m.handle("simnet.cstate_exits"),
+        }
+    }
 }
 
 impl Sim {
     /// Create a simulation with the given fabric and RNG seed.
     pub fn new(fabric: FabricCfg, seed: u64) -> Sim {
+        let mut metrics = Metrics::new();
+        let mids = SimMetricIds::resolve(&mut metrics);
         Sim {
             now: SimTime::ZERO,
             seq: 0,
+            events: 0,
             queue: BinaryHeap::new(),
+            fifo: VecDeque::new(),
+            pool: Vec::new(),
             hosts: Vec::new(),
             nodes: Vec::new(),
             fabric,
             rng: SimRng::new(seed),
-            metrics: Metrics::new(),
+            metrics,
+            mids,
             truetime: TrueTime::default(),
         }
     }
@@ -224,6 +275,12 @@ impl Sim {
         self.now
     }
 
+    /// Total events processed since construction (perf accounting; one per
+    /// [`Sim::step`] that found work).
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
     /// Metrics registry (harness-side reads and writes).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
@@ -244,19 +301,63 @@ impl Sim {
         any.downcast_mut::<T>().map(f)
     }
 
+    /// Box `pending`, reusing a pooled allocation when one is available.
+    fn alloc_pending(&mut self, pending: Pending) -> Box<Pending> {
+        match self.pool.pop() {
+            Some(mut b) => {
+                *b = pending;
+                b
+            }
+            None => Box::new(pending),
+        }
+    }
+
+    fn recycle_pending(&mut self, boxed: Box<Pending>) {
+        if self.pool.len() < PENDING_POOL_CAP {
+            self.pool.push(boxed);
+        }
+    }
+
     fn schedule(&mut self, at: SimTime, pending: Pending) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, pending }));
+        let boxed = self.alloc_pending(pending);
+        // Fast path: an event for *right now* while the heap holds nothing
+        // at `now` skips the heap. Correctness: every heap entry is then
+        // strictly later, and this event's seq is larger than that of any
+        // earlier fifo entry, so fifo-before-heap in insertion order is
+        // exactly the (at, seq) total order.
+        if at == self.now {
+            let heap_clear = match self.queue.peek() {
+                None => true,
+                Some(Reverse(head)) => head.at > self.now,
+            };
+            if heap_clear {
+                self.fifo.push_back(boxed);
+                return;
+            }
+        }
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            pending: boxed,
+        }));
     }
 
     /// Process a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(Scheduled { at, pending, .. })) = self.queue.pop() else {
+        let (at, mut boxed) = if let Some(b) = self.fifo.pop_front() {
+            (self.now, b)
+        } else if let Some(Reverse(Scheduled { at, pending, .. })) = self.queue.pop() {
+            (at, pending)
+        } else {
             return false;
         };
+        let pending = std::mem::replace(&mut *boxed, Pending::Vacant);
+        self.recycle_pending(boxed);
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
+        self.events += 1;
         match pending {
             Pending::RxArrive { frame } => {
                 let dst_host = self.nodes[frame.dst.0 as usize].host;
@@ -282,11 +383,11 @@ impl Sim {
                 {
                     let slot = &self.nodes[idx];
                     if !slot.alive || slot.node.is_none() {
-                        self.metrics.add("simnet.dropped_dead", 1);
+                        self.metrics.add_id(self.mids.dropped_dead, 1);
                         return true;
                     }
                     if check_incarnation && slot.incarnation != incarnation {
-                        self.metrics.add("simnet.dropped_stale", 1);
+                        self.metrics.add_id(self.mids.dropped_stale, 1);
                         return true;
                     }
                 }
@@ -302,15 +403,25 @@ impl Sim {
                     slot.node = Some(node);
                 }
             }
+            Pending::Vacant => unreachable!("vacant pool entry reached the queue"),
         }
         true
     }
 
     /// Run until the queue drains or the clock passes `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > deadline {
-                break;
+        loop {
+            if !self.fifo.is_empty() {
+                // Fifo events fire at exactly `now`; only run them inside
+                // the deadline (`run_until` never rewinds a later clock).
+                if self.now > deadline {
+                    break;
+                }
+            } else {
+                match self.queue.peek() {
+                    Some(Reverse(head)) if head.at <= deadline => {}
+                    _ => break,
+                }
             }
             self.step();
         }
@@ -377,7 +488,10 @@ impl<'a> Ctx<'a> {
     /// Like [`Ctx::send`] but with an explicit wire size (used by protocol
     /// layers that account their own header overheads).
     pub fn send_wire(&mut self, dst: NodeId, payload: Bytes, wire_bytes: u64) {
-        assert!((dst.0 as usize) < self.sim.nodes.len(), "unknown node {dst}");
+        assert!(
+            (dst.0 as usize) < self.sim.nodes.len(),
+            "unknown node {dst}"
+        );
         let src_host = self.self_host();
         let dst_host = self.sim.nodes[dst.0 as usize].host;
         let frame = Frame {
@@ -430,7 +544,7 @@ impl<'a> Ctx<'a> {
         let now = self.sim.now;
         let admission = self.sim.hosts[host.0 as usize].admit_cpu(now, work);
         if admission.cold_start {
-            self.sim.metrics.add("simnet.cstate_exits", 1);
+            self.sim.metrics.add_id(self.sim.mids.cstate_exits, 1);
         }
         let inc = self.sim.nodes[self.id.0 as usize].incarnation;
         self.sim.schedule(
@@ -696,10 +810,7 @@ mod tests {
         // RX link: consecutive deliveries must be spaced by at least that.
         for w in arrivals.windows(2) {
             let gap = w[1].since(w[0]);
-            assert!(
-                gap.nanos() >= 10_000,
-                "incast not serialized: gap {gap}"
-            );
+            assert!(gap.nanos() >= 10_000, "incast not serialized: gap {gap}");
         }
         // Total spread ~ 6 frames' worth, not one.
         let spread = arrivals.last().unwrap().since(arrivals[0]);
@@ -736,5 +847,57 @@ mod tests {
         let mut sim = Sim::new(FabricCfg::default(), 5);
         sim.run_until(SimTime(1_000_000));
         assert_eq!(sim.now(), SimTime(1_000_000));
+    }
+
+    #[test]
+    fn scheduled_heap_entry_is_slim() {
+        // Sift cost on the event heap is proportional to this; the payload
+        // must stay boxed (see the const assert at the type).
+        assert!(
+            std::mem::size_of::<Scheduled>() <= 32,
+            "Scheduled grew to {} bytes",
+            std::mem::size_of::<Scheduled>()
+        );
+        assert!(std::mem::size_of::<Pending>() > 32, "boxing no longer pays");
+    }
+
+    #[test]
+    fn same_timestamp_fastpath_preserves_order() {
+        // A node that fans out a burst of zero-delay timers from one event:
+        // every self-schedule lands at `now` and must fire in schedule
+        // order, interleaved correctly with strictly-later heap events.
+        struct Burst {
+            fired: Vec<u64>,
+        }
+        impl Node for Burst {
+            fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+                match ev {
+                    Event::Start => {
+                        ctx.set_timer(SimDuration::from_micros(5), 100);
+                        for t in 0..8 {
+                            ctx.set_timer(SimDuration::ZERO, t);
+                        }
+                    }
+                    Event::Timer(t) => {
+                        self.fired.push(t);
+                        if t == 3 {
+                            // Nested zero-delay timers from a fifo event.
+                            ctx.set_timer(SimDuration::ZERO, 50);
+                            ctx.set_timer(SimDuration::ZERO, 51);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Sim::new(FabricCfg::default(), 11);
+        let h = sim.add_host(HostCfg::default().no_cstates());
+        let id = sim.add_node(h, Box::new(Burst { fired: vec![] }));
+        sim.run_to_completion(1_000);
+        let fired = sim.with_node::<Burst, _>(id, |b| b.fired.clone()).unwrap();
+        // Zero-delay timers in schedule order (the nested 50/51 join the
+        // back of the same-timestamp queue), the 5us timer strictly last.
+        assert_eq!(fired, vec![0, 1, 2, 3, 4, 5, 6, 7, 50, 51, 100]);
+        assert_eq!(sim.events_processed(), 12); // Start + 11 timers
     }
 }

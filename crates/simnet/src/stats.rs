@@ -133,6 +133,22 @@ impl Histogram {
         }
     }
 
+    /// Sum of all observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Iterate nonzero `(bucket index, count)` pairs. Together with
+    /// [`Histogram::sum`], [`Histogram::min`] and [`Histogram::max`] this is
+    /// an exact serialization of the histogram's contents.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
     /// Reset to empty (used for per-window percentile timelines).
     pub fn clear(&mut self) {
         self.buckets.iter_mut().for_each(|b| *b = 0);
@@ -192,12 +208,34 @@ impl TimeSeries {
     }
 }
 
+/// Interned metric name: an index into the registry's slot tables.
+///
+/// Obtained once from [`Metrics::handle`] and cached by the call site;
+/// recording through it is a bounds-checked `Vec` index instead of a
+/// `String` allocation plus `BTreeMap` walk. One id addresses a histogram,
+/// a counter, and a series slot of the same name — whichever kinds the call
+/// sites actually write exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MetricId(u32);
+
 /// Central registry of named metrics for one simulation run.
+///
+/// The hot path is the id-based API ([`Metrics::handle`] +
+/// [`Metrics::record_id`] / [`Metrics::add_id`] / [`Metrics::push_series_id`]).
+/// The string API remains as a resolve-once shim: it interns the name on
+/// first use (the only allocation) and is a map lookup afterwards — fine for
+/// harness-side reads and cold paths, wasteful per-op.
+///
+/// A name becomes visible to the `*_names` dumps only when first *written*;
+/// interning alone (`handle`) creates no metrics, so pre-resolving handles
+/// cannot change a run's reported output.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    hists: BTreeMap<String, Histogram>,
-    counters: BTreeMap<String, u64>,
-    series: BTreeMap<String, TimeSeries>,
+    /// name -> slot, also the sorted iteration order for dumps.
+    names: BTreeMap<String, u32>,
+    hists: Vec<Option<Histogram>>,
+    counters: Vec<Option<u64>>,
+    series: Vec<Option<TimeSeries>>,
 }
 
 impl Metrics {
@@ -206,54 +244,152 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Intern `name`, returning a cheap id for the id-based fast path.
+    /// Idempotent; does not create any visible metric.
+    pub fn handle(&mut self, name: &str) -> MetricId {
+        if let Some(&slot) = self.names.get(name) {
+            return MetricId(slot);
+        }
+        let slot = self.hists.len() as u32;
+        self.names.insert(name.to_string(), slot);
+        self.hists.push(None);
+        self.counters.push(None);
+        self.series.push(None);
+        MetricId(slot)
+    }
+
+    /// Get-or-create a histogram by id.
+    pub fn hist_id(&mut self, id: MetricId) -> &mut Histogram {
+        self.hists[id.0 as usize].get_or_insert_with(Histogram::new)
+    }
+
+    /// Record into a histogram by id (creates it on first use).
+    #[inline]
+    pub fn record_id(&mut self, id: MetricId, value: u64) {
+        self.hists[id.0 as usize]
+            .get_or_insert_with(Histogram::new)
+            .record(value);
+    }
+
+    /// Add to a counter by id (creates it on first use).
+    #[inline]
+    pub fn add_id(&mut self, id: MetricId, delta: u64) {
+        *self.counters[id.0 as usize].get_or_insert(0) += delta;
+    }
+
+    /// Append to a time series by id (creates it on first use).
+    #[inline]
+    pub fn push_series_id(&mut self, id: MetricId, t: SimTime, v: f64) {
+        self.series[id.0 as usize]
+            .get_or_insert_with(TimeSeries::default)
+            .push(t, v);
+    }
+
     /// Get-or-create a histogram by name.
     pub fn hist(&mut self, name: &str) -> &mut Histogram {
-        self.hists.entry(name.to_string()).or_default()
+        let id = self.handle(name);
+        self.hist_id(id)
     }
 
     /// Read a histogram if it exists.
     pub fn hist_ref(&self, name: &str) -> Option<&Histogram> {
-        self.hists.get(name)
+        let &slot = self.names.get(name)?;
+        self.hists[slot as usize].as_ref()
     }
 
     /// Record into a histogram by name (creates it on first use).
     pub fn record(&mut self, name: &str, value: u64) {
-        self.hist(name).record(value);
+        let id = self.handle(name);
+        self.record_id(id, value);
     }
 
     /// Add to a counter by name.
     pub fn add(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+        let id = self.handle(name);
+        self.add_id(id, delta);
     }
 
     /// Read a counter (0 if never written).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.names
+            .get(name)
+            .and_then(|&slot| self.counters[slot as usize])
+            .unwrap_or(0)
     }
 
     /// Append to a time series by name.
     pub fn push_series(&mut self, name: &str, t: SimTime, v: f64) {
-        self.series.entry(name.to_string()).or_default().push(t, v);
+        let id = self.handle(name);
+        self.push_series_id(id, t, v);
     }
 
     /// Read a time series if it exists.
     pub fn series(&self, name: &str) -> Option<&TimeSeries> {
-        self.series.get(name)
+        let &slot = self.names.get(name)?;
+        self.series[slot as usize].as_ref()
     }
 
     /// Iterate all histogram names (sorted).
     pub fn hist_names(&self) -> impl Iterator<Item = &str> {
-        self.hists.keys().map(|s| s.as_str())
+        self.names
+            .iter()
+            .filter(|(_, &slot)| self.hists[slot as usize].is_some())
+            .map(|(name, _)| name.as_str())
     }
 
     /// Iterate all counter names (sorted).
     pub fn counter_names(&self) -> impl Iterator<Item = &str> {
-        self.counters.keys().map(|s| s.as_str())
+        self.names
+            .iter()
+            .filter(|(_, &slot)| self.counters[slot as usize].is_some())
+            .map(|(name, _)| name.as_str())
     }
 
     /// Iterate all series names (sorted).
     pub fn series_names(&self) -> impl Iterator<Item = &str> {
-        self.series.keys().map(|s| s.as_str())
+        self.names
+            .iter()
+            .filter(|(_, &slot)| self.series[slot as usize].is_some())
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// Exact, deterministic serialization of every metric in the registry:
+    /// counters with values, histograms bucket by bucket, series point by
+    /// point, all in sorted name order. Two runs are metric-equivalent iff
+    /// their dumps are string-equal — the determinism regression tests
+    /// compare these.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, &slot) in &self.names {
+            let slot = slot as usize;
+            if let Some(v) = self.counters[slot] {
+                writeln!(out, "counter {name} = {v}").unwrap();
+            }
+            if let Some(h) = &self.hists[slot] {
+                write!(
+                    out,
+                    "hist {name} n={} sum={} min={} max={} buckets=",
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.max()
+                )
+                .unwrap();
+                for (i, c) in h.nonzero_buckets() {
+                    write!(out, "{i}:{c} ").unwrap();
+                }
+                out.push('\n');
+            }
+            if let Some(s) = &self.series[slot] {
+                write!(out, "series {name} =").unwrap();
+                for (t, v) in s.points() {
+                    write!(out, " {}:{v:?}", t.nanos()).unwrap();
+                }
+                out.push('\n');
+            }
+        }
+        out
     }
 }
 
@@ -348,5 +484,50 @@ mod tests {
         assert_eq!(m.series("qps").unwrap().len(), 2);
         assert_eq!(m.series("qps").unwrap().last(), Some((SimTime(10), 2.0)));
         assert_eq!(m.hist_names().collect::<Vec<_>>(), vec!["lat"]);
+    }
+
+    #[test]
+    fn handles_alias_string_names() {
+        let mut m = Metrics::new();
+        let lat = m.handle("lat");
+        let ops = m.handle("ops");
+        assert_eq!(lat, m.handle("lat"), "handle must be idempotent");
+        m.record_id(lat, 100);
+        m.record("lat", 200);
+        m.add_id(ops, 1);
+        m.add("ops", 2);
+        let qps = m.handle("qps");
+        m.push_series_id(qps, SimTime(5), 3.0);
+        assert_eq!(m.hist_ref("lat").unwrap().count(), 2);
+        assert_eq!(m.counter("ops"), 3);
+        assert_eq!(m.series("qps").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn interning_creates_no_visible_metrics() {
+        let mut m = Metrics::new();
+        let _ = m.handle("never.written");
+        let _ = m.handle("also.never");
+        assert_eq!(m.hist_names().count(), 0);
+        assert_eq!(m.counter_names().count(), 0);
+        assert_eq!(m.series_names().count(), 0);
+        assert_eq!(m.counter("never.written"), 0);
+        assert!(m.hist_ref("never.written").is_none());
+        // Writing one kind exposes only that kind.
+        m.add("ops", 1);
+        assert_eq!(m.counter_names().collect::<Vec<_>>(), vec!["ops"]);
+        assert_eq!(m.hist_names().count(), 0);
+    }
+
+    #[test]
+    fn names_iterate_sorted_regardless_of_write_order() {
+        let mut m = Metrics::new();
+        m.add("z.last", 1);
+        m.add("a.first", 1);
+        m.add("m.mid", 1);
+        assert_eq!(
+            m.counter_names().collect::<Vec<_>>(),
+            vec!["a.first", "m.mid", "z.last"]
+        );
     }
 }

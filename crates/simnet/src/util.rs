@@ -92,7 +92,10 @@ impl Node for AntagonistNode {
                 if ctx.now() >= self.stop {
                     return;
                 }
-                ctx.send(self.target, Bytes::from(vec![0u8; self.burst_bytes as usize]));
+                ctx.send(
+                    self.target,
+                    Bytes::from(vec![0u8; self.burst_bytes as usize]),
+                );
                 self.sent += 1;
                 ctx.set_timer(self.interval(), TICK);
             }
@@ -136,8 +139,7 @@ mod tests {
         let _ant = sim.add_node(
             src,
             Box::new(
-                AntagonistNode::new(sink, 50.0)
-                    .window(SimTime(2_000_000), SimTime(4_000_000)),
+                AntagonistNode::new(sink, 50.0).window(SimTime(2_000_000), SimTime(4_000_000)),
             ),
         );
         sim.run_until(SimTime(1_000_000));

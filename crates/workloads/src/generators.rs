@@ -249,8 +249,8 @@ impl ProductionGets {
     }
 
     fn rate_at(&self, now: SimTime) -> f64 {
-        let phase = 2.0 * std::f64::consts::PI * (now.nanos() as f64)
-            / (self.day.nanos().max(1) as f64);
+        let phase =
+            2.0 * std::f64::consts::PI * (now.nanos() as f64) / (self.day.nanos().max(1) as f64);
         self.base_rate * (1.0 + self.diurnal_amplitude * phase.sin())
     }
 }
@@ -262,8 +262,8 @@ impl Workload for ProductionGets {
         }
         let rate = self.rate_at(now).max(1.0);
         let gap = SimDuration::from_secs_f64(rng.exponential(1.0 / rate));
-        let batch = (rng.log_normal(self.batch_mu, self.batch_sigma) as usize)
-            .clamp(1, self.batch_cap);
+        let batch =
+            (rng.log_normal(self.batch_mu, self.batch_sigma) as usize).clamp(1, self.batch_cap);
         let keys: Vec<Bytes> = (0..batch)
             .map(|_| Prefill::key_name(&self.prefix, self.zipf.sample(rng)))
             .collect();
@@ -462,7 +462,8 @@ mod tests {
             .sum();
         let late: u64 = (0..200)
             .filter_map(|_| {
-                w.next(SimTime(999_000_000), &mut rng).map(|(g, _)| g.nanos())
+                w.next(SimTime(999_000_000), &mut rng)
+                    .map(|(g, _)| g.nanos())
             })
             .sum();
         assert!(early > late * 10, "early {early} late {late}");

@@ -67,9 +67,19 @@ impl SizeDist {
         if self.sigma == 0.0 {
             return self.min;
         }
-        // Key-seeded sampling keeps corpus geometry stable.
-        let seed = cliquemap::layout::checksum(key);
-        let mut rng = SimRng::new(seed);
+        // Key-seeded sampling keeps corpus geometry stable. The seed is a
+        // fixed byte-wise FNV-1a+avalanche, deliberately independent of the
+        // wire checksum in `cliquemap::layout` so checksum implementation
+        // changes can never reshape a corpus.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51afd7ed558ccd);
+        h ^= h >> 29;
+        let mut rng = SimRng::new(h);
         self.sample(&mut rng)
     }
 
@@ -79,7 +89,9 @@ impl SizeDist {
         let mut rng = SimRng::new(seed);
         let mut samples: Vec<usize> = (0..n).map(|_| self.sample(&mut rng)).collect();
         samples.sort_unstable();
-        let qs = [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0];
+        let qs = [
+            0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0,
+        ];
         qs.iter()
             .map(|&q| {
                 let idx = ((q * n as f64) as usize).clamp(1, n) - 1;
@@ -125,7 +137,10 @@ mod tests {
         // Compare p90.
         let ads_p90 = ads.iter().find(|(_, q)| *q == 0.9).unwrap().0;
         let geo_p90 = geo.iter().find(|(_, q)| *q == 0.9).unwrap().0;
-        assert!(ads_p90 > geo_p90 * 2, "ads p90 {ads_p90}, geo p90 {geo_p90}");
+        assert!(
+            ads_p90 > geo_p90 * 2,
+            "ads p90 {ads_p90}, geo p90 {geo_p90}"
+        );
     }
 
     #[test]

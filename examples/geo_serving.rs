@@ -34,9 +34,7 @@ fn main() {
     let day = SimDuration::from_millis(250);
     let sizes = SizeDist::geo();
     let mut workloads: Vec<Box<dyn Workload>> = (0..4)
-        .map(|_| {
-            Box::new(ProductionGets::geo("k", SEGMENTS, 2_500.0, day)) as Box<dyn Workload>
-        })
+        .map(|_| Box::new(ProductionGets::geo("k", SEGMENTS, 2_500.0, day)) as Box<dyn Workload>)
         .collect();
     // The model-update jobs: steady SET stream, separate from readers.
     for _ in 0..2 {

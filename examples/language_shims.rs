@@ -33,9 +33,7 @@ fn main() {
         spec.client.pacing = Pacing::Closed;
         spec.client.access_flush = None;
         let workloads: Vec<Box<dyn Workload>> = (0..4)
-            .map(|_| {
-                Box::new(UniformWorkload::gets(KEYS, 1e9, u64::MAX)) as Box<dyn Workload>
-            })
+            .map(|_| Box::new(UniformWorkload::gets(KEYS, 1e9, u64::MAX)) as Box<dyn Workload>)
             .collect();
         let mut cell = Cell::build(spec, workloads);
         bench::populate_cell(&mut cell, "key-", KEYS, &SizeDist::fixed(64));

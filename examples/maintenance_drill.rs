@@ -56,7 +56,10 @@ fn main() {
     // Phase 2: planned maintenance — backend 0 migrates to the spare.
     let spare = cell.spares[0];
     let injector_host = cell.sim.add_host(HostCfg::default());
-    let body = PrepareMaintenance { spare_node: spare.0 }.encode();
+    let body = PrepareMaintenance {
+        spare_node: spare.0,
+    }
+    .encode();
     let at = SimTime(cell.sim.now().nanos() + 10_000_000);
     cell.sim.add_node(
         injector_host,
@@ -87,7 +90,8 @@ fn main() {
     replacement.store.shard = 2;
     replacement.config_store = Some(cell.config_store);
     replacement.recover_on_start = true;
-    cell.sim.revive(victim, Box::new(BackendNode::new(replacement)));
+    cell.sim
+        .revive(victim, Box::new(BackendNode::new(replacement)));
     cell.run_for(SimDuration::from_millis(300));
     checkpoint(&mut cell, "after restart + cohort repairs");
     let m = cell.sim.metrics();

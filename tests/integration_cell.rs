@@ -56,7 +56,9 @@ fn cliquemap_gets_beat_memcacheg_by_an_order_of_magnitude() {
     let ch = sim.add_host(HostCfg::default().no_cstates());
     let server = sim.add_node(
         sh,
-        Box::new(baselines::MemcacheGNode::new(baselines::MemcacheGCfg::default())),
+        Box::new(baselines::MemcacheGNode::new(
+            baselines::MemcacheGCfg::default(),
+        )),
     );
     // Populate then read.
     let mut ops: Vec<(SimDuration, ClientOp)> = (0..200u64)
@@ -116,7 +118,10 @@ fn values_survive_the_full_wire_path() {
             (50, ClientOp::Set { key, value })
         })
         .collect();
-    let mut cell = Cell::build(spec(LookupStrategy::TwoR, ReplicationMode::R32), vec![script(ops)]);
+    let mut cell = Cell::build(
+        spec(LookupStrategy::TwoR, ReplicationMode::R32),
+        vec![script(ops)],
+    );
     cell.run_for(SimDuration::from_secs(1));
     assert_eq!(cell.sets_completed(), keys);
     let hasher = DefaultHasher;
@@ -183,17 +188,26 @@ fn racing_writers_converge_to_one_version() {
 #[test]
 fn r2_immutable_survives_primary_crash() {
     let ops = vec![
-        (0, ClientOp::Set {
-            key: Bytes::from_static(b"imm"),
-            value: Bytes::from_static(b"corpus"),
-        }),
+        (
+            0,
+            ClientOp::Set {
+                key: Bytes::from_static(b"imm"),
+                value: Bytes::from_static(b"corpus"),
+            },
+        ),
         // Read before and after the crash.
-        (2_000, ClientOp::Get {
-            key: Bytes::from_static(b"imm"),
-        }),
-        (500_000, ClientOp::Get {
-            key: Bytes::from_static(b"imm"),
-        }),
+        (
+            2_000,
+            ClientOp::Get {
+                key: Bytes::from_static(b"imm"),
+            },
+        ),
+        (
+            500_000,
+            ClientOp::Get {
+                key: Bytes::from_static(b"imm"),
+            },
+        ),
     ];
     let mut cell = Cell::build(
         spec(LookupStrategy::TwoR, ReplicationMode::R2Immutable),
@@ -433,7 +447,7 @@ fn cas_contention_exactly_one_winner() {
         ],
     );
     bench::populate_cell(&mut cell, "cas-ke", 0, &SizeDist::fixed(8)); // no-op, names differ
-    // Install the contested key directly at a known version.
+                                                                       // Install the contested key directly at a known version.
     {
         let hasher = DefaultHasher;
         let key = Bytes::from_static(b"cas-key");
@@ -465,9 +479,7 @@ fn cas_contention_exactly_one_winner() {
         .iter()
         .map(|&c| {
             cell.sim
-                .with_node::<ClientNode, _>(c, |n| {
-                    n.completions.iter().map(|(o, _)| *o).collect()
-                })
+                .with_node::<ClientNode, _>(c, |n| n.completions.iter().map(|(o, _)| *o).collect())
                 .unwrap()
         })
         .collect();

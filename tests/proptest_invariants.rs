@@ -18,9 +18,18 @@ use cliquemap::version::VersionNumber;
 
 #[derive(Debug, Clone)]
 enum StoreOp {
-    Set { key: u8, value_len: u16, version: u64 },
-    Erase { key: u8, version: u64 },
-    Fetch { key: u8 },
+    Set {
+        key: u8,
+        value_len: u16,
+        version: u64,
+    },
+    Erase {
+        key: u8,
+        version: u64,
+    },
+    Fetch {
+        key: u8,
+    },
 }
 
 fn store_op() -> impl Strategy<Value = StoreOp> {
@@ -32,8 +41,7 @@ fn store_op() -> impl Strategy<Value = StoreOp> {
                 version,
             }
         }),
-        (any::<u8>(), 1u64..1000)
-            .prop_map(|(key, version)| StoreOp::Erase { key, version }),
+        (any::<u8>(), 1u64..1000).prop_map(|(key, version)| StoreOp::Erase { key, version }),
         any::<u8>().prop_map(|key| StoreOp::Fetch { key }),
     ]
 }
