@@ -24,4 +24,7 @@ cargo fmt --all --check
 echo "== simperf regression gate =="
 cargo run --release -p bench --bin simperf -- --check
 
+echo "== simperf allocation gate (counting allocator) =="
+cargo run --release -p bench --features simperf-alloc --bin simperf -- --check
+
 echo "CI OK"

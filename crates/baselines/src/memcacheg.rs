@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use bytes::Bytes;
+use bytes::{Bytes, Pool};
 
 use cliquemap::hash::{DefaultHasher, KeyHasher};
 use cliquemap::messages::{self, method};
@@ -62,6 +62,9 @@ pub struct MemcacheGNode {
     pub evictions: u64,
     /// Interned handle for `mcg.rpc_bytes`; resolved on [`Event::Start`].
     rpc_bytes_id: Option<MetricId>,
+    /// Frame-buffer pool responses are encoded into; swapped for the
+    /// host-shared pool at [`Event::Start`].
+    pool: Pool,
 }
 
 impl MemcacheGNode {
@@ -78,6 +81,7 @@ impl MemcacheGNode {
             ops: 0,
             evictions: 0,
             rpc_bytes_id: None,
+            pool: Pool::new(),
         }
     }
 
@@ -129,7 +133,7 @@ impl MemcacheGNode {
                             value: e.value.clone(),
                             version: e.version,
                         }
-                        .encode();
+                        .encode_in(&self.pool);
                         (Status::Ok, body)
                     }
                     None => (Status::NotFound, Bytes::new()),
@@ -182,18 +186,22 @@ impl Node for MemcacheGNode {
         match ev {
             Event::Start => {
                 self.rpc_bytes_id = Some(ctx.metrics().handle("mcg.rpc_bytes"));
+                self.pool = ctx.pool();
             }
             Event::Frame(frame) => {
                 let Some(rpc::Envelope::Request(req)) = rpc::decode(frame.payload) else {
                     return;
                 };
                 let (status, body) = self.handle(&req);
-                let resp = rpc::encode_response(&rpc::Response {
-                    version: rpc::PROTOCOL_VERSION,
-                    status,
-                    id: req.id,
-                    body,
-                });
+                let resp = rpc::encode_response_in(
+                    &rpc::Response {
+                        version: rpc::PROTOCOL_VERSION,
+                        status,
+                        id: req.id,
+                        body,
+                    },
+                    &self.pool,
+                );
                 let cost = self.cfg.rpc_cost.server_total(req.body.len(), resp.len())
                     + self.cfg.handler_cost;
                 let tok = self.pending.defer((frame.src, resp));

@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use bytes::Bytes;
+use bytes::{Bytes, Pool};
 
 use cliquemap::hash::{place, DefaultHasher, KeyHasher};
 use cliquemap::messages::{self, method};
@@ -116,6 +116,9 @@ pub struct RpcKvcsClient {
     pub completions: Vec<(OpOutcome, u64)>,
     /// Interned metric handles; resolved on [`Event::Start`].
     mids: Option<RpcClientMetricIds>,
+    /// Frame-buffer pool bodies are encoded into; swapped for the
+    /// host-shared pool at [`Event::Start`].
+    pool: Pool,
 }
 
 impl RpcKvcsClient {
@@ -136,6 +139,7 @@ impl RpcKvcsClient {
             workload_done: false,
             completions: Vec::new(),
             mids: None,
+            pool: Pool::new(),
         }
     }
 
@@ -209,7 +213,7 @@ impl RpcKvcsClient {
             ClientOp::Get { key } => (
                 method::GET_RPC,
                 self.server_for(key),
-                messages::GetReq { key: key.clone() }.encode(),
+                messages::GetReq { key: key.clone() }.encode_in(&self.pool),
             ),
             ClientOp::Set { key, value } => {
                 let version = self.versions.nominate(tt);
@@ -221,7 +225,7 @@ impl RpcKvcsClient {
                         value: value.clone(),
                         version,
                     }
-                    .encode(),
+                    .encode_in(&self.pool),
                 )
             }
             ClientOp::Erase { key } => {
@@ -233,7 +237,7 @@ impl RpcKvcsClient {
                         key: key.clone(),
                         version,
                     }
-                    .encode(),
+                    .encode_in(&self.pool),
                 )
             }
             // MultiGet is not part of the memcached interface; serve the
@@ -244,7 +248,7 @@ impl RpcKvcsClient {
                 messages::GetReq {
                     key: keys[0].clone(),
                 }
-                .encode(),
+                .encode_in(&self.pool),
             ),
             _ => {
                 self.complete(ctx, id, OpOutcome::Error);
@@ -314,6 +318,8 @@ impl Node for RpcKvcsClient {
         match ev {
             Event::Start => {
                 self.mids = Some(RpcClientMetricIds::resolve(ctx.metrics()));
+                self.pool = ctx.pool();
+                self.calls.set_pool(self.pool.clone());
                 self.schedule_next(ctx);
             }
             Event::Frame(frame) => {

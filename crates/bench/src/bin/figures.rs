@@ -3,9 +3,14 @@
 //! ```text
 //! cargo run --release -p bench --bin figures -- all
 //! cargo run --release -p bench --bin figures -- f7 f11 f15
+//! cargo run --release -p bench --bin figures -- --filter f1
 //! cargo run --release -p bench --bin figures -- all --jobs 4
 //! cargo run --release -p bench --bin figures -- all --csv out/
 //! ```
+//!
+//! `--filter <fig>` selects every known experiment whose id contains the
+//! given substring (`--filter f1` runs f10..f19 and f1-prefixed ids), and
+//! may be repeated; it composes with explicitly named ids.
 //!
 //! Experiments are independent, deterministic simulations; `--jobs N` runs
 //! them on N threads without changing any result. The default is one job
@@ -27,6 +32,20 @@ fn main() {
             "--csv" => {
                 csv_dir = Some(it.next().expect("--csv DIR"));
             }
+            "--filter" => {
+                let pat = it.next().expect("--filter FIG");
+                let matched: Vec<String> = bench::ALL_EXPERIMENTS
+                    .iter()
+                    .filter(|id| id.contains(&pat))
+                    .map(|s| s.to_string())
+                    .collect();
+                assert!(
+                    !matched.is_empty(),
+                    "--filter {pat:?} matches no experiment; known: {:?}",
+                    bench::ALL_EXPERIMENTS
+                );
+                ids.extend(matched);
+            }
             "--list" => {
                 for id in bench::ALL_EXPERIMENTS {
                     println!("{id}");
@@ -42,6 +61,9 @@ fn main() {
             .map(|s| s.to_string())
             .collect();
     }
+    // Overlapping filters / explicit ids shouldn't run anything twice.
+    let mut seen = std::collections::HashSet::new();
+    ids.retain(|id| seen.insert(id.clone()));
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }

@@ -17,6 +17,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod simcore;
 
 pub use harness::{populate_cell, Report, WindowSampler};
 

@@ -15,7 +15,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use bytes::Bytes;
+use bytes::{Bytes, Pool};
 
 use rma::{PonyCfg, PonyHost, RmaEnvelope, Transport, TransportKind};
 use rpc::{CallTable, Completion, RpcCostModel, Status};
@@ -197,6 +197,9 @@ pub struct BackendNode {
     retired: bool,
     /// Interned metric handles; resolved on [`Event::Start`].
     mids: Option<BackendMetricIds>,
+    /// Frame-buffer pool every response/request is encoded into; swapped
+    /// for the host-shared pool at [`Event::Start`].
+    pool: Pool,
 }
 
 /// Interned handles for every metric the backend writes; resolved once at
@@ -280,6 +283,7 @@ impl BackendNode {
             growth_pending: false,
             retired: false,
             mids: None,
+            pool: Pool::new(),
             cfg,
         }
     }
@@ -318,12 +322,15 @@ impl BackendNode {
         status: Status,
         body: Bytes,
     ) {
-        let resp = rpc::encode_response(&rpc::Response {
-            version: rpc::PROTOCOL_VERSION,
-            status,
-            id: req_id,
-            body,
-        });
+        let resp = rpc::encode_response_in(
+            &rpc::Response {
+                version: rpc::PROTOCOL_VERSION,
+                status,
+                id: req_id,
+                body,
+            },
+            &self.pool,
+        );
         ctx.metrics().add_id(self.m().rpc_bytes, resp.len() as u64);
         ctx.send(dst, resp);
     }
@@ -337,6 +344,7 @@ impl BackendNode {
             self.store.regions(),
             &CliqueScarResolver,
             &mut self.transport,
+            &self.pool,
             now,
         );
         if let Some(served) = served {
@@ -377,7 +385,7 @@ impl BackendNode {
                 } else if self.cfg.is_spare && !self.has_identity() {
                     self.respond_rpc(ctx, src, req.id, Status::WrongShard, Bytes::new());
                 } else {
-                    let g = self.store.geometry().encode();
+                    let g = self.store.geometry().encode_in(&self.pool);
                     self.respond_rpc(ctx, src, req.id, Status::Ok, g);
                 }
             }
@@ -409,7 +417,7 @@ impl BackendNode {
                     done,
                     pairs,
                 }
-                .encode();
+                .encode_in(&self.pool);
                 self.respond_rpc(ctx, src, req.id, Status::Ok, body);
             }
             method::MIGRATE_CHUNK => self.handle_migrate_chunk(ctx, src, req),
@@ -546,7 +554,7 @@ impl BackendNode {
                     value,
                     version,
                 }
-                .encode();
+                .encode_in(&self.pool);
                 self.respond_rpc(ctx, src, req.id, Status::Ok, body);
             }
             _ => self.respond_rpc(ctx, src, req.id, Status::NotFound, Bytes::new()),
@@ -565,7 +573,7 @@ impl BackendNode {
                     value,
                     version,
                 }
-                .encode();
+                .encode_in(&self.pool);
                 self.respond_rpc(ctx, src, req.id, Status::Ok, body);
             }
             None => self.respond_rpc(ctx, src, req.id, Status::NotFound, Bytes::new()),
@@ -664,7 +672,7 @@ impl BackendNode {
     fn request_scan_page(&mut self, ctx: &mut Ctx<'_>) {
         let Some(scan) = &self.scan else { return };
         let peer = scan.peers[scan.current];
-        let body = messages::ScanReq { page: scan.page }.encode();
+        let body = messages::ScanReq { page: scan.page }.encode_in(&self.pool);
         self.call(ctx, peer, method::SCAN, body, tag::SCAN);
     }
 
@@ -745,7 +753,8 @@ impl BackendNode {
                         .map(|(_, _, e)| e.version)
                         .unwrap_or(VersionNumber::ZERO);
                     if local < peer_version {
-                        let body = messages::FetchByHashReq { key_hash: hash }.encode();
+                        let body =
+                            messages::FetchByHashReq { key_hash: hash }.encode_in(&self.pool);
                         self.call(ctx, peer, method::FETCH_BY_HASH, body, tag::FETCH);
                         fetches += 1;
                     }
@@ -774,7 +783,7 @@ impl BackendNode {
             value: value.clone(),
             version: new_version,
         }
-        .encode();
+        .encode_in(&self.pool);
         for replica in config.replicas_for(shard) {
             if replica == me {
                 // Apply locally, directly (we are the repairer).
@@ -842,7 +851,7 @@ impl BackendNode {
             new_config_id,
             entries: slice,
         }
-        .encode();
+        .encode_in(&self.pool);
         self.call(ctx, spare, method::MIGRATE_CHUNK, body, tag::MIGRATE);
     }
 
@@ -1028,6 +1037,8 @@ impl Node for BackendNode {
         match ev {
             Event::Start => {
                 self.mids = Some(BackendMetricIds::resolve(ctx.metrics()));
+                self.pool = ctx.pool();
+                self.calls.set_pool(self.pool.clone());
                 let tok = self.work.defer(Work::ReshapeCheck);
                 ctx.set_timer(self.cfg.reshape_check, tok);
                 if let Some(interval) = self.cfg.scan_interval {

@@ -18,9 +18,10 @@
 //!   seeing the reads.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
 use std::sync::Arc;
 
-use bytes::Bytes;
+use bytes::{Bytes, Pool};
 
 use rma::{PonyCfg, RmaOpTable, RmaStatus, Transport, TransportKind, WindowId};
 use rpc::{CallTable, RetryPolicy, RetryState, RpcCostModel, Status};
@@ -162,6 +163,49 @@ struct GetState {
     fallback_pending: u8,
 }
 
+impl GetState {
+    /// A blank state for the recycling freelist (no capacity yet; it
+    /// accrues on first use and is retained across reuses).
+    fn blank() -> GetState {
+        GetState {
+            key: Bytes::new(),
+            hash: 0,
+            batch: None,
+            retry: RetryState {
+                attempts: 1,
+                started_at: SimTime(0),
+            },
+            attempt: 0,
+            replicas: Vec::new(),
+            votes: Vec::new(),
+            data_requested: false,
+            data: None,
+            avoid: None,
+            saw_overflow: false,
+            waiting_geometry: false,
+            fallback_pending: 0,
+        }
+    }
+
+    /// Reset for reuse, keeping the `replicas`/`votes` allocations.
+    fn clear_for_reuse(&mut self) {
+        self.key = Bytes::new();
+        self.batch = None;
+        self.attempt = 0;
+        self.replicas.clear();
+        self.votes.clear();
+        self.data_requested = false;
+        self.data = None;
+        self.avoid = None;
+        self.saw_overflow = false;
+        self.waiting_geometry = false;
+        self.fallback_pending = 0;
+    }
+}
+
+/// Completed [`GetState`]s kept for reuse; beyond this they are dropped.
+const FREE_GETS_CAP: usize = 8192;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum MutationKind {
     Set,
@@ -229,12 +273,18 @@ pub struct ClientNode {
     work: Deferred<Work>,
     versions: VersionGen,
     memo: VersionMemo,
-    config: Option<CellConfig>,
+    /// Rc: cloned on every op issue (the config must outlive the borrow of
+    /// `self.ops`), so a deep copy here would put two `Vec` clones on the
+    /// per-op hot path.
+    config: Option<Rc<CellConfig>>,
     config_refreshing: bool,
     geometry: HashMap<NodeId, Geometry>,
     connecting: HashSet<NodeId>,
     pending_start: HashMap<u64, ClientOp>,
     ops: BTreeMap<u64, OpState>,
+    /// Recycled [`GetState`]s: completed GETs return here so steady-state
+    /// issue reuses their `replicas`/`votes` capacity (no allocation).
+    free_gets: Vec<GetState>,
     batches: HashMap<u64, BatchState>,
     next_op_id: u64,
     in_flight: usize,
@@ -244,6 +294,9 @@ pub struct ClientNode {
     pub completions: Vec<(OpOutcome, u64)>,
     /// Interned metric handles; resolved on [`Event::Start`].
     mids: Option<ClientMetricIds>,
+    /// Frame-buffer pool bodies are encoded into; swapped for the
+    /// host-shared pool at [`Event::Start`].
+    pool: Pool,
 }
 
 impl std::fmt::Debug for ClientNode {
@@ -388,6 +441,7 @@ impl ClientNode {
             connecting: HashSet::new(),
             pending_start: HashMap::new(),
             ops: BTreeMap::new(),
+            free_gets: Vec::new(),
             batches: HashMap::new(),
             next_op_id: 1,
             in_flight: 0,
@@ -395,6 +449,7 @@ impl ClientNode {
             access_buffer: BTreeMap::new(),
             completions: Vec::new(),
             mids: None,
+            pool: Pool::new(),
         }
     }
 
@@ -517,48 +572,41 @@ impl ClientNode {
         };
         let hash = self.cfg.hasher.hash(&key);
         let shard = place(hash, config.num_shards(), 1).shard;
-        let replicas = config.replicas_for(shard);
+        let mut replica_buf = [NodeId(0); 4];
+        let nreplicas = config.replicas_for_buf(shard, &mut replica_buf);
+        let replicas = &replica_buf[..nreplicas];
         // GETs need geometry for every replica (RMA addressing); mutations
         // are plain RPCs and can go immediately.
         let is_get = matches!(op, ClientOp::Get { .. });
         let needs_geometry = is_get && self.cfg.strategy != LookupStrategy::Msg;
         if needs_geometry {
-            let missing: Vec<NodeId> = replicas
-                .iter()
-                .copied()
-                .filter(|r| !self.geometry.contains_key(r))
-                .collect();
+            let mut missing = [NodeId(0); 4];
+            let mut nmissing = 0;
+            for r in replicas {
+                if !self.geometry.contains_key(r) {
+                    missing[nmissing] = *r;
+                    nmissing += 1;
+                }
+            }
             // Proceed once a read quorum's worth of connections exist; a
             // dead replica must not park reads forever (its vote simply
             // fails). Keep trying to connect to the stragglers.
             let quorum = config.replication.read_quorum() as usize;
-            if replicas.len() - missing.len() < quorum {
-                for m in missing {
-                    self.ensure_connect(ctx, m);
-                }
-                return; // stays parked; released by CONNECT completion
-            }
-            for m in missing {
+            for &m in &missing[..nmissing] {
                 self.ensure_connect(ctx, m);
+            }
+            if nreplicas - nmissing < quorum {
+                return; // stays parked; released by CONNECT completion
             }
         }
         match op {
             ClientOp::Get { key } => {
-                let state = GetState {
-                    key,
-                    hash,
-                    batch,
-                    retry: self.cfg.retry.start(ctx.now()),
-                    attempt: 0,
-                    replicas,
-                    votes: Vec::new(),
-                    data_requested: false,
-                    data: None,
-                    avoid: None,
-                    saw_overflow: false,
-                    waiting_geometry: false,
-                    fallback_pending: 0,
-                };
+                let mut state = self.free_gets.pop().unwrap_or_else(GetState::blank);
+                state.key = key;
+                state.hash = hash;
+                state.batch = batch;
+                state.retry = self.cfg.retry.start(ctx.now());
+                state.replicas.extend_from_slice(replicas);
                 self.ops.insert(op_id, OpState::Get(state));
                 self.issue_get_attempt(ctx, op_id);
             }
@@ -571,7 +619,7 @@ impl ClientNode {
                     value,
                     None,
                     batch,
-                    replicas,
+                    replicas.to_vec(),
                 );
             }
             ClientOp::Erase { key } => {
@@ -583,7 +631,7 @@ impl ClientNode {
                     Bytes::new(),
                     None,
                     batch,
-                    replicas,
+                    replicas.to_vec(),
                 );
             }
             ClientOp::Cas { key, value } => {
@@ -599,7 +647,7 @@ impl ClientNode {
                     value,
                     Some(expected),
                     batch,
-                    replicas,
+                    replicas.to_vec(),
                 );
             }
             ClientOp::MultiGet { .. } => unreachable!(),
@@ -626,15 +674,17 @@ impl ClientNode {
         // operations may retry on new connections" (§3).
         let needs_geometry = self.cfg.strategy != LookupStrategy::Msg;
         if needs_geometry {
-            let (missing, have): (Vec<NodeId>, usize) = match self.ops.get(&op_id) {
+            let (missing, nmissing, have) = match self.ops.get(&op_id) {
                 Some(OpState::Get(get)) => {
-                    let missing: Vec<NodeId> = get
-                        .replicas
-                        .iter()
-                        .copied()
-                        .filter(|r| !self.geometry.contains_key(r))
-                        .collect();
-                    (missing.clone(), get.replicas.len() - missing.len())
+                    let mut missing = [NodeId(0); 4];
+                    let mut nmissing = 0;
+                    for r in &get.replicas {
+                        if !self.geometry.contains_key(r) {
+                            missing[nmissing] = *r;
+                            nmissing += 1;
+                        }
+                    }
+                    (missing, nmissing, get.replicas.len() - nmissing)
                 }
                 _ => return,
             };
@@ -653,7 +703,7 @@ impl ClientNode {
                     self.complete_op(ctx, op_id, crate::workload::OpOutcome::Error, now);
                     return;
                 }
-                for m in missing {
+                for &m in &missing[..nmissing] {
                     self.ensure_connect(ctx, m);
                 }
                 if let Some(OpState::Get(get)) = self.ops.get_mut(&op_id) {
@@ -663,7 +713,7 @@ impl ClientNode {
             }
             // Quorum-sufficient: proceed, but keep healing the stragglers
             // in the background (a revived replica rejoins this way).
-            for m in missing {
+            for &m in &missing[..nmissing] {
                 self.ensure_connect(ctx, m);
             }
         }
@@ -679,22 +729,29 @@ impl ClientNode {
         let attempt = get.attempt;
         let hash = get.hash;
         let key = get.key.clone();
-        let replicas: Vec<NodeId> = match self.config.as_ref().map(|c| c.replication) {
+        let mut replica_buf = [NodeId(0); 4];
+        let nreps = match self.config.as_ref().map(|c| c.replication) {
             Some(ReplicationMode::R2Immutable) => {
                 // Immutable mode: consult one replica, alternating on retry.
                 let idx = ((attempt - 1) as usize) % get.replicas.len();
-                vec![get.replicas[idx]]
+                replica_buf[0] = get.replicas[idx];
+                1
             }
-            _ => get.replicas.clone(),
+            _ => {
+                let n = get.replicas.len().min(replica_buf.len());
+                replica_buf[..n].copy_from_slice(&get.replicas[..n]);
+                n
+            }
         };
+        let replicas = &replica_buf[..nreps];
         match self.cfg.strategy {
             LookupStrategy::TwoR => {
-                for r in replicas {
+                for &r in replicas {
                     self.issue_index_read(ctx, op_id, attempt, r, hash);
                 }
             }
             LookupStrategy::Scar => {
-                for r in replicas {
+                for &r in replicas {
                     self.issue_scar(ctx, op_id, attempt, r, hash);
                 }
             }
@@ -702,7 +759,7 @@ impl ClientNode {
                 let primary = replicas[0];
                 #[cfg(feature = "dbg")]
                 eprintln!("[{}] msg_get key={:?} -> {:?}", ctx.now(), key, primary);
-                let body = messages::GetReq { key }.encode();
+                let body = messages::GetReq { key }.encode_in(&self.pool);
                 ctx.charge_cpu(self.cfg.msg_cost.client_send);
                 ctx.metrics()
                     .add_id(self.m().cpu_ns, self.cfg.msg_cost.client_send.nanos());
@@ -888,7 +945,7 @@ impl ClientNode {
                 get.fallback_pending = replicas.len() as u8;
                 ctx.metrics().add_id(self.m().get_overflow_fallbacks, 1);
                 for replica in replicas {
-                    let body = messages::GetReq { key: key.clone() }.encode();
+                    let body = messages::GetReq { key: key.clone() }.encode_in(&self.pool);
                     self.rpc_call(ctx, replica, method::GET_RPC, body, op_id, attempt, 2);
                 }
                 return;
@@ -1072,19 +1129,19 @@ impl ClientNode {
                 value: m.value.clone(),
                 version: m.version,
             }
-            .encode(),
+            .encode_in(&self.pool),
             MutationKind::Erase => messages::EraseReq {
                 key: m.key.clone(),
                 version: m.version,
             }
-            .encode(),
+            .encode_in(&self.pool),
             MutationKind::Cas => messages::CasReq {
                 key: m.key.clone(),
                 value: m.value.clone(),
                 expected: m.expected.unwrap_or(VersionNumber::ZERO),
                 new_version: m.version,
             }
-            .encode(),
+            .encode_in(&self.pool),
         };
         let method_id = match kind {
             MutationKind::Set => method::SET,
@@ -1256,7 +1313,7 @@ impl ClientNode {
                             self.geometry.clear();
                             self.connecting.clear();
                         }
-                        self.config = Some(config);
+                        self.config = Some(Rc::new(config));
                         self.release_parked(ctx);
                     }
                 }
@@ -1495,7 +1552,11 @@ impl ClientNode {
                     self.complete_op(ctx, op_id, OpOutcome::Miss, ctx.now());
                     return;
                 }
-                get.data = Some((replica, entry.version, Bytes::copy_from_slice(entry.data)));
+                // Zero-copy: the value is served as a slice of the inbound
+                // frame (shares its pooled storage, no allocation).
+                let at = layout::DATA_ENTRY_HEADER_BYTES + entry.key.len();
+                let value = done.data.slice(at..at + entry.data.len());
+                get.data = Some((replica, entry.version, value));
                 self.evaluate_get(ctx, op_id);
             }
         }
@@ -1519,8 +1580,10 @@ impl ClientNode {
                 if get.attempt == attempt && get.data.is_none() {
                     match parse_data_entry(&done.data) {
                         Ok(entry) if entry.key == &get.key[..] => {
-                            get.data =
-                                Some((replica, entry.version, Bytes::copy_from_slice(entry.data)));
+                            // Zero-copy slice of the inbound frame.
+                            let at = layout::DATA_ENTRY_HEADER_BYTES + entry.key.len();
+                            let value = done.data.slice(at..at + entry.data.len());
+                            get.data = Some((replica, entry.version, value));
                         }
                         Ok(_) => {
                             ctx.metrics().add_id(self.m().get_hash_collisions, 1);
@@ -1547,6 +1610,14 @@ impl ClientNode {
             OpState::Mutation(m) => (m.retry.started_at, m.batch, false),
             OpState::Parked(..) => (at, None, false),
         };
+        // Recycle GET state so the next op reuses its replicas/votes
+        // capacity instead of allocating fresh Vecs.
+        if let OpState::Get(mut g) = state {
+            if self.free_gets.len() < FREE_GETS_CAP {
+                g.clear_for_reuse();
+                self.free_gets.push(g);
+            }
+        }
         let latency = at.since(started);
         // The application-side caller observes pipe traversals in both
         // directions plus shim marshalling on the way in and out.
@@ -1635,7 +1706,7 @@ impl ClientNode {
                 continue;
             }
             ctx.metrics().add_id(self.m().access_flushes, 1);
-            let body = messages::AccessRecords { hashes }.encode();
+            let body = messages::AccessRecords { hashes }.encode_in(&self.pool);
             let deadline = ctx.now().nanos() + self.cfg.attempt_timeout.nanos();
             let (id, wire) = self.calls.begin(
                 backend,
@@ -1674,6 +1745,9 @@ impl Node for ClientNode {
         match ev {
             Event::Start => {
                 self.mids = Some(ClientMetricIds::resolve(ctx.metrics()));
+                self.pool = ctx.pool();
+                self.calls.set_pool(self.pool.clone());
+                self.rma.set_pool(self.pool.clone());
                 self.refresh_config(ctx);
                 self.schedule_next(ctx);
                 if let Some(interval) = self.cfg.access_flush {

@@ -102,6 +102,18 @@ impl CellConfig {
             .collect()
     }
 
+    /// [`Self::replicas_for`] into a fixed buffer (copies ≤ 3 by
+    /// construction) — the client's per-op path, no allocation. Returns
+    /// the replica count.
+    pub fn replicas_for_buf(&self, shard: u32, out: &mut [NodeId; 4]) -> usize {
+        let n = self.num_shards();
+        let r = self.replication.copies().min(n);
+        for (i, slot) in out.iter_mut().enumerate().take(r as usize) {
+            *slot = NodeId(self.shards[((shard + i as u32) % n) as usize]);
+        }
+        r as usize
+    }
+
     /// The physical node serving a logical shard.
     pub fn node_for(&self, shard: u32) -> NodeId {
         NodeId(self.shards[shard as usize])
@@ -210,12 +222,15 @@ impl Node for ConfigStoreNode {
                     },
                     _ => (rpc::Status::Internal, Bytes::new()),
                 };
-                let resp = rpc::encode_response(&rpc::Response {
-                    version: rpc::PROTOCOL_VERSION,
-                    status,
-                    id: req.id,
-                    body,
-                });
+                let resp = rpc::encode_response_in(
+                    &rpc::Response {
+                        version: rpc::PROTOCOL_VERSION,
+                        status,
+                        id: req.id,
+                        body,
+                    },
+                    &ctx.pool(),
+                );
                 let tok = self.pending.defer((frame.src, resp));
                 ctx.spawn_cpu(self.serve_cost, tok);
             }

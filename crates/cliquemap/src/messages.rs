@@ -8,7 +8,7 @@
 //! tolerant of trailing extensions (the same evolution posture as the RPC
 //! envelope itself).
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut, Pool};
 
 use crate::hash::KeyHash;
 use crate::version::VersionNumber;
@@ -75,12 +75,23 @@ pub struct SetReq {
 }
 
 impl SetReq {
+    fn write(&self, b: &mut BytesMut) {
+        b.put_u128_le(self.version.0);
+        put_bytes(b, &self.key);
+        put_bytes(b, &self.value);
+    }
+
     /// Encode to a body.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(24 + self.key.len() + self.value.len());
-        b.put_u128_le(self.version.0);
-        put_bytes(&mut b, &self.key);
-        put_bytes(&mut b, &self.value);
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(24 + self.key.len() + self.value.len());
+        self.write(&mut b);
         b.freeze()
     }
 
@@ -110,11 +121,22 @@ pub struct EraseReq {
 }
 
 impl EraseReq {
+    fn write(&self, b: &mut BytesMut) {
+        b.put_u128_le(self.version.0);
+        put_bytes(b, &self.key);
+    }
+
     /// Encode to a body.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(20 + self.key.len());
-        b.put_u128_le(self.version.0);
-        put_bytes(&mut b, &self.key);
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(20 + self.key.len());
+        self.write(&mut b);
         b.freeze()
     }
 
@@ -144,13 +166,24 @@ pub struct CasReq {
 }
 
 impl CasReq {
+    fn write(&self, b: &mut BytesMut) {
+        b.put_u128_le(self.expected.0);
+        b.put_u128_le(self.new_version.0);
+        put_bytes(b, &self.key);
+        put_bytes(b, &self.value);
+    }
+
     /// Encode to a body.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(40 + self.key.len() + self.value.len());
-        b.put_u128_le(self.expected.0);
-        b.put_u128_le(self.new_version.0);
-        put_bytes(&mut b, &self.key);
-        put_bytes(&mut b, &self.value);
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(40 + self.key.len() + self.value.len());
+        self.write(&mut b);
         b.freeze()
     }
 
@@ -184,12 +217,23 @@ pub struct GetResp {
 }
 
 impl GetResp {
+    fn write(&self, b: &mut BytesMut) {
+        b.put_u128_le(self.version.0);
+        put_bytes(b, &self.key);
+        put_bytes(b, &self.value);
+    }
+
     /// Encode to a body.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(24 + self.key.len() + self.value.len());
-        b.put_u128_le(self.version.0);
-        put_bytes(&mut b, &self.key);
-        put_bytes(&mut b, &self.value);
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(24 + self.key.len() + self.value.len());
+        self.write(&mut b);
         b.freeze()
     }
 
@@ -224,6 +268,13 @@ impl GetReq {
         b.freeze()
     }
 
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(4 + self.key.len());
+        put_bytes(&mut b, &self.key);
+        b.freeze()
+    }
+
     /// Decode from a body.
     pub fn decode(mut body: Bytes) -> Option<GetReq> {
         Some(GetReq {
@@ -247,6 +298,13 @@ impl FetchByHashReq {
         b.freeze()
     }
 
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(16);
+        b.put_u128_le(self.key_hash);
+        b.freeze()
+    }
+
     /// Decode from a body.
     pub fn decode(mut body: Bytes) -> Option<FetchByHashReq> {
         if body.len() < 16 {
@@ -266,13 +324,24 @@ pub struct AccessRecords {
 }
 
 impl AccessRecords {
-    /// Encode to a body.
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(4 + 16 * self.hashes.len());
+    fn write(&self, b: &mut BytesMut) {
         b.put_u32_le(self.hashes.len() as u32);
         for h in &self.hashes {
             b.put_u128_le(*h);
         }
+    }
+
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(4 + 16 * self.hashes.len());
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(4 + 16 * self.hashes.len());
+        self.write(&mut b);
         b.freeze()
     }
 
@@ -306,9 +375,7 @@ pub struct ScanPage {
 }
 
 impl ScanPage {
-    /// Encode to a body.
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(9 + 32 * self.pairs.len());
+    fn write(&self, b: &mut BytesMut) {
         b.put_u32_le(self.page);
         b.put_u8(self.done as u8);
         b.put_u32_le(self.pairs.len() as u32);
@@ -316,6 +383,19 @@ impl ScanPage {
             b.put_u128_le(*h);
             b.put_u128_le(v.0);
         }
+    }
+
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(9 + 32 * self.pairs.len());
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(9 + 32 * self.pairs.len());
+        self.write(&mut b);
         b.freeze()
     }
 
@@ -355,6 +435,13 @@ impl ScanReq {
         b.freeze()
     }
 
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(4);
+        b.put_u32_le(self.page);
+        b.freeze()
+    }
+
     /// Decode from a body.
     pub fn decode(mut body: Bytes) -> Option<ScanReq> {
         if body.len() < 4 {
@@ -383,18 +470,37 @@ pub struct MigrateChunk {
 }
 
 impl MigrateChunk {
-    /// Encode to a body.
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::new();
+    fn write(&self, b: &mut BytesMut) {
         b.put_u8(self.last as u8);
         b.put_u32_le(self.shard);
         b.put_u32_le(self.new_config_id);
         b.put_u32_le(self.entries.len() as u32);
         for (k, v, ver) in &self.entries {
             b.put_u128_le(ver.0);
-            put_bytes(&mut b, k);
-            put_bytes(&mut b, v);
+            put_bytes(b, k);
+            put_bytes(b, v);
         }
+    }
+
+    fn encoded_len(&self) -> usize {
+        13 + self
+            .entries
+            .iter()
+            .map(|(k, v, _)| 24 + k.len() + v.len())
+            .sum::<usize>()
+    }
+
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.encoded_len());
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(self.encoded_len());
+        self.write(&mut b);
         b.freeze()
     }
 
@@ -447,6 +553,13 @@ impl PrepareMaintenance {
         b.freeze()
     }
 
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(4);
+        b.put_u32_le(self.spare_node);
+        b.freeze()
+    }
+
     /// Decode from a body.
     pub fn decode(mut body: Bytes) -> Option<PrepareMaintenance> {
         if body.len() < 4 {
@@ -481,9 +594,7 @@ pub struct Geometry {
 }
 
 impl Geometry {
-    /// Encode to a body.
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(34);
+    fn write(&self, b: &mut BytesMut) {
         b.put_u32_le(self.config_id);
         b.put_u32_le(self.index_window);
         b.put_u32_le(self.index_generation);
@@ -492,6 +603,19 @@ impl Geometry {
         b.put_u32_le(self.data_window);
         b.put_u32_le(self.data_generation);
         b.put_u32_le(self.shard);
+    }
+
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(34);
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(34);
+        self.write(&mut b);
         b.freeze()
     }
 

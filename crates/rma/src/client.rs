@@ -6,11 +6,13 @@
 
 use std::collections::HashMap;
 
-use bytes::Bytes;
+use bytes::{Bytes, Pool};
 
 use simnet::{NodeId, SimTime};
 
-use crate::codec::{encode_read_req, encode_scar_req, ReadReq, RmaEnvelope, RmaStatus, ScarReq};
+use crate::codec::{
+    encode_read_req_in, encode_scar_req_in, ReadReq, RmaEnvelope, RmaStatus, ScarReq,
+};
 use crate::region::WindowId;
 
 /// Token namespace base for RMA op deadline timers.
@@ -60,6 +62,10 @@ pub struct OpCompletion {
 pub struct RmaOpTable {
     next_id: u64,
     outstanding: HashMap<u64, OutstandingOp>,
+    /// Frame-buffer pool requests are encoded into. Starts as a private
+    /// pool; nodes swap in their host's shared pool at `Event::Start` via
+    /// [`RmaOpTable::set_pool`].
+    pool: Pool,
 }
 
 impl RmaOpTable {
@@ -68,7 +74,14 @@ impl RmaOpTable {
         RmaOpTable {
             next_id: 1,
             outstanding: HashMap::new(),
+            pool: Pool::new(),
         }
+    }
+
+    /// Use `pool` for request encoding (typically the owning node's
+    /// per-host pool, so buffers recycle host-wide).
+    pub fn set_pool(&mut self, pool: Pool) {
+        self.pool = pool;
     }
 
     /// Begin a one-sided read; returns (op id, encoded request).
@@ -84,13 +97,16 @@ impl RmaOpTable {
         user_tag: u64,
     ) -> (u64, Bytes) {
         let op_id = self.alloc(dst, OpKind::Read, now, user_tag);
-        let wire = encode_read_req(&ReadReq {
-            op_id,
-            window: window.0,
-            generation,
-            offset,
-            len,
-        });
+        let wire = encode_read_req_in(
+            &ReadReq {
+                op_id,
+                window: window.0,
+                generation,
+                offset,
+                len,
+            },
+            &self.pool,
+        );
         (op_id, wire)
     }
 
@@ -108,14 +124,17 @@ impl RmaOpTable {
         user_tag: u64,
     ) -> (u64, Bytes) {
         let op_id = self.alloc(dst, OpKind::Scar, now, user_tag);
-        let wire = encode_scar_req(&ScarReq {
-            op_id,
-            index_window: index_window.0,
-            index_generation,
-            bucket_offset,
-            bucket_len,
-            key_hash,
-        });
+        let wire = encode_scar_req_in(
+            &ScarReq {
+                op_id,
+                index_window: index_window.0,
+                index_generation,
+                bucket_offset,
+                bucket_len,
+                key_hash,
+            },
+            &self.pool,
+        );
         (op_id, wire)
     }
 

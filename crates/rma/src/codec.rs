@@ -6,7 +6,7 @@
 //! relative to RPC comes precisely from not carrying the full-featured
 //! envelope.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut, Pool};
 
 /// Magic tag identifying RMA frames (RPC frames use a different magic).
 pub const RMA_MAGIC: u16 = 0x4D52; // "RM"
@@ -123,9 +123,7 @@ pub enum RmaEnvelope {
 /// Wire-header overhead of RMA frames, for fabric accounting.
 pub const RMA_HEADER_BYTES: u64 = 32;
 
-/// Encode a read request.
-pub fn encode_read_req(r: &ReadReq) -> Bytes {
-    let mut b = BytesMut::with_capacity(31);
+fn write_read_req(b: &mut BytesMut, r: &ReadReq) {
     b.put_u16_le(RMA_MAGIC);
     b.put_u8(KIND_READ_REQ);
     b.put_u64_le(r.op_id);
@@ -133,24 +131,9 @@ pub fn encode_read_req(r: &ReadReq) -> Bytes {
     b.put_u32_le(r.generation);
     b.put_u64_le(r.offset);
     b.put_u32_le(r.len);
-    b.freeze()
 }
 
-/// Encode a read response.
-pub fn encode_read_resp(r: &ReadResp) -> Bytes {
-    let mut b = BytesMut::with_capacity(16 + r.data.len());
-    b.put_u16_le(RMA_MAGIC);
-    b.put_u8(KIND_READ_RESP);
-    b.put_u64_le(r.op_id);
-    b.put_u8(r.status as u8);
-    b.put_u32_le(r.data.len() as u32);
-    b.extend_from_slice(&r.data);
-    b.freeze()
-}
-
-/// Encode a SCAR request.
-pub fn encode_scar_req(r: &ScarReq) -> Bytes {
-    let mut b = BytesMut::with_capacity(47);
+fn write_scar_req(b: &mut BytesMut, r: &ScarReq) {
     b.put_u16_le(RMA_MAGIC);
     b.put_u8(KIND_SCAR_REQ);
     b.put_u64_le(r.op_id);
@@ -159,20 +142,89 @@ pub fn encode_scar_req(r: &ScarReq) -> Bytes {
     b.put_u64_le(r.bucket_offset);
     b.put_u32_le(r.bucket_len);
     b.put_u128_le(r.key_hash);
+}
+
+/// Encode a read request.
+pub fn encode_read_req(r: &ReadReq) -> Bytes {
+    let mut b = BytesMut::with_capacity(31);
+    write_read_req(&mut b, r);
     b.freeze()
+}
+
+/// Encode a read request into a pooled buffer.
+pub fn encode_read_req_in(r: &ReadReq, pool: &Pool) -> Bytes {
+    let mut b = pool.get(31);
+    write_read_req(&mut b, r);
+    b.freeze()
+}
+
+fn write_read_resp(b: &mut BytesMut, op_id: u64, status: RmaStatus, data: &[u8]) {
+    b.put_u16_le(RMA_MAGIC);
+    b.put_u8(KIND_READ_RESP);
+    b.put_u64_le(op_id);
+    b.put_u8(status as u8);
+    b.put_u32_le(data.len() as u32);
+    b.extend_from_slice(data);
+}
+
+/// Encode a read response.
+pub fn encode_read_resp(r: &ReadResp) -> Bytes {
+    let mut b = BytesMut::with_capacity(16 + r.data.len());
+    write_read_resp(&mut b, r.op_id, r.status, &r.data);
+    b.freeze()
+}
+
+/// Encode a read response directly from a borrowed data slice into a pooled
+/// buffer — the server's single-copy path (backend memory → wire frame).
+pub fn encode_read_resp_parts(op_id: u64, status: RmaStatus, data: &[u8], pool: &Pool) -> Bytes {
+    let mut b = pool.get(16 + data.len());
+    write_read_resp(&mut b, op_id, status, data);
+    b.freeze()
+}
+
+/// Encode a SCAR request.
+pub fn encode_scar_req(r: &ScarReq) -> Bytes {
+    let mut b = BytesMut::with_capacity(47);
+    write_scar_req(&mut b, r);
+    b.freeze()
+}
+
+/// Encode a SCAR request into a pooled buffer.
+pub fn encode_scar_req_in(r: &ScarReq, pool: &Pool) -> Bytes {
+    let mut b = pool.get(47);
+    write_scar_req(&mut b, r);
+    b.freeze()
+}
+
+fn write_scar_resp(b: &mut BytesMut, op_id: u64, status: RmaStatus, bucket: &[u8], data: &[u8]) {
+    b.put_u16_le(RMA_MAGIC);
+    b.put_u8(KIND_SCAR_RESP);
+    b.put_u64_le(op_id);
+    b.put_u8(status as u8);
+    b.put_u32_le(bucket.len() as u32);
+    b.put_u32_le(data.len() as u32);
+    b.extend_from_slice(bucket);
+    b.extend_from_slice(data);
 }
 
 /// Encode a SCAR response.
 pub fn encode_scar_resp(r: &ScarResp) -> Bytes {
     let mut b = BytesMut::with_capacity(20 + r.bucket.len() + r.data.len());
-    b.put_u16_le(RMA_MAGIC);
-    b.put_u8(KIND_SCAR_RESP);
-    b.put_u64_le(r.op_id);
-    b.put_u8(r.status as u8);
-    b.put_u32_le(r.bucket.len() as u32);
-    b.put_u32_le(r.data.len() as u32);
-    b.extend_from_slice(&r.bucket);
-    b.extend_from_slice(&r.data);
+    write_scar_resp(&mut b, r.op_id, r.status, &r.bucket, &r.data);
+    b.freeze()
+}
+
+/// Encode a SCAR response directly from borrowed bucket/data slices into a
+/// pooled buffer — the server's single-copy path.
+pub fn encode_scar_resp_parts(
+    op_id: u64,
+    status: RmaStatus,
+    bucket: &[u8],
+    data: &[u8],
+    pool: &Pool,
+) -> Bytes {
+    let mut b = pool.get(20 + bucket.len() + data.len());
+    write_scar_resp(&mut b, op_id, status, bucket, data);
     b.freeze()
 }
 

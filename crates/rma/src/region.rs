@@ -148,6 +148,21 @@ impl RegionTable {
         offset: u64,
         len: u32,
     ) -> Result<Bytes, RmaStatus> {
+        self.read_window_slice(id, generation, offset, len)
+            .map(Bytes::copy_from_slice)
+    }
+
+    /// Borrowed-slice variant of [`RegionTable::read_window`]: the server's
+    /// copy-free path. The slice aliases live backend memory, so callers
+    /// must consume it (e.g. encode it into a response frame) before any
+    /// mutation of this table.
+    pub fn read_window_slice(
+        &self,
+        id: WindowId,
+        generation: u32,
+        offset: u64,
+        len: u32,
+    ) -> Result<&[u8], RmaStatus> {
         let Some(w) = self.windows.get(id.0 as usize) else {
             return Err(RmaStatus::WindowRevoked);
         };
@@ -170,7 +185,7 @@ impl RegionTable {
             // Window extends over reserved-but-unpopulated address space.
             return Err(RmaStatus::OutOfBounds);
         }
-        Ok(Bytes::copy_from_slice(&buf.data[start..stop]))
+        Ok(&buf.data[start..stop])
     }
 }
 

@@ -13,13 +13,12 @@
 //! where SCAR exists *because* Pony Express is programmable enough to host
 //! application-provided logic.
 
-use bytes::Bytes;
+use bytes::{Bytes, Pool};
 
 use simnet::SimTime;
 
 use crate::codec::{
-    encode_read_resp, encode_scar_resp, ReadReq, ReadResp, RmaEnvelope, RmaStatus, ScarReq,
-    ScarResp,
+    encode_read_resp_parts, encode_scar_resp_parts, ReadReq, RmaEnvelope, RmaStatus, ScarReq,
 };
 use crate::region::{RegionTable, WindowId};
 use crate::transport::Transport;
@@ -64,7 +63,9 @@ pub struct Served {
     pub response: Bytes,
 }
 
-/// Serve one decoded RMA request against backend memory.
+/// Serve one decoded RMA request against backend memory. Responses are
+/// encoded straight from region memory into a buffer from `pool` — one
+/// copy, no intermediate allocations.
 ///
 /// Returns `None` for response envelopes (they are client-bound and should
 /// be routed to the client's op table instead).
@@ -73,11 +74,12 @@ pub fn serve(
     regions: &RegionTable,
     resolver: &dyn ScarResolver,
     transport: &mut Transport,
+    pool: &Pool,
     now: SimTime,
 ) -> Option<Served> {
     match env {
-        RmaEnvelope::ReadReq(req) => Some(serve_read(req, regions, transport, now)),
-        RmaEnvelope::ScarReq(req) => Some(serve_scar(req, regions, resolver, transport, now)),
+        RmaEnvelope::ReadReq(req) => Some(serve_read(req, regions, transport, pool, now)),
+        RmaEnvelope::ScarReq(req) => Some(serve_scar(req, regions, resolver, transport, pool, now)),
         RmaEnvelope::ReadResp(_) | RmaEnvelope::ScarResp(_) => None,
     }
 }
@@ -86,21 +88,22 @@ fn serve_read(
     req: &ReadReq,
     regions: &RegionTable,
     transport: &mut Transport,
+    pool: &Pool,
     now: SimTime,
 ) -> Served {
-    let (status, data) =
-        match regions.read_window(WindowId(req.window), req.generation, req.offset, req.len) {
-            Ok(data) => (RmaStatus::Ok, data),
-            Err(s) => (s, Bytes::new()),
-        };
+    let (status, data) = match regions.read_window_slice(
+        WindowId(req.window),
+        req.generation,
+        req.offset,
+        req.len,
+    ) {
+        Ok(data) => (RmaStatus::Ok, data),
+        Err(s) => (s, &[][..]),
+    };
     let ready_at = transport.admit_serve(now, data.len(), 0);
     Served {
         ready_at,
-        response: encode_read_resp(&ReadResp {
-            op_id: req.op_id,
-            status,
-            data,
-        }),
+        response: encode_read_resp_parts(req.op_id, status, data, pool),
     }
 }
 
@@ -109,22 +112,18 @@ fn serve_scar(
     regions: &RegionTable,
     resolver: &dyn ScarResolver,
     transport: &mut Transport,
+    pool: &Pool,
     now: SimTime,
 ) -> Served {
     if !transport.supports_scar() {
         let ready_at = transport.admit_serve(now, 0, 0);
         return Served {
             ready_at,
-            response: encode_scar_resp(&ScarResp {
-                op_id: req.op_id,
-                status: RmaStatus::Unsupported,
-                bucket: Bytes::new(),
-                data: Bytes::new(),
-            }),
+            response: encode_scar_resp_parts(req.op_id, RmaStatus::Unsupported, &[], &[], pool),
         };
     }
     // Step 1: fetch the bucket.
-    let bucket = match regions.read_window(
+    let bucket = match regions.read_window_slice(
         WindowId(req.index_window),
         req.index_generation,
         req.bucket_offset,
@@ -135,27 +134,17 @@ fn serve_scar(
             let ready_at = transport.admit_serve(now, 0, 0);
             return Served {
                 ready_at,
-                response: encode_scar_resp(&ScarResp {
-                    op_id: req.op_id,
-                    status: s,
-                    bucket: Bytes::new(),
-                    data: Bytes::new(),
-                }),
+                response: encode_scar_resp_parts(req.op_id, s, &[], &[], pool),
             };
         }
     };
     // Step 2: NIC-side scan.
-    match resolver.resolve(&bucket, req.key_hash) {
+    match resolver.resolve(bucket, req.key_hash) {
         ScarOutcome::Miss { entries_scanned } => {
             let ready_at = transport.admit_serve(now, bucket.len(), entries_scanned.max(1));
             Served {
                 ready_at,
-                response: encode_scar_resp(&ScarResp {
-                    op_id: req.op_id,
-                    status: RmaStatus::NoMatch,
-                    bucket,
-                    data: Bytes::new(),
-                }),
+                response: encode_scar_resp_parts(req.op_id, RmaStatus::NoMatch, bucket, &[], pool),
             }
         }
         ScarOutcome::Hit {
@@ -166,20 +155,15 @@ fn serve_scar(
             entries_scanned,
         } => {
             // Step 3: follow the pointer into the data region.
-            let (status, data) = match regions.read_window(window, generation, offset, len) {
+            let (status, data) = match regions.read_window_slice(window, generation, offset, len) {
                 Ok(d) => (RmaStatus::Ok, d),
-                Err(s) => (s, Bytes::new()),
+                Err(s) => (s, &[][..]),
             };
             let ready_at =
                 transport.admit_serve(now, bucket.len() + data.len(), entries_scanned.max(1));
             Served {
                 ready_at,
-                response: encode_scar_resp(&ScarResp {
-                    op_id: req.op_id,
-                    status,
-                    bucket,
-                    data,
-                }),
+                response: encode_scar_resp_parts(req.op_id, status, bucket, data, pool),
             }
         }
     }
@@ -188,7 +172,7 @@ fn serve_scar(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::codec::decode;
+    use crate::codec::{decode, ReadResp};
     use crate::pony::PonyCfg;
 
     /// Toy layout for tests: bucket is a list of (u128 hash, u64 offset,
@@ -258,7 +242,15 @@ mod tests {
             offset: 32,
             len: 5,
         });
-        let served = serve(&req, &regions, &resolver, &mut transport, SimTime(0)).unwrap();
+        let served = serve(
+            &req,
+            &regions,
+            &resolver,
+            &mut transport,
+            &Pool::new(),
+            SimTime(0),
+        )
+        .unwrap();
         match decode(served.response).unwrap() {
             RmaEnvelope::ReadResp(r) => {
                 assert_eq!(r.status, RmaStatus::Ok);
@@ -280,7 +272,15 @@ mod tests {
             bucket_len: 28 * 2,
             key_hash: 7,
         });
-        let served = serve(&req, &regions, &resolver, &mut transport, SimTime(0)).unwrap();
+        let served = serve(
+            &req,
+            &regions,
+            &resolver,
+            &mut transport,
+            &Pool::new(),
+            SimTime(0),
+        )
+        .unwrap();
         match decode(served.response).unwrap() {
             RmaEnvelope::ScarResp(r) => {
                 assert_eq!(r.status, RmaStatus::Ok);
@@ -302,7 +302,15 @@ mod tests {
             bucket_len: 28,
             key_hash: 12345,
         });
-        let served = serve(&req, &regions, &resolver, &mut transport, SimTime(0)).unwrap();
+        let served = serve(
+            &req,
+            &regions,
+            &resolver,
+            &mut transport,
+            &Pool::new(),
+            SimTime(0),
+        )
+        .unwrap();
         match decode(served.response).unwrap() {
             RmaEnvelope::ScarResp(r) => {
                 assert_eq!(r.status, RmaStatus::NoMatch);
@@ -325,7 +333,15 @@ mod tests {
             bucket_len: 28,
             key_hash: 7,
         });
-        let served = serve(&req, &regions, &resolver, &mut transport, SimTime(0)).unwrap();
+        let served = serve(
+            &req,
+            &regions,
+            &resolver,
+            &mut transport,
+            &Pool::new(),
+            SimTime(0),
+        )
+        .unwrap();
         match decode(served.response).unwrap() {
             RmaEnvelope::ScarResp(r) => assert_eq!(r.status, RmaStatus::Unsupported),
             other => panic!("{other:?}"),
@@ -345,7 +361,15 @@ mod tests {
             bucket_len: 28,
             key_hash: 7,
         });
-        let served = serve(&req, &regions, &resolver, &mut transport, SimTime(0)).unwrap();
+        let served = serve(
+            &req,
+            &regions,
+            &resolver,
+            &mut transport,
+            &Pool::new(),
+            SimTime(0),
+        )
+        .unwrap();
         match decode(served.response).unwrap() {
             RmaEnvelope::ScarResp(r) => assert_eq!(r.status, RmaStatus::WindowRevoked),
             other => panic!("{other:?}"),
@@ -360,6 +384,14 @@ mod tests {
             status: RmaStatus::Ok,
             data: Bytes::new(),
         });
-        assert!(serve(&env, &regions, &resolver, &mut transport, SimTime(0)).is_none());
+        assert!(serve(
+            &env,
+            &regions,
+            &resolver,
+            &mut transport,
+            &Pool::new(),
+            SimTime(0)
+        )
+        .is_none());
     }
 }

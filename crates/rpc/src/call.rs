@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use bytes::Bytes;
+use bytes::{Bytes, Pool};
 
 use simnet::{NodeId, SimTime};
 
@@ -55,6 +55,10 @@ pub struct Completion {
 pub struct CallTable {
     next_id: u64,
     outstanding: HashMap<u64, Outstanding>,
+    /// Frame-buffer pool requests are encoded into. Starts as a private
+    /// pool; nodes swap in their host's shared pool at `Event::Start` via
+    /// [`CallTable::set_pool`].
+    pool: Pool,
     /// Authentication stamp attached to every request this node sends.
     pub auth: u64,
 }
@@ -65,8 +69,15 @@ impl CallTable {
         CallTable {
             next_id: 1,
             outstanding: HashMap::new(),
+            pool: Pool::new(),
             auth,
         }
+    }
+
+    /// Use `pool` for request encoding (typically the owning node's
+    /// per-host pool, so buffers recycle host-wide).
+    pub fn set_pool(&mut self, pool: Pool) {
+        self.pool = pool;
     }
 
     /// Create and register a request. Returns the call id and the encoded
@@ -101,7 +112,7 @@ impl CallTable {
                 user_tag,
             },
         );
-        (id, codec::encode_request(&req))
+        (id, codec::encode_request_in(&req, &self.pool))
     }
 
     /// Route a decoded response. Returns the completion if the id matches

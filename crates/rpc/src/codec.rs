@@ -17,7 +17,7 @@
 //!           body_len u32 | body...
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut, Pool};
 
 /// Magic tag identifying RPC envelopes (vs. RMA frames sharing the fabric).
 pub const RPC_MAGIC: u16 = 0x5250; // "RP"
@@ -111,9 +111,7 @@ pub struct Response {
     pub body: Bytes,
 }
 
-/// Encode a request envelope.
-pub fn encode_request(req: &Request) -> Bytes {
-    let mut b = BytesMut::with_capacity(35 + req.body.len());
+fn write_request(b: &mut BytesMut, req: &Request) {
     b.put_u16_le(RPC_MAGIC);
     b.put_u8(KIND_REQUEST);
     b.put_u16_le(req.version);
@@ -123,12 +121,9 @@ pub fn encode_request(req: &Request) -> Bytes {
     b.put_u64_le(req.deadline_ns);
     b.put_u32_le(req.body.len() as u32);
     b.extend_from_slice(&req.body);
-    b.freeze()
 }
 
-/// Encode a response envelope.
-pub fn encode_response(resp: &Response) -> Bytes {
-    let mut b = BytesMut::with_capacity(18 + resp.body.len());
+fn write_response(b: &mut BytesMut, resp: &Response) {
     b.put_u16_le(RPC_MAGIC);
     b.put_u8(KIND_RESPONSE);
     b.put_u16_le(resp.version);
@@ -136,6 +131,34 @@ pub fn encode_response(resp: &Response) -> Bytes {
     b.put_u64_le(resp.id);
     b.put_u32_le(resp.body.len() as u32);
     b.extend_from_slice(&resp.body);
+}
+
+/// Encode a request envelope.
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut b = BytesMut::with_capacity(35 + req.body.len());
+    write_request(&mut b, req);
+    b.freeze()
+}
+
+/// Encode a request envelope into a pooled buffer (the hot path: the frame
+/// recycles into `pool` when the receiver drops it).
+pub fn encode_request_in(req: &Request, pool: &Pool) -> Bytes {
+    let mut b = pool.get(35 + req.body.len());
+    write_request(&mut b, req);
+    b.freeze()
+}
+
+/// Encode a response envelope.
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut b = BytesMut::with_capacity(18 + resp.body.len());
+    write_response(&mut b, resp);
+    b.freeze()
+}
+
+/// Encode a response envelope into a pooled buffer.
+pub fn encode_response_in(resp: &Response, pool: &Pool) -> Bytes {
+    let mut b = pool.get(18 + resp.body.len());
+    write_response(&mut b, resp);
     b.freeze()
 }
 
@@ -290,6 +313,25 @@ mod tests {
             Some(Envelope::Request(got)) => assert_eq!(got, req),
             other => panic!("bad decode: {other:?}"),
         }
+    }
+
+    #[test]
+    fn pooled_encode_matches_plain_and_recycles() {
+        let pool = Pool::new();
+        let req = sample_request();
+        let pooled = encode_request_in(&req, &pool);
+        assert_eq!(pooled, encode_request(&req));
+        let resp = Response {
+            version: PROTOCOL_VERSION,
+            status: Status::Ok,
+            id: 7,
+            body: Bytes::from_static(b"payload"),
+        };
+        let pooled_resp = encode_response_in(&resp, &pool);
+        assert_eq!(pooled_resp, encode_response(&resp));
+        drop(pooled);
+        drop(pooled_resp);
+        assert_eq!(pool.idle_buffers(), 2, "frames recycle on drop");
     }
 
     #[test]

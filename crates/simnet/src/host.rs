@@ -6,6 +6,8 @@
 //! CliqueMap backend plus several clients, as in the paper's "co-tenant"
 //! machines) and then contend for its NIC and cores.
 
+use bytes::Pool;
+
 use crate::time::{serialization_delay, SimDuration, SimTime};
 
 /// Identifies a host (machine) in the simulation.
@@ -92,6 +94,10 @@ pub struct Host {
     pub tx_bytes: u64,
     /// Cumulative bytes received.
     pub rx_bytes: u64,
+    /// Frame-buffer pool shared by every node co-located on this host.
+    /// Outbound frames are encoded into pooled buffers and recycle here
+    /// when the receiver drops them.
+    pub pool: Pool,
 }
 
 /// Result of admitting a task onto a host CPU.
@@ -117,6 +123,7 @@ impl Host {
             cpu_busy_ns: 0,
             tx_bytes: 0,
             rx_bytes: 0,
+            pool: Pool::new(),
         }
     }
 

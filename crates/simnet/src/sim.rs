@@ -9,7 +9,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use bytes::Bytes;
+use bytes::{Bytes, Pool};
 
 use crate::host::{Host, HostCfg, HostId, NodeId};
 use crate::node::{Event, Frame, Node};
@@ -87,9 +87,12 @@ struct Scheduled {
 const _: () = assert!(std::mem::size_of::<Scheduled>() <= 32);
 
 /// Upper bound on the `Box<Pending>` freelist; entries beyond this are
-/// simply dropped. Bounds pool memory while amortizing nearly all per-event
-/// allocation at steady state.
-const PENDING_POOL_CAP: usize = 4096;
+/// simply dropped. Sized to cover deep-pipeline macro workloads (tens of
+/// clients × thousands of in-flight ops): the freelist only ever holds
+/// boxes that were simultaneously live in the event queue anyway, so a
+/// generous cap bounds steady-state allocation without raising peak
+/// memory.
+const PENDING_POOL_CAP: usize = 128 * 1024;
 
 impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
@@ -564,6 +567,15 @@ impl<'a> Ctx<'a> {
         let host = self.self_host();
         let now = self.sim.now;
         self.sim.hosts[host.0 as usize].admit_cpu(now, work);
+    }
+
+    /// This host's frame-buffer pool. The returned handle is a cheap clone
+    /// sharing the per-host freelists; nodes typically cache it at
+    /// [`Event::Start`] and encode outbound frames through it so buffers
+    /// recycle once the receiver drops them.
+    pub fn pool(&self) -> Pool {
+        let host = self.self_host();
+        self.sim.hosts[host.0 as usize].pool.clone()
     }
 
     /// The deterministic RNG stream.

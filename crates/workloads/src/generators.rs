@@ -35,9 +35,33 @@ impl Prefill {
         }
     }
 
-    /// The canonical key name for index `i`.
+    /// The canonical key name for index `i`. Formatted on the stack:
+    /// typical keys (short prefix + decimal index) fit `Bytes`' inline
+    /// repr, so the per-op hot path allocates nothing.
     pub fn key_name(prefix: &str, i: u64) -> Bytes {
-        Bytes::from(format!("{prefix}{i}"))
+        let p = prefix.as_bytes();
+        let mut buf = [0u8; 48];
+        if p.len() > buf.len() - 20 {
+            return Bytes::from(format!("{prefix}{i}"));
+        }
+        buf[..p.len()].copy_from_slice(p);
+        let mut digits = [0u8; 20];
+        let mut n = i;
+        let mut d = 0;
+        loop {
+            digits[d] = b'0' + (n % 10) as u8;
+            n /= 10;
+            d += 1;
+            if n == 0 {
+                break;
+            }
+        }
+        let mut at = p.len();
+        for k in (0..d).rev() {
+            buf[at] = digits[k];
+            at += 1;
+        }
+        Bytes::copy_from_slice(&buf[..at])
     }
 }
 

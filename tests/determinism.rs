@@ -31,6 +31,64 @@ fn seeded_cell() -> Cell {
     cell
 }
 
+/// FNV-1a over the metric dump: cheap, dependency-free, and stable across
+/// platforms (the dump is deterministic text).
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Golden outputs for shortened runs of the two `simperf` macro workloads.
+/// These values were captured before the pooled wire-buffer conversion and
+/// must never drift: buffer pooling recycles allocations but is forbidden
+/// from changing a single event or metric. If an intentional simulator
+/// change moves them, re-capture by running this test and copying the
+/// values from the failure message.
+const GOLDENS: &[(&str, u64, u64)] = &[
+    ("ads_week", ADS_GOLDEN_EVENTS, ADS_GOLDEN_HASH),
+    ("pony_ramp", PONY_GOLDEN_EVENTS, PONY_GOLDEN_HASH),
+];
+const ADS_GOLDEN_EVENTS: u64 = 252_133;
+const ADS_GOLDEN_HASH: u64 = 0xfde1_c10f_27a6_934f;
+const PONY_GOLDEN_EVENTS: u64 = 87_646;
+const PONY_GOLDEN_HASH: u64 = 0x96e1_369d_cad4_07a9;
+
+#[test]
+fn simperf_workloads_match_goldens() {
+    type Run = (&'static str, fn() -> Cell, SimDuration);
+    let runs: [Run; 2] = [
+        (
+            "ads_week",
+            bench::simcore::ads_cell,
+            SimDuration::from_millis(60),
+        ),
+        (
+            "pony_ramp",
+            bench::simcore::pony_ramp_cell,
+            SimDuration::from_millis(100),
+        ),
+    ];
+    for (name, build, span) in runs {
+        let mut cell = build();
+        cell.run_for(span);
+        let events = cell.sim.events_processed();
+        let hash = fnv1a(&cell.sim.metrics().dump());
+        let (_, want_events, want_hash) = GOLDENS
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .expect("golden for workload");
+        assert!(
+            events == *want_events && hash == *want_hash,
+            "{name} diverged from golden: events={events} (want {want_events}) \
+             metrics_fnv1a={hash:#018x} (want {want_hash:#018x})"
+        );
+    }
+}
+
 #[test]
 fn same_seed_runs_are_metric_identical() {
     let run = || {

@@ -318,6 +318,115 @@ proptest! {
         }
     }
 
+    /// RMA ReadReq roundtrip for arbitrary field values, through both the
+    /// plain and the pool-backed encoder.
+    #[test]
+    fn rma_read_req_roundtrip(
+        op_id in any::<u64>(), window in any::<u32>(), generation in any::<u32>(),
+        offset in any::<u64>(), len in any::<u32>(),
+    ) {
+        let req = rma::ReadReq { op_id, window, generation, offset, len };
+        let plain = rma::encode_read_req(&req);
+        let pooled = rma::codec::encode_read_req_in(&req, &bytes::Pool::new());
+        prop_assert_eq!(&plain[..], &pooled[..], "pooled encoding diverged");
+        match rma::decode(plain) {
+            Some(rma::RmaEnvelope::ReadReq(got)) => prop_assert_eq!(got, req),
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+
+    /// RMA ReadResp roundtrip, plain vs pooled-parts encoder.
+    #[test]
+    fn rma_read_resp_roundtrip(
+        op_id in any::<u64>(), status in (0u8..=5).prop_map(rma::RmaStatus::from_u8),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let resp = rma::ReadResp { op_id, status, data: Bytes::from(data.clone()) };
+        let plain = rma::encode_read_resp(&resp);
+        let pooled = rma::codec::encode_read_resp_parts(op_id, status, &data, &bytes::Pool::new());
+        prop_assert_eq!(&plain[..], &pooled[..], "pooled encoding diverged");
+        match rma::decode(plain) {
+            Some(rma::RmaEnvelope::ReadResp(got)) => prop_assert_eq!(got, resp),
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+
+    /// RMA ScarReq roundtrip, plain vs pooled encoder.
+    #[test]
+    fn rma_scar_req_roundtrip(
+        op_id in any::<u64>(), index_window in any::<u32>(), index_generation in any::<u32>(),
+        bucket_offset in any::<u64>(), bucket_len in any::<u32>(), key_hash in any::<u128>(),
+    ) {
+        let req = rma::ScarReq {
+            op_id, index_window, index_generation, bucket_offset, bucket_len, key_hash,
+        };
+        let plain = rma::encode_scar_req(&req);
+        let pooled = rma::codec::encode_scar_req_in(&req, &bytes::Pool::new());
+        prop_assert_eq!(&plain[..], &pooled[..], "pooled encoding diverged");
+        match rma::decode(plain) {
+            Some(rma::RmaEnvelope::ScarReq(got)) => prop_assert_eq!(got, req),
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+
+    /// RMA ScarResp roundtrip, plain vs pooled-parts encoder. Bucket and
+    /// data are length-prefixed independently, so both must survive.
+    #[test]
+    fn rma_scar_resp_roundtrip(
+        op_id in any::<u64>(), status in (0u8..=5).prop_map(rma::RmaStatus::from_u8),
+        bucket in proptest::collection::vec(any::<u8>(), 0..256),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let resp = rma::ScarResp {
+            op_id,
+            status,
+            bucket: Bytes::from(bucket.clone()),
+            data: Bytes::from(data.clone()),
+        };
+        let plain = rma::encode_scar_resp(&resp);
+        let pooled =
+            rma::codec::encode_scar_resp_parts(op_id, status, &bucket, &data, &bytes::Pool::new());
+        prop_assert_eq!(&plain[..], &pooled[..], "pooled encoding diverged");
+        match rma::decode(plain) {
+            Some(rma::RmaEnvelope::ScarResp(got)) => prop_assert_eq!(got, resp),
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+
+    /// Every strict prefix of a valid RMA frame is cleanly rejected: the
+    /// payload lengths are explicit, so truncation can never mis-decode.
+    #[test]
+    fn rma_truncated_frames_rejected(
+        kind in 0usize..4,
+        op_id in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = match kind {
+            0 => rma::encode_read_req(&rma::ReadReq {
+                op_id, window: 3, generation: 7, offset: 40, len: payload.len() as u32,
+            }),
+            1 => rma::encode_read_resp(&rma::ReadResp {
+                op_id, status: rma::RmaStatus::Ok, data: Bytes::from(payload.clone()),
+            }),
+            2 => rma::encode_scar_req(&rma::ScarReq {
+                op_id, index_window: 1, index_generation: 2, bucket_offset: 64,
+                bucket_len: 128, key_hash: 0xfeed,
+            }),
+            _ => rma::encode_scar_resp(&rma::ScarResp {
+                op_id, status: rma::RmaStatus::NoMatch,
+                bucket: Bytes::from(payload.clone()), data: Bytes::new(),
+            }),
+        };
+        prop_assert!(rma::decode(frame.clone()).is_some(), "full frame must decode");
+        let cut = ((frame.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < frame.len());
+        prop_assert!(
+            rma::decode(frame.slice(0..cut)).is_none(),
+            "truncated frame decoded ({} of {} bytes)", cut, frame.len()
+        );
+    }
+
     /// Version ordering is total and the generator is monotonic under
     /// arbitrary TrueTime readings (including clock regressions).
     #[test]

@@ -7,17 +7,40 @@
 //! [`Buf`]/[`BufMut`] cursor traits with the little-endian accessors the
 //! RPC/RMA codecs rely on. Semantics (panics on short reads, zero-copy
 //! `freeze`/`slice`/`split_to`) match the real crate for this subset.
+//!
+//! On top of the upstream surface, the stub adds [`Pool`]: a size-classed
+//! freelist of recycled frame buffers. `pool.get(n)` hands out a
+//! [`BytesMut`] backed by a previously-used buffer when one is available;
+//! `freeze()` turns it into a pooled [`Bytes`], and when the last clone of
+//! that `Bytes` drops, the backing storage — including its refcount
+//! allocation — returns to the pool. A steady-state acquire → encode →
+//! freeze → send → drop cycle performs no heap allocation at all.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::mem;
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Largest payload stored inline inside the `Bytes` handle itself. Chosen
+/// so the `Repr` enum stays the size of its pointer variants (23 bytes +
+/// discriminant = 24 = 3 words): going bigger would grow every `Bytes`.
+const INLINE_CAP: usize = 23;
 
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
+    /// Small payloads (≤ [`INLINE_CAP`] bytes — keys, tiny bodies) live in
+    /// the handle itself: no heap allocation, no refcount. The valid range
+    /// is the handle's `start..end`, same as every other variant.
+    Inline([u8; INLINE_CAP]),
     Shared(Arc<Vec<u8>>),
+    /// Pool-backed storage. When the last strong reference drops, the whole
+    /// `Arc` shell (refcount block + buffer) is pushed back onto its home
+    /// pool's freelist instead of being freed — see `Drop for Bytes`.
+    Pooled(Arc<PooledVec>),
 }
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
@@ -49,9 +72,20 @@ impl Bytes {
         }
     }
 
-    /// Creates `Bytes` by copying the given slice.
+    /// Creates `Bytes` by copying the given slice. Small payloads are
+    /// stored inline in the handle — no allocation.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes::from(data.to_vec())
+        if data.len() <= INLINE_CAP {
+            let mut buf = [0u8; INLINE_CAP];
+            buf[..data.len()].copy_from_slice(data);
+            Bytes {
+                repr: Repr::Inline(buf),
+                start: 0,
+                end: data.len(),
+            }
+        } else {
+            Bytes::from(data.to_vec())
+        }
     }
 
     /// Number of bytes contained.
@@ -70,7 +104,9 @@ impl Bytes {
     fn as_slice(&self) -> &[u8] {
         let full: &[u8] = match &self.repr {
             Repr::Static(s) => s,
+            Repr::Inline(buf) => &buf[..],
             Repr::Shared(v) => v.as_slice(),
+            Repr::Pooled(p) => p.data.as_slice(),
         };
         &full[self.start..self.end]
     }
@@ -129,6 +165,31 @@ impl Bytes {
     }
 }
 
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        // Last clone of a pooled buffer: hand the whole Arc shell back to
+        // its pool so the next acquire reuses both the buffer and the
+        // refcount allocation. Racing drops of two clones can both miss the
+        // `strong_count == 1` window, in which case the shell is freed
+        // normally — a lost recycle, never a double use (`get_mut`
+        // re-verifies uniqueness).
+        if let Repr::Pooled(arc) = &self.repr {
+            if Arc::strong_count(arc) == 1 {
+                let repr = mem::replace(&mut self.repr, Repr::Static(&[]));
+                let Repr::Pooled(mut arc) = repr else {
+                    unreachable!()
+                };
+                if let Some(pv) = Arc::get_mut(&mut arc) {
+                    if let Some(home) = pv.home.upgrade() {
+                        pv.data.clear();
+                        home.recycle(arc);
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl Default for Bytes {
     #[inline]
     fn default() -> Bytes {
@@ -161,6 +222,11 @@ impl Borrow<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     #[inline]
     fn from(v: Vec<u8>) -> Bytes {
+        // Small payloads collapse to the inline repr: the vec's allocation
+        // is returned immediately and clones never touch a refcount.
+        if v.len() <= INLINE_CAP {
+            return Bytes::copy_from_slice(&v);
+        }
         let end = v.len();
         Bytes {
             repr: Repr::Shared(Arc::new(v)),
@@ -303,17 +369,188 @@ impl<'a> IntoIterator for &'a Bytes {
     }
 }
 
+/// Pool-backed storage: a buffer plus a back-pointer to the pool it
+/// recycles into. Held behind an `Arc` whose shell is itself reused.
+struct PooledVec {
+    data: Vec<u8>,
+    home: Weak<PoolShared>,
+}
+
+/// Smallest pooled size class (buffers below this round up to it).
+const MIN_CLASS_BYTES: usize = 64;
+/// Number of power-of-two size classes: 64 B .. 128 KiB.
+const NUM_CLASSES: usize = 12;
+/// Per-class freelist bound; beyond it, returned buffers are freed.
+const CLASS_CAP: usize = 4096;
+
+#[inline]
+fn class_bytes(class: usize) -> usize {
+    MIN_CLASS_BYTES << class
+}
+
+/// Smallest class whose buffers hold at least `min` bytes, if any.
+#[inline]
+fn class_for(min: usize) -> Option<usize> {
+    if min > class_bytes(NUM_CLASSES - 1) {
+        return None;
+    }
+    let need = min.max(MIN_CLASS_BYTES).next_power_of_two();
+    Some(need.trailing_zeros() as usize - MIN_CLASS_BYTES.trailing_zeros() as usize)
+}
+
+/// Largest class whose buffers a `capacity`-byte allocation can back, if
+/// any (used on the recycle path, where grown buffers may exceed their
+/// original class).
+#[inline]
+fn class_of_capacity(capacity: usize) -> Option<usize> {
+    if capacity < MIN_CLASS_BYTES {
+        return None;
+    }
+    let floor = if capacity.is_power_of_two() {
+        capacity
+    } else {
+        (capacity / 2 + 1).next_power_of_two()
+    };
+    let class = floor.trailing_zeros() as usize - MIN_CLASS_BYTES.trailing_zeros() as usize;
+    Some(class.min(NUM_CLASSES - 1))
+}
+
+struct PoolShared {
+    classes: [Mutex<Vec<Arc<PooledVec>>>; NUM_CLASSES],
+    acquires: AtomicU64,
+    reuses: AtomicU64,
+    recycles: AtomicU64,
+}
+
+impl PoolShared {
+    fn recycle(&self, arc: Arc<PooledVec>) {
+        debug_assert!(arc.data.is_empty());
+        let Some(class) = class_of_capacity(arc.data.capacity()) else {
+            return;
+        };
+        let mut list = self.classes[class].lock().unwrap();
+        if list.len() < CLASS_CAP {
+            list.push(arc);
+            self.recycles.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Counters describing a pool's traffic (see [`Pool::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total pooled acquisitions served.
+    pub acquires: u64,
+    /// Acquisitions served from the freelist (no allocation).
+    pub reuses: u64,
+    /// Buffers returned to the freelist by dropped `Bytes`.
+    pub recycles: u64,
+}
+
+/// A size-classed freelist of recycled frame buffers. Cloning the handle
+/// shares the pool. [`Pool::get`] returns a [`BytesMut`] whose frozen
+/// `Bytes` recycles its storage back here when the last clone drops;
+/// requests larger than the biggest class fall back to plain allocation.
+#[derive(Clone)]
+pub struct Pool {
+    shared: Arc<PoolShared>,
+}
+
+impl Pool {
+    /// Creates an empty pool.
+    pub fn new() -> Pool {
+        Pool {
+            shared: Arc::new(PoolShared {
+                classes: std::array::from_fn(|_| Mutex::new(Vec::new())),
+                acquires: AtomicU64::new(0),
+                reuses: AtomicU64::new(0),
+                recycles: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Acquires a cleared buffer with capacity for at least `min_capacity`
+    /// bytes. Reuses a recycled buffer when one of the right class is
+    /// available; otherwise allocates one that will enter the recycle loop.
+    pub fn get(&self, min_capacity: usize) -> BytesMut {
+        let Some(class) = class_for(min_capacity) else {
+            // Oversized: not worth caching; plain unpooled buffer.
+            return BytesMut::with_capacity(min_capacity);
+        };
+        self.shared.acquires.fetch_add(1, Ordering::Relaxed);
+        let recycled = self.shared.classes[class].lock().unwrap().pop();
+        match recycled {
+            Some(mut arc) => {
+                self.shared.reuses.fetch_add(1, Ordering::Relaxed);
+                let pv = Arc::get_mut(&mut arc).expect("freelist shells are unique");
+                let inner = mem::take(&mut pv.data);
+                BytesMut {
+                    inner,
+                    shell: Some(arc),
+                }
+            }
+            None => BytesMut {
+                inner: Vec::with_capacity(class_bytes(class)),
+                shell: Some(Arc::new(PooledVec {
+                    data: Vec::new(),
+                    home: Arc::downgrade(&self.shared),
+                })),
+            },
+        }
+    }
+
+    /// Traffic counters for tests and diagnostics.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            acquires: self.shared.acquires.load(Ordering::Relaxed),
+            reuses: self.shared.reuses.load(Ordering::Relaxed),
+            recycles: self.shared.recycles.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Buffers currently sitting in the freelists.
+    pub fn idle_buffers(&self) -> usize {
+        self.shared
+            .classes
+            .iter()
+            .map(|c| c.lock().unwrap().len())
+            .sum()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Pool {
+        Pool::new()
+    }
+}
+
+impl fmt::Debug for Pool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pool")
+            .field("stats", &self.stats())
+            .field("idle_buffers", &self.idle_buffers())
+            .finish()
+    }
+}
+
 /// A unique, growable buffer of bytes.
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Default)]
 pub struct BytesMut {
     inner: Vec<u8>,
+    /// The recycled `Arc` shell this buffer came from, if pool-acquired;
+    /// reused by `freeze()` so producing the pooled `Bytes` is
+    /// allocation-free.
+    shell: Option<Arc<PooledVec>>,
 }
 
 impl BytesMut {
     /// Creates a new empty `BytesMut`.
     #[inline]
     pub fn new() -> BytesMut {
-        BytesMut { inner: Vec::new() }
+        BytesMut {
+            inner: Vec::new(),
+            shell: None,
+        }
     }
 
     /// Creates a new empty `BytesMut` with the given capacity.
@@ -321,6 +558,7 @@ impl BytesMut {
     pub fn with_capacity(capacity: usize) -> BytesMut {
         BytesMut {
             inner: Vec::with_capacity(capacity),
+            shell: None,
         }
     }
 
@@ -372,9 +610,21 @@ impl BytesMut {
         self.inner.clear();
     }
 
-    /// Converts into an immutable `Bytes` without copying.
+    /// Converts into an immutable `Bytes` without copying. Pool-acquired
+    /// buffers produce a pooled `Bytes` that recycles on last-clone drop.
     #[inline]
-    pub fn freeze(self) -> Bytes {
+    pub fn freeze(mut self) -> Bytes {
+        if let Some(mut shell) = self.shell.take() {
+            if let Some(pv) = Arc::get_mut(&mut shell) {
+                let end = self.inner.len();
+                pv.data = self.inner;
+                return Bytes {
+                    repr: Repr::Pooled(shell),
+                    start: 0,
+                    end,
+                };
+            }
+        }
         Bytes::from(self.inner)
     }
 
@@ -383,7 +633,50 @@ impl BytesMut {
         assert!(at <= self.len(), "split_to out of bounds");
         let tail = self.inner.split_off(at);
         let head = std::mem::replace(&mut self.inner, tail);
-        BytesMut { inner: head }
+        BytesMut {
+            inner: head,
+            shell: None,
+        }
+    }
+}
+
+impl Clone for BytesMut {
+    /// Clones the contents; the clone is always unpooled (the shell stays
+    /// with the original).
+    fn clone(&self) -> BytesMut {
+        BytesMut {
+            inner: self.inner.clone(),
+            shell: None,
+        }
+    }
+}
+
+impl PartialEq for BytesMut {
+    #[inline]
+    fn eq(&self, other: &BytesMut) -> bool {
+        self.inner == other.inner
+    }
+}
+impl Eq for BytesMut {}
+
+impl PartialOrd for BytesMut {
+    #[inline]
+    fn partial_cmp(&self, other: &BytesMut) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BytesMut {
+    #[inline]
+    fn cmp(&self, other: &BytesMut) -> std::cmp::Ordering {
+        self.inner.cmp(&other.inner)
+    }
+}
+
+impl Hash for BytesMut {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.inner.hash(state);
     }
 }
 
@@ -412,14 +705,20 @@ impl AsRef<[u8]> for BytesMut {
 impl From<&[u8]> for BytesMut {
     #[inline]
     fn from(s: &[u8]) -> BytesMut {
-        BytesMut { inner: s.to_vec() }
+        BytesMut {
+            inner: s.to_vec(),
+            shell: None,
+        }
     }
 }
 
 impl From<Vec<u8>> for BytesMut {
     #[inline]
     fn from(v: Vec<u8>) -> BytesMut {
-        BytesMut { inner: v }
+        BytesMut {
+            inner: v,
+            shell: None,
+        }
     }
 }
 
@@ -618,5 +917,122 @@ mod tests {
         let b = Bytes::from_static(b"hello");
         assert_eq!(b.len(), 5);
         assert_eq!(&b[..2], b"he");
+    }
+
+    #[test]
+    fn inline_small_bytes_roundtrip() {
+        // Bytes stays 3 words + range despite the inline variant.
+        assert!(std::mem::size_of::<Bytes>() <= 40);
+        for len in 0..=INLINE_CAP + 2 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            let a = Bytes::copy_from_slice(&data);
+            let b = Bytes::from(data.clone());
+            assert_eq!(&a[..], &data[..], "copy_from_slice len {len}");
+            assert_eq!(a, b);
+            assert_eq!(&a.slice(..len / 2)[..], &data[..len / 2]);
+            let mut c = a.clone();
+            let head = c.split_to(len / 2);
+            assert_eq!(&head[..], &data[..len / 2]);
+            assert_eq!(&c[..], &data[len / 2..]);
+        }
+    }
+
+    #[test]
+    fn size_classes() {
+        assert_eq!(class_for(0), Some(0));
+        assert_eq!(class_for(64), Some(0));
+        assert_eq!(class_for(65), Some(1));
+        assert_eq!(class_for(128 << 10), Some(NUM_CLASSES - 1));
+        assert_eq!(class_for((128 << 10) + 1), None);
+        assert_eq!(class_of_capacity(63), None);
+        assert_eq!(class_of_capacity(64), Some(0));
+        assert_eq!(class_of_capacity(127), Some(0));
+        assert_eq!(class_of_capacity(128), Some(1));
+        assert_eq!(class_of_capacity(1 << 30), Some(NUM_CLASSES - 1));
+    }
+
+    #[test]
+    fn pool_recycles_on_last_clone_drop() {
+        let pool = Pool::new();
+        let mut b = pool.get(100);
+        b.put_slice(b"some frame payload");
+        let frozen = b.freeze();
+        let clone = frozen.clone();
+        drop(frozen);
+        assert_eq!(pool.idle_buffers(), 0, "clone still alive");
+        assert_eq!(&clone[..], b"some frame payload");
+        drop(clone);
+        assert_eq!(pool.idle_buffers(), 1, "last drop recycles");
+        // Reacquire: served from the freelist, cleared, same class.
+        let b2 = pool.get(80);
+        assert!(b2.is_empty());
+        assert!(b2.capacity() >= 100);
+        let s = pool.stats();
+        assert_eq!(s.acquires, 2);
+        assert_eq!(s.reuses, 1);
+        assert_eq!(s.recycles, 1);
+    }
+
+    #[test]
+    fn pool_slices_keep_storage_alive() {
+        let pool = Pool::new();
+        let mut b = pool.get(64);
+        b.put_slice(b"header|body");
+        let mut frame = b.freeze();
+        let body = frame.split_to(7);
+        drop(frame);
+        assert_eq!(pool.idle_buffers(), 0);
+        assert_eq!(&body[..], b"header|");
+        drop(body);
+        assert_eq!(pool.idle_buffers(), 1);
+    }
+
+    #[test]
+    fn steady_state_reuses_every_acquire() {
+        let pool = Pool::new();
+        for i in 0..100u32 {
+            let mut b = pool.get(256);
+            b.put_u32_le(i);
+            let f = b.freeze();
+            assert_eq!(f.len(), 4);
+        }
+        let s = pool.stats();
+        assert_eq!(s.acquires, 100);
+        assert_eq!(s.reuses, 99, "all but the first acquire reuse");
+    }
+
+    #[test]
+    fn oversized_requests_bypass_pool() {
+        let pool = Pool::new();
+        let b = pool.get(1 << 20);
+        assert!(b.capacity() >= 1 << 20);
+        drop(b.freeze());
+        assert_eq!(pool.idle_buffers(), 0);
+        assert_eq!(pool.stats().acquires, 0);
+    }
+
+    #[test]
+    fn grown_buffers_recycle_into_larger_class() {
+        let pool = Pool::new();
+        let mut b = pool.get(64);
+        b.put_slice(&[7u8; 4096]);
+        drop(b.freeze());
+        assert_eq!(pool.idle_buffers(), 1);
+        // The grown capacity serves a same-class larger request without
+        // allocating (acquire matches classes exactly).
+        let b2 = pool.get(4096);
+        assert!(b2.capacity() >= 4096);
+        assert_eq!(pool.stats().reuses, 1);
+    }
+
+    #[test]
+    fn unpooled_buffers_unaffected() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_slice(b"plain");
+        let f = b.freeze();
+        assert_eq!(&f[..], b"plain");
+        let c = f.clone();
+        drop(f);
+        assert_eq!(&c[..], b"plain");
     }
 }
