@@ -27,4 +27,20 @@ cargo run --release -p bench --bin simperf -- --check
 echo "== simperf allocation gate (counting allocator) =="
 cargo run --release -p bench --features simperf-alloc --bin simperf -- --check
 
+echo "== chaos smoke + fault-layer zero-impact gate =="
+# The chaos experiment must be reproducible: two seeded runs, byte-identical
+# CSVs. And the fault layer must be invisible when no FaultPlan is
+# installed: figures that predate it regenerate byte-identically against
+# the committed results.
+CHAOS_TMP="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_TMP"' EXIT
+cargo run --release -p bench --bin figures -- chaos --csv "$CHAOS_TMP/run1" >/dev/null
+cargo run --release -p bench --bin figures -- chaos --csv "$CHAOS_TMP/run2" >/dev/null
+cmp "$CHAOS_TMP/run1/chaos.csv" "$CHAOS_TMP/run2/chaos.csv"
+cmp "$CHAOS_TMP/run1/chaos.csv" results/chaos.csv
+cargo run --release -p bench --bin figures -- f3 f13 f14 --csv "$CHAOS_TMP/base" >/dev/null
+for f in f3 f13 f14; do
+  cmp "$CHAOS_TMP/base/$f.csv" "results/$f.csv"
+done
+
 echo "CI OK"

@@ -224,6 +224,8 @@ struct BackendMetricIds {
     retired: MetricId,
     rpc_timeouts: MetricId,
     access_records: MetricId,
+    rpc_dropped_cpu_dead: MetricId,
+    rma_dropped_cpu_dead: MetricId,
 }
 
 impl BackendMetricIds {
@@ -247,6 +249,8 @@ impl BackendMetricIds {
             retired: m.handle("cm.backend.retired"),
             rpc_timeouts: m.handle("cm.backend.rpc_timeouts"),
             access_records: m.handle("cm.backend.access_records"),
+            rpc_dropped_cpu_dead: m.handle("cm.backend.rpc_dropped_cpu_dead"),
+            rma_dropped_cpu_dead: m.handle("cm.backend.rma_dropped_cpu_dead"),
         }
     }
 }
@@ -1055,8 +1059,26 @@ impl Node for BackendNode {
             }
             Event::Frame(frame) => {
                 let src = frame.src;
+                // Gray-failure gate (CPU-dead window): every process on the
+                // host is frozen, so RPC traffic — requests *and* responses,
+                // which need a server thread to look at them — falls on the
+                // floor until heal. RMA survives iff the transport's serving
+                // path is NIC hardware ([`Transport::cpu_independent`]):
+                // the paper's RMA read window keeps answering GETs while
+                // the host is otherwise unresponsive. (Timers still fire:
+                // the coarse model freezes only frame intake, which is
+                // where the protocol-visible divergence lives.)
+                let cpu_dead = ctx.host_cpu_dead();
                 if let Some(env) = rma::decode(frame.payload.clone()) {
+                    if cpu_dead && !self.transport.cpu_independent() {
+                        ctx.metrics().add_id(self.m().rma_dropped_cpu_dead, 1);
+                        return;
+                    }
                     self.on_rma(ctx, src, env);
+                    return;
+                }
+                if cpu_dead {
+                    ctx.metrics().add_id(self.m().rpc_dropped_cpu_dead, 1);
                     return;
                 }
                 match rpc::decode(frame.payload) {

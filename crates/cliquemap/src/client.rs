@@ -1048,7 +1048,7 @@ impl ClientNode {
             OpState::Mutation(m) => &mut m.retry,
             OpState::Parked(..) => return,
         };
-        match retry.on_failure(&policy, now) {
+        match retry.on_failure_jittered(&policy, now, ctx.rng()) {
             rpc::RetryDecision::RetryAfter(backoff) => {
                 ctx.metrics().add_id(self.m().retries, 1);
                 let tok = self.work.defer(Work::Retry(op_id));

@@ -90,6 +90,19 @@ impl Transport {
         self.kind == TransportKind::PonyExpress
     }
 
+    /// Whether the serving path runs entirely in NIC hardware, independent
+    /// of the host's CPUs. This is the property behind the RMA-alive/
+    /// CPU-dead gray-failure regime (Aguilera et al.): a 1RMA or RDMA host
+    /// whose every process is frozen still serves remote reads from its
+    /// registered memory, while Pony Express — software engines on host
+    /// cores — stops with the CPU.
+    pub fn cpu_independent(&self) -> bool {
+        match self.kind {
+            TransportKind::PonyExpress => false,
+            TransportKind::OneRma | TransportKind::Rdma => true,
+        }
+    }
+
     /// Admit a serve-side op: returns when the response can go on the wire.
     /// `scan_entries` is nonzero only for SCAR.
     pub fn admit_serve(
@@ -200,6 +213,13 @@ mod tests {
         assert!(Transport::pony(PonyCfg::default()).supports_scar());
         assert!(!Transport::one_rma().supports_scar());
         assert!(!Transport::rdma().supports_scar());
+    }
+
+    #[test]
+    fn hardware_transports_survive_cpu_death() {
+        assert!(!Transport::pony(PonyCfg::default()).cpu_independent());
+        assert!(Transport::one_rma().cpu_independent());
+        assert!(Transport::rdma().cpu_independent());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! happen *at the layer appropriate to the error*, but the budget is always
 //! accounted against one [`RetryState`] per logical operation.
 
-use simnet::{SimDuration, SimTime};
+use simnet::{SimDuration, SimRng, SimTime};
 
 /// Static retry configuration for a class of operations.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +21,14 @@ pub struct RetryPolicy {
     pub max_backoff: SimDuration,
     /// Overall operation deadline from first issue.
     pub op_deadline: SimDuration,
+    /// Jitter fraction in `[0, 1]` applied by
+    /// [`RetryState::on_failure_jittered`]: each backoff is scaled by a
+    /// uniform draw from `[1 - jitter, 1]`. Zero (the default) disables
+    /// jitter and draws nothing from the RNG. Without jitter, clients that
+    /// fail together — the signature of a fault window, not of independent
+    /// load — retry together, and every backoff tier re-delivers the
+    /// original incast.
+    pub jitter: f64,
 }
 
 impl Default for RetryPolicy {
@@ -31,6 +39,7 @@ impl Default for RetryPolicy {
             multiplier: 2.0,
             max_backoff: SimDuration::from_millis(5),
             op_deadline: SimDuration::from_millis(100),
+            jitter: 0.0,
         }
     }
 }
@@ -73,8 +82,34 @@ pub enum RetryDecision {
 }
 
 impl RetryState {
-    /// Account a failure at `now` and decide whether to retry.
+    /// Account a failure at `now` and decide whether to retry. Backoff is
+    /// deterministic (no jitter); see [`RetryState::on_failure_jittered`]
+    /// for the storm-breaking variant.
     pub fn on_failure(&mut self, policy: &RetryPolicy, now: SimTime) -> RetryDecision {
+        self.decide(policy, now, None)
+    }
+
+    /// Like [`RetryState::on_failure`] but with `policy.jitter` applied:
+    /// the backoff is scaled by a uniform draw from `[1 - jitter, 1]` so
+    /// clients whose attempts failed simultaneously (a fault window, a
+    /// partition heal) decorrelate instead of re-colliding at every
+    /// exponential tier. With `jitter == 0.0` this draws nothing from `rng`
+    /// and is exactly [`RetryState::on_failure`].
+    pub fn on_failure_jittered(
+        &mut self,
+        policy: &RetryPolicy,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> RetryDecision {
+        self.decide(policy, now, Some(rng))
+    }
+
+    fn decide(
+        &mut self,
+        policy: &RetryPolicy,
+        now: SimTime,
+        rng: Option<&mut SimRng>,
+    ) -> RetryDecision {
         if self.attempts >= policy.max_attempts {
             return RetryDecision::GiveUp;
         }
@@ -83,9 +118,16 @@ impl RetryState {
             return RetryDecision::GiveUp;
         }
         let exp = (self.attempts - 1).min(30);
-        let backoff_ns =
+        let mut backoff_ns =
             (policy.base_backoff.nanos() as f64 * policy.multiplier.powi(exp as i32)) as u64;
-        let backoff = SimDuration(backoff_ns.min(policy.max_backoff.nanos()));
+        backoff_ns = backoff_ns.min(policy.max_backoff.nanos());
+        if policy.jitter > 0.0 {
+            if let Some(rng) = rng {
+                let scale = 1.0 - policy.jitter.min(1.0) * rng.next_f64();
+                backoff_ns = (backoff_ns as f64 * scale).round() as u64;
+            }
+        }
+        let backoff = SimDuration(backoff_ns);
         // Don't schedule a retry beyond the deadline.
         if elapsed + backoff >= policy.op_deadline {
             return RetryDecision::GiveUp;
@@ -112,6 +154,7 @@ mod tests {
             multiplier: 2.0,
             max_backoff: SimDuration::from_millis(1),
             op_deadline: SimDuration::from_secs(1),
+            ..RetryPolicy::default()
         };
         let mut st = policy.start(SimTime(0));
         let mut backoffs = Vec::new();
@@ -134,6 +177,7 @@ mod tests {
             multiplier: 10.0,
             max_backoff: SimDuration::from_micros(500),
             op_deadline: SimDuration::from_secs(10),
+            ..RetryPolicy::default()
         };
         let mut st = policy.start(SimTime(0));
         st.on_failure(&policy, SimTime(0));
@@ -171,6 +215,73 @@ mod tests {
         let policy = RetryPolicy::no_retries(SimDuration::from_millis(1));
         let mut st = policy.start(SimTime(0));
         assert_eq!(st.on_failure(&policy, SimTime(0)), RetryDecision::GiveUp);
+    }
+
+    #[test]
+    fn zero_jitter_is_exactly_the_unjittered_path() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            op_deadline: SimDuration::from_secs(1),
+            ..RetryPolicy::default()
+        };
+        let mut rng = SimRng::new(42);
+        let mut plain = policy.start(SimTime(0));
+        let mut jittered = policy.start(SimTime(0));
+        let mut now = SimTime(0);
+        loop {
+            let a = plain.on_failure(&policy, now);
+            let b = jittered.on_failure_jittered(&policy, now, &mut rng);
+            assert_eq!(a, b);
+            match a {
+                RetryDecision::RetryAfter(d) => now += d,
+                RetryDecision::GiveUp => break,
+            }
+        }
+        // And no randomness was consumed: the stream is untouched.
+        assert_eq!(SimRng::new(42).next_u64(), rng.next_u64());
+    }
+
+    #[test]
+    fn jittered_clients_decorrelate() {
+        // Model a retry storm: many clients whose first attempts all fail
+        // at the same instant. With jitter, their second attempts must
+        // spread out instead of landing on one tick.
+        let policy = RetryPolicy {
+            jitter: 0.5,
+            base_backoff: SimDuration::from_micros(100),
+            op_deadline: SimDuration::from_secs(1),
+            ..RetryPolicy::default()
+        };
+        let mut master = SimRng::new(7);
+        let mut schedule = std::collections::BTreeSet::new();
+        let clients = 64;
+        for _ in 0..clients {
+            let mut rng = master.fork();
+            let mut st = policy.start(SimTime(0));
+            match st.on_failure_jittered(&policy, SimTime(0), &mut rng) {
+                RetryDecision::RetryAfter(b) => {
+                    // Scaled into [0.5, 1.0]x of the base backoff.
+                    assert!(b.nanos() >= 50_000 && b.nanos() <= 100_000, "{b}");
+                    schedule.insert(b.nanos());
+                }
+                d => panic!("{d:?}"),
+            }
+        }
+        assert!(
+            schedule.len() > clients / 2,
+            "retry instants collapsed onto {} ticks",
+            schedule.len()
+        );
+        // Determinism: the same seeds produce the same schedule.
+        let mut master2 = SimRng::new(7);
+        for _ in 0..clients {
+            let mut rng = master2.fork();
+            let mut st = policy.start(SimTime(0));
+            match st.on_failure_jittered(&policy, SimTime(0), &mut rng) {
+                RetryDecision::RetryAfter(b) => assert!(schedule.contains(&b.nanos())),
+                d => panic!("{d:?}"),
+            }
+        }
     }
 
     #[test]

@@ -151,6 +151,25 @@ impl Host {
     /// Admit a CPU task of length `work` submitted at `now`. Tasks are
     /// scheduled work-conserving FIFO onto the earliest-free core.
     pub fn admit_cpu(&mut self, now: SimTime, work: SimDuration) -> CpuAdmission {
+        self.admit_cpu_scaled(now, work, 1.0)
+    }
+
+    /// Like [`Host::admit_cpu`] but with the task's execution time scaled by
+    /// `scale` (> 1 runs slower). This is the fault-injection straggler
+    /// hook: a gray-failed host executes the *same logical work* at a
+    /// multiple of its normal cost, and the inflation shows up in busy-ns
+    /// accounting just like real antagonist interference would.
+    pub fn admit_cpu_scaled(
+        &mut self,
+        now: SimTime,
+        work: SimDuration,
+        scale: f64,
+    ) -> CpuAdmission {
+        let work = if scale == 1.0 {
+            work
+        } else {
+            SimDuration((work.nanos() as f64 * scale).round() as u64)
+        };
         // Earliest-free core.
         let (idx, &free_at) = self
             .cores
@@ -263,6 +282,25 @@ mod tests {
         let b = h.admit_cpu(SimTime(221_000), w);
         assert!(!b.cold_start);
         assert_eq!(b.start, SimTime(221_000));
+    }
+
+    #[test]
+    fn scaled_admission_inflates_work() {
+        let mut h = Host::new(HostCfg {
+            cores: 1,
+            ..HostCfg::with_gbps(100.0).no_cstates()
+        });
+        let w = SimDuration::from_micros(10);
+        let slow = h.admit_cpu_scaled(SimTime(0), w, 8.0);
+        assert_eq!(slow.done, SimTime(80_000));
+        assert_eq!(h.cpu_busy_ns, 80_000);
+        // Scale 1.0 is exactly the unscaled path.
+        let mut a = Host::new(HostCfg::with_gbps(100.0).no_cstates());
+        let mut b = Host::new(HostCfg::with_gbps(100.0).no_cstates());
+        assert_eq!(
+            a.admit_cpu(SimTime(5), w),
+            b.admit_cpu_scaled(SimTime(5), w, 1.0)
+        );
     }
 
     #[test]

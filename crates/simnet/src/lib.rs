@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 pub mod deferred;
+pub mod fault;
 pub mod host;
 pub mod node;
 pub mod rng;
@@ -61,6 +62,7 @@ pub mod truetime;
 pub mod util;
 
 pub use deferred::Deferred;
+pub use fault::{Fault, FaultEvent, FaultPlan, HostSet, LinkImpairment};
 pub use host::{CpuAdmission, Host, HostCfg, HostId, NodeId};
 pub use node::{Event, Frame, Node};
 pub use rng::{SimRng, Zipf};

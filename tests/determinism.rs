@@ -107,6 +107,32 @@ fn same_seed_runs_are_metric_identical() {
     assert!(dump_a.contains("cm.rpc_bytes"));
 }
 
+/// The fault-injection subsystem must be as deterministic as the simulator
+/// it perturbs: the same [`simnet::FaultPlan`] against the same seed must
+/// reproduce every drop, delay, stall, crash, and repair — two full chaos
+/// runs end with identical event counts and bit-identical metric dumps.
+#[test]
+fn same_fault_plan_and_seed_runs_are_metric_identical() {
+    let run = || {
+        let mut cell = bench::experiments::chaos::chaos_cell(321);
+        cell.run_for(SimDuration::from_millis(120));
+        (cell.sim.events_processed(), cell.sim.metrics().dump())
+    };
+    let (events_a, dump_a) = run();
+    let (events_b, dump_b) = run();
+    assert!(events_a > 10_000, "chaos run too small to be a real check");
+    assert_eq!(events_a, events_b, "event counts diverged under faults");
+    assert_eq!(
+        fnv1a(&dump_a),
+        fnv1a(&dump_b),
+        "metric dumps diverged under faults"
+    );
+    assert_eq!(dump_a, dump_b);
+    // The faults really fired: the 120ms horizon covers the loss and
+    // partition windows.
+    assert!(dump_a.contains("simnet.fault.frames_dropped"));
+}
+
 #[test]
 fn handle_api_writes_are_indistinguishable_from_string_api() {
     let mut by_name = Metrics::new();

@@ -444,3 +444,158 @@ proptest! {
         }
     }
 }
+
+// ---- quorum safety under random fault schedules -------------------------
+
+/// A bounded random network-loss window.
+#[derive(Debug, Clone, Copy)]
+struct LossWindow {
+    start_ms: u64,
+    dur_ms: u64,
+    drop: f64,
+}
+
+fn loss_window() -> impl Strategy<Value = LossWindow> {
+    (5u64..60, 5u64..25, 0.1f64..0.6).prop_map(|(start_ms, dur_ms, drop)| LossWindow {
+        start_ms,
+        dur_ms,
+        drop,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Quorum safety: under ANY bounded schedule of packet loss and
+    /// client→backend partitions, an acknowledged SET is never lost and
+    /// never read stale after the network heals and repairs converge. Each
+    /// client writes its own key twice (the second write mid-schedule) and
+    /// reads it long after the last heal; if the second SET was acked, the
+    /// read must hit and a write quorum of replicas must hold its bytes.
+    #[test]
+    fn quorum_safety_under_random_fault_schedules(
+        plan_seed in any::<u64>(),
+        losses in proptest::collection::vec(loss_window(), 0..3),
+        partition in (any::<bool>(), 10u64..60, 5u64..30, 0usize..4),
+    ) {
+        use cliquemap::backend::BackendNode;
+        use cliquemap::cell::{Cell, CellSpec};
+        use cliquemap::client::{ClientNode, LookupStrategy};
+        use cliquemap::config::ReplicationMode;
+        use cliquemap::hash::place;
+        use cliquemap::workload::{ClientOp, OpOutcome, ScriptWorkload, Workload};
+        use simnet::{Fault, FaultPlan, HostSet, LinkImpairment, SimDuration, SimTime};
+
+        let ms = |n: u64| SimTime(n * 1_000_000);
+        let mut spec = CellSpec {
+            replication: ReplicationMode::R32,
+            num_backends: 4,
+            clients_per_host: 2,
+            seed: 9,
+            host: simnet::HostCfg::default().no_cstates(),
+            ..CellSpec::default()
+        };
+        spec.client.strategy = LookupStrategy::TwoR;
+        spec.backend.transport = rma::TransportKind::Rdma;
+        spec.client.transport = rma::TransportKind::Rdma;
+        spec.client.attempt_timeout = SimDuration::from_micros(500);
+        spec.client.retry.jitter = 0.5;
+        spec.backend.scan_interval = Some(SimDuration::from_millis(10));
+        let clients = 4usize;
+        let key = |c: usize| Bytes::from(format!("inv-{c}"));
+        let v1 = |c: usize| Bytes::from(format!("first-{c}"));
+        let v2 = |c: usize| Bytes::from(format!("second-{c}"));
+        // Delays are issue-relative: SET v1 at ~5ms, SET v2 at ~45ms (inside
+        // the schedule), GET at ~200ms — after the last possible heal (90ms)
+        // plus the 100ms op deadline of the mid-chaos SET.
+        let workloads: Vec<Box<dyn Workload>> = (0..clients)
+            .map(|c| {
+                Box::new(ScriptWorkload::new(vec![
+                    (
+                        SimDuration::from_micros(5_000 + 50 * c as u64),
+                        ClientOp::Set { key: key(c), value: v1(c) },
+                    ),
+                    (
+                        SimDuration::from_millis(40),
+                        ClientOp::Set { key: key(c), value: v2(c) },
+                    ),
+                    (SimDuration::from_millis(155), ClientOp::Get { key: key(c) }),
+                ])) as Box<dyn Workload>
+            })
+            .collect();
+        let mut cell = Cell::build(spec, workloads);
+        let mut plan = FaultPlan::new(plan_seed);
+        for w in &losses {
+            plan.add(
+                ms(w.start_ms),
+                ms(w.start_ms + w.dur_ms),
+                Fault::Link {
+                    src: HostSet::All,
+                    dst: HostSet::All,
+                    symmetric: false,
+                    impair: LinkImpairment::loss(w.drop),
+                },
+            );
+        }
+        if let (true, start_ms, dur_ms, pair) = partition {
+            let cuts = [[0, 1], [1, 2], [2, 3], [0, 3]][pair];
+            let bh = &cell.backend_hosts;
+            plan.add(
+                ms(start_ms),
+                ms(start_ms + dur_ms),
+                Fault::Partition {
+                    a: HostSet::of(&cell.client_hosts),
+                    b: HostSet::of(&[bh[cuts[0]], bh[cuts[1]]]),
+                    symmetric: false,
+                },
+            );
+        }
+        cell.sim.install_fault_plan(&plan);
+        cell.run_for(SimDuration::from_millis(260));
+
+        let n = cell.backends.len() as u32;
+        let hasher = DefaultHasher;
+        for c in 0..clients {
+            let id = cell.clients[c];
+            let done = cell
+                .sim
+                .with_node::<ClientNode, _>(id, |cl| cl.completions.clone())
+                .unwrap();
+            prop_assert_eq!(done.len(), 3, "client {} completions: {:?}", c, done);
+            let (set1, _) = done[0];
+            let (set2, _) = done[1];
+            let (get, _) = done[2];
+            // No ack'd SET lost: any acknowledged write makes the key
+            // durable, so the post-heal read must hit.
+            if set1 == OpOutcome::Done || set2 == OpOutcome::Done {
+                prop_assert_eq!(get, OpOutcome::Hit, "client {}: acked SET lost", c);
+            }
+            // No stale reads after convergence: if the second SET was
+            // acked, a write quorum holds its bytes, so intersecting read
+            // quorums can never serve the first value again.
+            if set2 == OpOutcome::Done {
+                let hash = hasher.hash(&key(c));
+                let shard = place(hash, n, 1).shard;
+                let mut holding_v2 = 0;
+                for r in 0..3u32 {
+                    let backend = cell.backends[((shard + r) % n) as usize];
+                    let fetched = cell
+                        .sim
+                        .with_node::<BackendNode, _>(backend, |b| b.store().fetch(hash))
+                        .unwrap();
+                    if let Some((k, v, _)) = fetched {
+                        if k == key(c) && v == v2(c) {
+                            holding_v2 += 1;
+                        }
+                    }
+                }
+                prop_assert!(
+                    holding_v2 >= 2,
+                    "client {}: only {} replicas hold the acked value",
+                    c,
+                    holding_v2
+                );
+            }
+        }
+    }
+}
