@@ -43,4 +43,21 @@ for f in f3 f13 f14; do
   cmp "$CHAOS_TMP/base/$f.csv" "results/$f.csv"
 done
 
+echo "== trace smoke + tracing-disabled zero-impact gate =="
+# Tracing enabled: the trace experiment (flight recorder + attribution +
+# postmortems) must be reproducible — two seeded runs produce byte-identical
+# CSVs and Chrome exports, both matching the committed artifacts.
+cp results/trace_chrome.json "$CHAOS_TMP/chrome_committed.json"
+cargo run --release -p bench --bin figures -- trace --csv "$CHAOS_TMP/trace1" >/dev/null
+cp results/trace_chrome.json "$CHAOS_TMP/trace1/trace_chrome.json"
+cargo run --release -p bench --bin figures -- trace --csv "$CHAOS_TMP/trace2" >/dev/null
+cmp "$CHAOS_TMP/trace1/trace.csv" "$CHAOS_TMP/trace2/trace.csv"
+cmp "$CHAOS_TMP/trace1/trace.csv" results/trace.csv
+cmp "$CHAOS_TMP/trace1/trace_chrome.json" results/trace_chrome.json
+cmp "$CHAOS_TMP/trace1/trace_chrome.json" "$CHAOS_TMP/chrome_committed.json"
+# Tracing disabled (every other experiment): the recorder hooks must be
+# invisible. The chaos + f3/f13/f14 cmp gates above prove byte-identical
+# schedules with no recorder installed, and the simperf gates bound the
+# disabled-path cost (a single Option check per hook) at noise.
+
 echo "CI OK"

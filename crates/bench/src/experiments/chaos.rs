@@ -36,6 +36,10 @@ const KEYS: u64 = 2_000;
 const CLIENTS: usize = 10;
 /// Index of the backend the plan crashes and restarts.
 const VICTIM: usize = 3;
+/// GET latency SLO threshold: completions above this burn error budget.
+pub const SLO_GET_NS: u64 = 20_000;
+/// Allowed breach fraction (a 99%-under-20µs SLO).
+pub const SLO_BUDGET: f64 = 0.01;
 
 /// Millisecond marks of the schedule (window ends, for reporting/tests).
 pub const MARKS: &[(u64, &str)] = &[
@@ -169,7 +173,7 @@ pub fn run() -> Report {
             .to_string(),
     );
     report.line(format!(
-        "{:>6} {:>10} {:>7} {:>7} {:>11} {:>11} {:>9} {:>9} {:>8} {:>9}",
+        "{:>6} {:>10} {:>7} {:>7} {:>11} {:>11} {:>9} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9}",
         "t_ms",
         "completed",
         "errors",
@@ -179,6 +183,9 @@ pub fn run() -> Report {
         "timeouts",
         "rpc_MB_s",
         "repairs",
+        "rpc_drop",
+        "rma_drop",
+        "slo_burn",
         "event"
     ));
     let mut cell = chaos_cell(99);
@@ -194,12 +201,23 @@ pub fn run() -> Report {
             "cm.client.rpc_timeouts",
             "cm.rpc_bytes",
             "cm.backend.recovered_entries",
+            "cm.backend.rpc_dropped_cpu_dead",
+            "cm.backend.rma_dropped_cpu_dead",
         ],
     );
+    let burn = obs::BurnRate::new(SLO_BUDGET);
     let windows = total.nanos() / window.nanos();
     for w in 0..windows {
         let end = SimTime((w + 1) * window.nanos());
         cell.sim.run_until(end);
+        // SLO breach accounting must read the GET histogram before the
+        // sampler clears it for the next window.
+        let (get_ops, breaches) = cell
+            .sim
+            .metrics()
+            .hist_ref("cm.get.latency_ns")
+            .map(|h| (h.count(), h.count_above(SLO_GET_NS)))
+            .unwrap_or((0, 0));
         let snap = sampler.sample(&mut cell);
         let completed = snap.counters[0].1 + snap.counters[1].1;
         let errors = snap.counters[2].1;
@@ -217,7 +235,7 @@ pub fn run() -> Report {
             .map(|(_, e)| *e)
             .unwrap_or("-");
         report.line(format!(
-            "{:>6} {:>10} {:>7} {:>7.4} {:>11.1} {:>11.1} {:>9} {:>9.2} {:>8} {:>9}",
+            "{:>6} {:>10} {:>7} {:>7.4} {:>11.1} {:>11.1} {:>9} {:>9.2} {:>8} {:>9} {:>9} {:>9.2} {:>9}",
             t_ms,
             completed,
             errors,
@@ -227,6 +245,9 @@ pub fn run() -> Report {
             timeouts,
             mbps,
             snap.counters[6].1,
+            snap.counters[7].1,
+            snap.counters[8].1,
+            burn.rate(get_ops, breaches),
             event
         ));
     }
@@ -260,6 +281,9 @@ mod tests {
         set_p99_us: f64,
         timeouts: u64,
         repairs: u64,
+        rpc_drop: u64,
+        rma_drop: u64,
+        burn: f64,
     }
 
     fn rows(r: &Report) -> Vec<Row> {
@@ -267,7 +291,7 @@ mod tests {
             .iter()
             .filter_map(|l| {
                 let c: Vec<&str> = l.split_whitespace().collect();
-                if c.len() < 8 {
+                if c.len() < 12 {
                     return None;
                 }
                 Some(Row {
@@ -278,6 +302,9 @@ mod tests {
                     set_p99_us: c[5].parse().ok()?,
                     timeouts: c[6].parse().ok()?,
                     repairs: c[8].parse().ok()?,
+                    rpc_drop: c[9].parse().ok()?,
+                    rma_drop: c[10].parse().ok()?,
+                    burn: c[11].parse().ok()?,
                 })
             })
             .collect()
@@ -346,6 +373,28 @@ mod tests {
         assert!(
             dead_avail > 0.99,
             "RMA-alive host should keep availability high: {dead_avail}"
+        );
+        // The backend's drop counters localize the gray failure: RPC frames
+        // fall on the frozen host only inside the CPU-dead window, and
+        // hardware RMA never drops (that's the gray part).
+        let dead_rpc_drops: u64 = dead.iter().map(|r| r.rpc_drop).sum();
+        assert!(dead_rpc_drops > 0, "CPU-dead window dropped no RPC frames");
+        let outside_drops: u64 = rows
+            .iter()
+            .filter(|r| r.t_ms <= 180 || r.t_ms > 210)
+            .map(|r| r.rpc_drop + r.rma_drop)
+            .sum();
+        assert_eq!(outside_drops, 0, "cpu_dead drops outside the window");
+        let rma_drops: u64 = rows.iter().map(|r| r.rma_drop).sum();
+        assert_eq!(rma_drops, 0, "hardware RMA must survive CPU death");
+        // SLO burn: pre-fault windows stay within budget; the gray window
+        // burns it (GET p99 blows through the 20µs threshold).
+        let pre_burn = pre.iter().map(|r| r.burn).fold(0.0, f64::max);
+        let dead_burn = dead.iter().map(|r| r.burn).fold(0.0, f64::max);
+        assert!(pre_burn < 1.0, "pre-fault burn over budget: {pre_burn}");
+        assert!(
+            dead_burn > 1.0 && dead_burn > pre_burn,
+            "gray window should burn the SLO budget: pre {pre_burn} dead {dead_burn}"
         );
 
         // Crash + restart: the revived replica pulls its shard back from

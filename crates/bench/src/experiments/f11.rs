@@ -55,12 +55,10 @@ fn measure(replication: ReplicationMode, load: bool) -> (u64, u64) {
     cell.run_for(SimDuration::from_millis(20));
     cell.sim.metrics_mut().hist("cm.get.latency_ns").clear();
     cell.run_for(SimDuration::from_millis(200));
-    let h = cell
-        .sim
-        .metrics()
-        .hist_ref("cm.get.latency_ns")
-        .expect("gets ran");
-    (h.percentile(50.0), h.percentile(99.0))
+    (
+        crate::harness::pctl_ns(&cell, "cm.get.latency_ns", 50.0),
+        crate::harness::pctl_ns(&cell, "cm.get.latency_ns", 99.0),
+    )
 }
 
 /// Regenerate Figure 11.

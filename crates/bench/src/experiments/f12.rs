@@ -38,11 +38,7 @@ fn measure(strategy: LookupStrategy, client_load: bool) -> u64 {
     cell.run_for(SimDuration::from_millis(20));
     cell.sim.metrics_mut().hist("cm.get.latency_ns").clear();
     cell.run_for(SimDuration::from_millis(200));
-    cell.sim
-        .metrics()
-        .hist_ref("cm.get.latency_ns")
-        .expect("gets ran")
-        .percentile(50.0)
+    crate::harness::pctl_ns(&cell, "cm.get.latency_ns", 50.0)
 }
 
 /// Regenerate Figure 12.

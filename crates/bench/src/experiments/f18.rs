@@ -12,7 +12,7 @@ use simnet::SimDuration;
 use workloads::{MixWorkload, SizeDist};
 
 use crate::experiments::base_spec;
-use crate::harness::{populate_cell, Report};
+use crate::harness::{pctl_us as pctl, populate_cell, Report};
 
 pub(crate) const KEYS: u64 = 2_000;
 
@@ -41,14 +41,6 @@ pub(crate) fn run_mix(get_fraction: f64, value: usize, seed: u64) -> Cell {
     cell.sim.metrics_mut().hist("cm.set.latency_ns").clear();
     cell.run_for(SimDuration::from_millis(300));
     cell
-}
-
-pub(crate) fn pctl(cell: &Cell, name: &str, p: f64) -> f64 {
-    cell.sim
-        .metrics()
-        .hist_ref(name)
-        .map(|h| h.percentile(p) as f64 / 1e3)
-        .unwrap_or(0.0)
 }
 
 /// Regenerate Figure 18.

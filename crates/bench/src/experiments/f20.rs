@@ -4,8 +4,8 @@
 //! SET performance are dominated by fixed costs — i.e., costs per op, not
 //! costs per byte."
 
-use crate::experiments::f18::{pctl, run_mix};
-use crate::harness::Report;
+use crate::experiments::f18::run_mix;
+use crate::harness::{pctl_us as pctl, Report};
 
 /// Regenerate Figure 20.
 pub fn run() -> Report {

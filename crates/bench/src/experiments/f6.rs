@@ -55,12 +55,7 @@ fn measure(lang: &str) -> LangResult {
     // Latency at 1K GETs/sec/client (open loop, unloaded).
     let mut cell = cell_for(lang, false, 8);
     cell.run_for(SimDuration::from_millis(400));
-    let median_us = cell
-        .sim
-        .metrics()
-        .hist_ref("cm.get.latency_ns")
-        .map(|h| h.percentile(50.0) as f64 / 1e3)
-        .unwrap_or(0.0);
+    let median_us = crate::harness::pctl_us(&cell, "cm.get.latency_ns", 50.0);
     LangResult {
         rate_kops,
         cpu_us_per_op,

@@ -175,6 +175,32 @@ impl WindowSampler {
     }
 }
 
+/// Bridge a named histogram into a streaming quantile sketch
+/// ([`obs::Sketch`]). Every nonzero bucket is replayed at its
+/// representative value, so the sketch answers any quantile with the
+/// combined (histogram + sketch) relative-error bound. Returns an empty
+/// sketch when the histogram doesn't exist.
+pub fn sketch_of(cell: &Cell, name: &str) -> obs::Sketch {
+    let mut s = obs::Sketch::default();
+    if let Some(h) = cell.sim.metrics().hist_ref(name) {
+        for (i, count) in h.nonzero_buckets() {
+            s.record_n(simnet::Histogram::bucket_value(i), count);
+        }
+    }
+    s
+}
+
+/// The one shared percentile helper (ns): experiments that used to carry
+/// private `pctl` copies all read quantiles through this sketch bridge.
+pub fn pctl_ns(cell: &Cell, name: &str, p: f64) -> u64 {
+    sketch_of(cell, name).percentile(p)
+}
+
+/// [`pctl_ns`] scaled to microseconds.
+pub fn pctl_us(cell: &Cell, name: &str, p: f64) -> f64 {
+    pctl_ns(cell, name, p) as f64 / 1e3
+}
+
 /// Format nanoseconds as microseconds with one decimal.
 pub fn us(ns: u64) -> String {
     format!("{:.1}", ns as f64 / 1_000.0)
@@ -234,6 +260,44 @@ mod tests {
         cell.run_for(SimDuration::from_secs(1));
         assert_eq!(cell.hits(), 20, "misses: {}", cell.misses());
         assert_eq!(cell.op_errors(), 0);
+    }
+
+    /// Fixture: the sketch bridge must agree with an exact sorted-Vec
+    /// quantile within the combined rank error of the HDR histogram
+    /// (bucket width ~3% at 5 sub-bucket bits) and the sketch (α = 1%).
+    #[test]
+    fn sketch_bridge_matches_exact_quantiles() {
+        let spec = cliquemap::cell::CellSpec::default();
+        let mut cell = Cell::build(spec, vec![]);
+        // Latency-shaped fixture: a fast mode, a slow mode, a heavy tail.
+        let mut vals: Vec<u64> = Vec::new();
+        for i in 0..900u64 {
+            vals.push(8_000 + 13 * i);
+        }
+        for i in 0..90u64 {
+            vals.push(120_000 + 777 * i);
+        }
+        for i in 0..10u64 {
+            vals.push(3_000_000 + 50_000 * i);
+        }
+        for &v in &vals {
+            cell.sim.metrics_mut().record("fixture", v);
+        }
+        vals.sort_unstable();
+        let exact = |q: f64| {
+            let rank = ((q * vals.len() as f64).ceil() as usize).max(1);
+            vals[rank - 1] as f64
+        };
+        for &p in &[50.0, 90.0, 99.0, 99.9] {
+            let got = pctl_ns(&cell, "fixture", p) as f64;
+            let e = exact(p / 100.0);
+            assert!(
+                (got - e).abs() / e <= 0.05,
+                "p{p}: sketch {got} vs exact {e}"
+            );
+        }
+        // Missing histogram: defined, empty answer.
+        assert_eq!(pctl_ns(&cell, "no.such.hist", 99.0), 0);
     }
 
     #[test]

@@ -116,16 +116,26 @@ impl std::fmt::Debug for BackendCfg {
 #[derive(Debug)]
 enum Work {
     /// Send pre-encoded bytes (RMA response after transport delay, or an
-    /// RPC response after handler CPU).
-    Respond { dst: NodeId, bytes: Bytes },
+    /// RPC response after handler CPU). `trace` stamps the response frame
+    /// so the client's op trace sees the return path (0 = untraced).
+    Respond {
+        dst: NodeId,
+        bytes: Bytes,
+        trace: u64,
+    },
     /// Server-side dispatch CPU done; run the handler.
-    Dispatch { src: NodeId, req: rpc::Request },
+    Dispatch {
+        src: NodeId,
+        req: rpc::Request,
+        trace: u64,
+    },
     /// Write the next chunk of a prepared SET.
     SetChunk {
         src: NodeId,
         req_id: u64,
         prepared: PreparedSet,
         written: usize,
+        trace: u64,
     },
     /// Periodic reshape/growth trigger check.
     ReshapeCheck,
@@ -195,6 +205,10 @@ pub struct BackendNode {
     growth_pending: bool,
     /// Set once this node has migrated away and is about to exit.
     retired: bool,
+    /// Trace id of the request currently being handled (0 outside a traced
+    /// request). Set from the inbound frame / continuation, read by
+    /// [`BackendNode::respond_rpc`] so responses carry the op's trace.
+    cur_trace: u64,
     /// Interned metric handles; resolved on [`Event::Start`].
     mids: Option<BackendMetricIds>,
     /// Frame-buffer pool every response/request is encoded into; swapped
@@ -286,6 +300,7 @@ impl BackendNode {
             config: None,
             growth_pending: false,
             retired: false,
+            cur_trace: 0,
             mids: None,
             pool: Pool::new(),
             cfg,
@@ -314,7 +329,8 @@ impl BackendNode {
     }
 
     fn defer_send(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, bytes: Bytes, delay: SimDuration) {
-        let tok = self.work.defer(Work::Respond { dst, bytes });
+        let trace = self.cur_trace;
+        let tok = self.work.defer(Work::Respond { dst, bytes, trace });
         ctx.set_timer(delay, tok);
     }
 
@@ -336,7 +352,7 @@ impl BackendNode {
             &self.pool,
         );
         ctx.metrics().add_id(self.m().rpc_bytes, resp.len() as u64);
-        ctx.send(dst, resp);
+        ctx.send_traced(dst, resp, self.cur_trace);
     }
 
     // ---- RMA path -------------------------------------------------------
@@ -354,6 +370,14 @@ impl BackendNode {
         if let Some(served) = served {
             ctx.metrics().add_id(self.m().rma_ops, 1);
             let delay = served.ready_at.since(now);
+            // Serving-side engine occupancy (Pony engine queueing; zero for
+            // hardware transports beyond the fixed serve latency).
+            ctx.trace_interval(
+                self.cur_trace,
+                simnet::obs::stage::ENGINE,
+                now,
+                served.ready_at,
+            );
             self.defer_send(ctx, src, served.response, delay);
         }
     }
@@ -377,8 +401,9 @@ impl BackendNode {
         } else {
             self.cfg.rpc_cost.server_total(req.body.len(), 0)
         };
-        let tok = self.work.defer(Work::Dispatch { src, req });
-        ctx.spawn_cpu(cost, tok);
+        let trace = self.cur_trace;
+        let tok = self.work.defer(Work::Dispatch { src, req, trace });
+        ctx.spawn_cpu_traced(cost, tok, trace, simnet::obs::stage::SERVER_CPU);
     }
 
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, src: NodeId, req: rpc::Request) {
@@ -481,6 +506,7 @@ impl BackendNode {
                 req_id,
                 prepared,
                 written: first,
+                trace: self.cur_trace,
             });
             ctx.set_timer(self.cfg.chunk_gap, tok);
         }
@@ -509,6 +535,7 @@ impl BackendNode {
                 req_id,
                 prepared,
                 written: next,
+                trace: self.cur_trace,
             });
             ctx.set_timer(self.cfg.chunk_gap, tok);
         }
@@ -1069,16 +1096,20 @@ impl Node for BackendNode {
                 // the coarse model freezes only frame intake, which is
                 // where the protocol-visible divergence lives.)
                 let cpu_dead = ctx.host_cpu_dead();
+                self.cur_trace = frame.trace;
                 if let Some(env) = rma::decode(frame.payload.clone()) {
                     if cpu_dead && !self.transport.cpu_independent() {
                         ctx.metrics().add_id(self.m().rma_dropped_cpu_dead, 1);
+                        self.cur_trace = 0;
                         return;
                     }
                     self.on_rma(ctx, src, env);
+                    self.cur_trace = 0;
                     return;
                 }
                 if cpu_dead {
                     ctx.metrics().add_id(self.m().rpc_dropped_cpu_dead, 1);
+                    self.cur_trace = 0;
                     return;
                 }
                 match rpc::decode(frame.payload) {
@@ -1090,18 +1121,28 @@ impl Node for BackendNode {
                     }
                     None => {}
                 }
+                self.cur_trace = 0;
             }
             Event::Timer(token) | Event::CpuDone(token) => {
                 if let Some(work) = self.work.take(token) {
                     match work {
-                        Work::Respond { dst, bytes } => ctx.send(dst, bytes),
-                        Work::Dispatch { src, req } => self.dispatch(ctx, src, req),
+                        Work::Respond { dst, bytes, trace } => ctx.send_traced(dst, bytes, trace),
+                        Work::Dispatch { src, req, trace } => {
+                            self.cur_trace = trace;
+                            self.dispatch(ctx, src, req);
+                            self.cur_trace = 0;
+                        }
                         Work::SetChunk {
                             src,
                             req_id,
                             prepared,
                             written,
-                        } => self.continue_chunks(ctx, src, req_id, prepared, written),
+                            trace,
+                        } => {
+                            self.cur_trace = trace;
+                            self.continue_chunks(ctx, src, req_id, prepared, written);
+                            self.cur_trace = 0;
+                        }
                         Work::ReshapeCheck => self.reshape_check(ctx),
                         Work::FinishResize => {
                             self.store.finish_index_resize();

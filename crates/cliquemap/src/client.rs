@@ -256,8 +256,9 @@ enum Work {
     Retry(u64),
     /// Flush batched access records.
     AccessFlush,
-    /// Send pre-encoded bytes (after transport issue delay).
-    SendWire(NodeId, Bytes),
+    /// Send pre-encoded bytes (after transport issue delay), stamped with
+    /// the issuing op's trace id (0 = untraced).
+    SendWire(NodeId, Bytes, u64),
     /// Client-library CPU for a GET attempt finished; issue its sub-ops.
     IssueAttempt(u64),
 }
@@ -459,6 +460,19 @@ impl ClientNode {
         self.mids.as_ref().expect("metric ids resolved at Start")
     }
 
+    /// The trace id for a logical op: `(node + 1) << 40 | op_id` — globally
+    /// unique across clients (op ids stay below 2^40 by the sub-op tag
+    /// packing), never 0. Returns 0 when tracing is off, which turns every
+    /// downstream trace hook into a no-op.
+    #[inline]
+    fn trace_of(&self, ctx: &Ctx<'_>, op_id: u64) -> u64 {
+        if ctx.tracing() {
+            ((ctx.self_id().0 as u64 + 1) << 40) | op_id
+        } else {
+            0
+        }
+    }
+
     // ---- op intake -------------------------------------------------------
 
     fn schedule_next(&mut self, ctx: &mut Ctx<'_>) {
@@ -608,6 +622,7 @@ impl ClientNode {
                 state.retry = self.cfg.retry.start(ctx.now());
                 state.replicas.extend_from_slice(replicas);
                 self.ops.insert(op_id, OpState::Get(state));
+                ctx.trace_open(self.trace_of(ctx, op_id), trace_aux::GET);
                 self.issue_get_attempt(ctx, op_id);
             }
             ClientOp::Set { key, value } => {
@@ -663,7 +678,8 @@ impl ClientNode {
         ctx.metrics()
             .add_id(self.m().cpu_ns, self.cfg.get_cpu.nanos());
         let tok = self.work.defer(Work::IssueAttempt(op_id));
-        ctx.spawn_cpu(self.cfg.get_cpu, tok);
+        let trace = self.trace_of(ctx, op_id);
+        ctx.spawn_cpu_traced(self.cfg.get_cpu, tok, trace, simnet::obs::stage::CLIENT_CPU);
     }
 
     fn do_issue_attempt(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
@@ -760,7 +776,12 @@ impl ClientNode {
                 #[cfg(feature = "dbg")]
                 eprintln!("[{}] msg_get key={:?} -> {:?}", ctx.now(), key, primary);
                 let body = messages::GetReq { key }.encode_in(&self.pool);
-                ctx.charge_cpu(self.cfg.msg_cost.client_send);
+                let trace = self.trace_of(ctx, op_id);
+                ctx.charge_cpu_traced(
+                    self.cfg.msg_cost.client_send,
+                    trace,
+                    simnet::obs::stage::CLIENT_CPU,
+                );
                 ctx.metrics()
                     .add_id(self.m().cpu_ns, self.cfg.msg_cost.client_send.nanos());
                 self.rpc_call(ctx, primary, method::MSG_GET, body, op_id, attempt, 0);
@@ -797,8 +818,9 @@ impl ClientNode {
             ctx.now(),
             tag,
         );
-        self.charge_rma_op(ctx);
-        self.send_rma(ctx, replica, wire, rma_id);
+        let trace = self.trace_of(ctx, op_id);
+        self.charge_rma_op(ctx, trace);
+        self.send_rma(ctx, replica, wire, rma_id, trace);
     }
 
     fn issue_data_read(
@@ -819,8 +841,9 @@ impl ClientNode {
             ctx.now(),
             tag,
         );
-        self.charge_rma_op(ctx);
-        self.send_rma(ctx, replica, wire, rma_id);
+        let trace = self.trace_of(ctx, op_id);
+        self.charge_rma_op(ctx, trace);
+        self.send_rma(ctx, replica, wire, rma_id, trace);
     }
 
     fn issue_scar(
@@ -848,24 +871,35 @@ impl ClientNode {
             ctx.now(),
             tag,
         );
-        self.charge_rma_op(ctx);
-        self.send_rma(ctx, replica, wire, rma_id);
+        let trace = self.trace_of(ctx, op_id);
+        self.charge_rma_op(ctx, trace);
+        self.send_rma(ctx, replica, wire, rma_id, trace);
     }
 
-    fn charge_rma_op(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.charge_cpu(self.cfg.rma_op_cpu);
+    fn charge_rma_op(&mut self, ctx: &mut Ctx<'_>, trace: u64) {
+        ctx.charge_cpu_traced(self.cfg.rma_op_cpu, trace, simnet::obs::stage::CLIENT_CPU);
         ctx.metrics()
             .add_id(self.m().cpu_ns, self.cfg.rma_op_cpu.nanos());
     }
 
-    fn send_rma(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, wire: Bytes, rma_id: u64) {
+    fn send_rma(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, wire: Bytes, rma_id: u64, trace: u64) {
+        // Annotate (don't alter) traced sub-ops aimed at a CPU-dead
+        // replica: the postmortem uses this to name the gray failure.
+        if trace != 0 && ctx.peer_cpu_dead(dst) {
+            ctx.trace_mark(
+                trace,
+                simnet::obs::stage::SERVER_CPU,
+                ctx.host_of(dst).0 as u64,
+            );
+        }
         // Client-side transport issue cost (engine queueing on Pony).
         let ready = self.transport.admit_issue(ctx.now());
         let delay = ready.since(ctx.now());
         if delay == SimDuration::ZERO {
-            ctx.send(dst, wire);
+            ctx.send_traced(dst, wire, trace);
         } else {
-            let tok = self.work.defer(Work::SendWire(dst, wire));
+            ctx.trace_interval(trace, simnet::obs::stage::ENGINE, ctx.now(), ready);
+            let tok = self.work.defer(Work::SendWire(dst, wire, trace));
             ctx.set_timer(delay, tok);
         }
         ctx.set_timer(self.cfg.attempt_timeout, RmaOpTable::timer_token(rma_id));
@@ -1051,6 +1085,8 @@ impl ClientNode {
         match retry.on_failure_jittered(&policy, now, ctx.rng()) {
             rpc::RetryDecision::RetryAfter(backoff) => {
                 ctx.metrics().add_id(self.m().retries, 1);
+                let trace = self.trace_of(ctx, op_id);
+                ctx.trace_interval(trace, simnet::obs::stage::RETRY, now, now + backoff);
                 let tok = self.work.defer(Work::Retry(op_id));
                 ctx.set_timer(backoff, tok);
             }
@@ -1100,11 +1136,18 @@ impl ClientNode {
             completed: false,
         };
         self.ops.insert(op_id, OpState::Mutation(state));
+        let aux = match kind {
+            MutationKind::Set => trace_aux::SET,
+            MutationKind::Erase => trace_aux::ERASE,
+            MutationKind::Cas => trace_aux::CAS,
+        };
+        ctx.trace_open(self.trace_of(ctx, op_id), aux);
         self.issue_mutation_attempt(ctx, op_id);
     }
 
     fn issue_mutation_attempt(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
-        ctx.charge_cpu(self.cfg.set_cpu);
+        let trace = self.trace_of(ctx, op_id);
+        ctx.charge_cpu_traced(self.cfg.set_cpu, trace, simnet::obs::stage::CLIENT_CPU);
         ctx.metrics()
             .add_id(self.m().cpu_ns, self.cfg.set_cpu.nanos());
         let tt = ctx.truetime();
@@ -1158,7 +1201,11 @@ impl ClientNode {
                 r,
                 m_version_dbg
             );
-            ctx.charge_cpu(self.cfg.rpc_cost.client_send);
+            ctx.charge_cpu_traced(
+                self.cfg.rpc_cost.client_send,
+                trace,
+                simnet::obs::stage::CLIENT_CPU,
+            );
             ctx.metrics()
                 .add_id(self.m().cpu_ns, self.cfg.rpc_cost.client_send.nanos());
             self.rpc_call(ctx, r, method_id, body.clone(), op_id, attempt, 0);
@@ -1229,7 +1276,15 @@ impl ClientNode {
         let tag = sub_tag(op_id, attempt, phase);
         let (id, wire) = self.calls.begin(dst, m, body, ctx.now(), deadline, tag);
         ctx.metrics().add_id(self.m().rpc_bytes, wire.len() as u64);
-        ctx.send(dst, wire);
+        let trace = self.trace_of(ctx, op_id);
+        if trace != 0 && ctx.peer_cpu_dead(dst) {
+            ctx.trace_mark(
+                trace,
+                simnet::obs::stage::SERVER_CPU,
+                ctx.host_of(dst).0 as u64,
+            );
+        }
+        ctx.send_traced(dst, wire, trace);
         ctx.set_timer(self.cfg.attempt_timeout, CallTable::timer_token(id));
     }
 
@@ -1337,7 +1392,12 @@ impl ClientNode {
             }
             tag => {
                 let (op_id, attempt, phase) = split_tag(tag);
-                ctx.charge_cpu(self.cfg.rpc_cost.client_recv);
+                let trace = self.trace_of(ctx, op_id);
+                ctx.charge_cpu_traced(
+                    self.cfg.rpc_cost.client_recv,
+                    trace,
+                    simnet::obs::stage::CLIENT_CPU,
+                );
                 match phase {
                     0 => {
                         // Mutation response or MSG lookup.
@@ -1370,7 +1430,12 @@ impl ClientNode {
         if get.attempt != attempt {
             return;
         }
-        ctx.charge_cpu(self.cfg.msg_cost.client_recv);
+        let trace = self.trace_of(ctx, op_id);
+        ctx.charge_cpu_traced(
+            self.cfg.msg_cost.client_recv,
+            trace,
+            simnet::obs::stage::CLIENT_CPU,
+        );
         ctx.metrics()
             .add_id(self.m().cpu_ns, self.cfg.msg_cost.client_recv.nanos());
         match done.status {
@@ -1440,17 +1505,19 @@ impl ClientNode {
     // ---- RMA completions ---------------------------------------------------
 
     fn on_rma_completion(&mut self, ctx: &mut Ctx<'_>, done: rma::OpCompletion) {
+        let (op_id, attempt, phase) = split_tag(done.op.user_tag);
+        let trace = self.trace_of(ctx, op_id);
         // Client-side transport completion processing cost.
         let ready = self
             .transport
             .admit_completion(ctx.now(), done.data.len() + done.bucket.len());
+        ctx.trace_interval(trace, simnet::obs::stage::ENGINE, ctx.now(), ready);
         let _ = ready; // engine occupancy is tracked; latency impact is
                        // folded into rma_op_cpu to keep the event count low.
-        self.charge_rma_op(ctx);
+        self.charge_rma_op(ctx, trace);
         // Fabric + target-serve round trip, as a hardware timestamper on
         // the NIC would report it (the Fig. 16 quantity).
         ctx.metrics().record_id(self.m().rma_rtt_ns, done.rtt_ns);
-        let (op_id, attempt, phase) = split_tag(done.op.user_tag);
         let replica = done.op.dst;
         match done.status {
             RmaStatus::Ok | RmaStatus::NoMatch => {}
@@ -1610,6 +1677,12 @@ impl ClientNode {
             OpState::Mutation(m) => (m.retry.started_at, m.batch, false),
             OpState::Parked(..) => (at, None, false),
         };
+        ctx.trace_close(
+            self.trace_of(ctx, op_id),
+            started,
+            at,
+            trace_aux::outcome_code(outcome),
+        );
         // Recycle GET state so the next op reuses its replicas/votes
         // capacity instead of allocating fresh Vecs.
         if let OpState::Get(mut g) = state {
@@ -1731,6 +1804,31 @@ const CONFIG_TAG: u64 = u64::MAX;
 const CONNECT_TAG: u64 = u64::MAX - 1;
 const IGNORE_TAG: u64 = u64::MAX - 2;
 
+/// Aux codes stamped on trace OPEN (op kind) and CLOSE (outcome) events.
+pub mod trace_aux {
+    use crate::workload::OpOutcome;
+
+    /// OPEN aux: the op is a GET.
+    pub const GET: u64 = 1;
+    /// OPEN aux: the op is a SET.
+    pub const SET: u64 = 2;
+    /// OPEN aux: the op is an ERASE.
+    pub const ERASE: u64 = 3;
+    /// OPEN aux: the op is a CAS.
+    pub const CAS: u64 = 4;
+
+    /// CLOSE aux: outcome code for an [`OpOutcome`].
+    pub fn outcome_code(o: OpOutcome) -> u64 {
+        match o {
+            OpOutcome::Hit => 1,
+            OpOutcome::Miss => 2,
+            OpOutcome::Done => 3,
+            OpOutcome::Superseded => 4,
+            OpOutcome::Error => 5,
+        }
+    }
+}
+
 /// Pack (op, attempt, phase) into a sub-op tag.
 fn sub_tag(op_id: u64, attempt: u64, phase: u8) -> u64 {
     (op_id << 10) | ((attempt & 0xFF) << 2) | phase as u64
@@ -1775,13 +1873,26 @@ impl Node for ClientNode {
                         Work::Start(op) => self.start_op(ctx, op),
                         Work::Retry(op) => self.retry_op(ctx, op),
                         Work::AccessFlush => self.flush_access_records(ctx),
-                        Work::SendWire(dst, wire) => ctx.send(dst, wire),
+                        Work::SendWire(dst, wire, trace) => ctx.send_traced(dst, wire, trace),
                         Work::IssueAttempt(op) => self.do_issue_attempt(ctx, op),
                     }
                 } else if let Some(rma_id) = RmaOpTable::op_of_timer(token) {
                     if let Some(op) = self.rma.expire(rma_id) {
                         ctx.metrics().add_id(self.m().rma_timeouts, 1);
                         let (op_id, attempt, _) = split_tag(op.user_tag);
+                        // The op stalled from issue to expiry on this
+                        // sub-op; charge it to the retry tier (only if the
+                        // op is still live — a late expiry after quorum
+                        // completion attributes nothing).
+                        if self.ops.contains_key(&op_id) {
+                            let trace = self.trace_of(ctx, op_id);
+                            ctx.trace_interval(
+                                trace,
+                                simnet::obs::stage::RETRY,
+                                op.issued_at,
+                                ctx.now(),
+                            );
+                        }
                         self.record_vote(ctx, op_id, attempt, op.dst, Vote::Failed);
                     }
                 } else if let Some(call_id) = CallTable::call_of_timer(token) {
@@ -1801,6 +1912,15 @@ impl Node for ClientNode {
                             IGNORE_TAG => {}
                             tag => {
                                 let (op_id, attempt, phase) = split_tag(tag);
+                                if self.ops.contains_key(&op_id) {
+                                    let trace = self.trace_of(ctx, op_id);
+                                    ctx.trace_interval(
+                                        trace,
+                                        simnet::obs::stage::RETRY,
+                                        call.issued_at,
+                                        ctx.now(),
+                                    );
+                                }
                                 match self.ops.get(&op_id) {
                                     Some(OpState::Mutation(_)) => self.on_mutation_response(
                                         ctx,

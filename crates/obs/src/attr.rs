@@ -1,0 +1,206 @@
+//! Latency attribution: decompose an op's end-to-end time into stages.
+//!
+//! The op's window `[start, end)` is cut at every boundary of every
+//! recorded interval (clipped to the window); each resulting segment is
+//! charged to the highest-[`stage::priority`] stage covering it, and
+//! segments covered by no interval fall to [`stage::QUEUE`] (unattributed
+//! wait — e.g. the time a quorum op sits waiting on its straggler
+//! replica). Because the segments partition the window exactly, **the
+//! per-stage nanoseconds always sum to the end-to-end duration** — the
+//! invariant the repo's proptest pins.
+
+use crate::event::{kind, stage};
+use crate::recorder::OpTrace;
+
+/// The attribution of one op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribution {
+    /// Trace id.
+    pub trace: u64,
+    /// End-to-end duration (ns): `end - start` of the CLOSE window.
+    pub e2e: u64,
+    /// Nanoseconds charged to each stage, indexed by stage id. Sums to
+    /// [`Attribution::e2e`] exactly.
+    pub stages: [u64; stage::COUNT],
+    /// Outcome code from the CLOSE event.
+    pub outcome: u64,
+    /// MARK annotations on the trace as `(stage, aux)` pairs (e.g.
+    /// `(SERVER_CPU, host)` for "targeted a CPU-dead replica").
+    pub marks: Vec<(u8, u64)>,
+}
+
+impl Attribution {
+    /// The stage with the largest share of the op's time (ties broken
+    /// toward the higher-priority stage, then the lower stage id).
+    pub fn dominant(&self) -> u8 {
+        let mut best: u8 = stage::QUEUE;
+        let mut best_ns: u64 = 0;
+        for (s, &ns) in self.stages.iter().enumerate() {
+            let s = s as u8;
+            let better = ns > best_ns
+                || (ns == best_ns && ns > 0 && stage::priority(s) > stage::priority(best));
+            if better {
+                best = s;
+                best_ns = ns;
+            }
+        }
+        best
+    }
+
+    /// Whether the trace carries a MARK for stage `s`.
+    pub fn has_mark(&self, s: u8) -> bool {
+        self.marks.iter().any(|&(ms, _)| ms == s)
+    }
+
+    /// First MARK aux value for stage `s`, if any.
+    pub fn mark_aux(&self, s: u8) -> Option<u64> {
+        self.marks.iter().find(|&&(ms, _)| ms == s).map(|&(_, a)| a)
+    }
+}
+
+/// Attribute one drained trace. See the module docs for the algorithm.
+pub fn attribute(t: &OpTrace) -> Attribution {
+    let (start, end) = (t.start, t.end.max(t.start));
+    let mut marks = Vec::new();
+    // Clip intervals to the op window; collect cut points.
+    let mut ivs: Vec<(u64, u64, u8)> = Vec::with_capacity(t.events.len());
+    let mut cuts: Vec<u64> = Vec::with_capacity(2 * t.events.len() + 2);
+    cuts.push(start);
+    cuts.push(end);
+    for e in &t.events {
+        match e.kind {
+            kind::MARK => marks.push((e.stage, e.aux)),
+            kind::INTERVAL => {
+                let a = e.t0.max(start);
+                let b = e.t1.min(end);
+                if b > a {
+                    ivs.push((a, b, e.stage));
+                    cuts.push(a);
+                    cuts.push(b);
+                }
+            }
+            _ => {}
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut stages = [0u64; stage::COUNT];
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        // Highest-priority stage covering this whole segment.
+        let mut seg_stage = stage::QUEUE;
+        let mut seg_prio = 0u8;
+        for &(i0, i1, s) in &ivs {
+            if i0 <= a && i1 >= b && stage::priority(s) > seg_prio {
+                seg_prio = stage::priority(s);
+                seg_stage = s;
+            }
+        }
+        stages[(seg_stage as usize).min(stage::COUNT - 1)] += b - a;
+    }
+    Attribution {
+        trace: t.trace,
+        e2e: end - start,
+        stages,
+        outcome: t.outcome,
+        marks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn iv(t0: u64, t1: u64, s: u8) -> TraceEvent {
+        TraceEvent {
+            trace: 1,
+            host: 0,
+            stage: s,
+            kind: kind::INTERVAL,
+            t0,
+            t1,
+            aux: 0,
+        }
+    }
+
+    fn trace(start: u64, end: u64, events: Vec<TraceEvent>) -> OpTrace {
+        OpTrace {
+            trace: 1,
+            start,
+            end,
+            outcome: 0,
+            events,
+        }
+    }
+
+    #[test]
+    fn uncovered_time_is_queue() {
+        let a = attribute(&trace(0, 100, vec![]));
+        assert_eq!(a.e2e, 100);
+        assert_eq!(a.stages[stage::QUEUE as usize], 100);
+        assert_eq!(a.dominant(), stage::QUEUE);
+    }
+
+    #[test]
+    fn disjoint_intervals_partition() {
+        let a = attribute(&trace(
+            0,
+            100,
+            vec![iv(0, 30, stage::CLIENT_CPU), iv(40, 90, stage::FABRIC)],
+        ));
+        assert_eq!(a.stages[stage::CLIENT_CPU as usize], 30);
+        assert_eq!(a.stages[stage::FABRIC as usize], 50);
+        assert_eq!(a.stages[stage::QUEUE as usize], 20);
+        assert_eq!(a.stages.iter().sum::<u64>(), a.e2e);
+        assert_eq!(a.dominant(), stage::FABRIC);
+    }
+
+    #[test]
+    fn overlap_resolved_by_priority() {
+        // A retry wait covering a failed attempt's fabric time: the retry
+        // tier owns the overlap.
+        let a = attribute(&trace(
+            0,
+            100,
+            vec![iv(10, 80, stage::RETRY), iv(20, 60, stage::FABRIC)],
+        ));
+        assert_eq!(a.stages[stage::RETRY as usize], 70);
+        assert_eq!(a.stages[stage::FABRIC as usize], 0);
+        assert_eq!(a.stages.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn intervals_clip_to_window() {
+        // A straggler sub-op interval running past the op's completion
+        // (quorum satisfied early) must not inflate the attribution.
+        let a = attribute(&trace(50, 100, vec![iv(0, 400, stage::FABRIC)]));
+        assert_eq!(a.stages[stage::FABRIC as usize], 50);
+        assert_eq!(a.stages.iter().sum::<u64>(), 50);
+    }
+
+    #[test]
+    fn marks_surface_without_affecting_time() {
+        let mut evs = vec![iv(0, 10, stage::SER)];
+        evs.push(TraceEvent {
+            trace: 1,
+            host: 0,
+            stage: stage::SERVER_CPU,
+            kind: kind::MARK,
+            t0: 5,
+            t1: 5,
+            aux: 42,
+        });
+        let a = attribute(&trace(0, 10, evs));
+        assert!(a.has_mark(stage::SERVER_CPU));
+        assert_eq!(a.mark_aux(stage::SERVER_CPU), Some(42));
+        assert_eq!(a.stages.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn zero_length_window_attributes_zero() {
+        let a = attribute(&trace(5, 5, vec![iv(0, 10, stage::FABRIC)]));
+        assert_eq!(a.e2e, 0);
+        assert_eq!(a.stages.iter().sum::<u64>(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Chrome trace-event JSON export.
+//!
+//! Renders drained traces into the Trace Event Format consumed by
+//! `chrome://tracing` and Perfetto: each host becomes a process row, each
+//! trace a thread row, stage intervals become complete ("X") events, and
+//! marks become instant ("i") events. Timestamps are microseconds (the
+//! format's unit), emitted with fixed precision so the output is
+//! byte-deterministic for a given set of traces.
+
+use std::fmt::Write as _;
+
+use crate::event::{kind, stage};
+use crate::recorder::OpTrace;
+
+#[allow(clippy::too_many_arguments)]
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    ph: &str,
+    host: u32,
+    tid: u64,
+    ts_ns: u64,
+    dur_ns: Option<u64>,
+    args: &str,
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "  {{\"name\":\"{name}\",\"cat\":\"obs\",\"ph\":\"{ph}\",\"pid\":{host},\"tid\":{tid},\"ts\":{:.3}",
+        ts_ns as f64 / 1e3
+    );
+    if let Some(d) = dur_ns {
+        let _ = write!(out, ",\"dur\":{:.3}", d as f64 / 1e3);
+    }
+    if ph == "i" {
+        out.push_str(",\"s\":\"t\"");
+    }
+    if !args.is_empty() {
+        let _ = write!(out, ",\"args\":{{{args}}}");
+    }
+    out.push('}');
+}
+
+/// Render `traces` as a Chrome trace-event JSON document.
+pub fn chrome_trace_json(traces: &[OpTrace]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    for t in traces {
+        // The op itself: a complete event on the opening host's row.
+        let open_host = t
+            .events
+            .iter()
+            .find(|e| e.kind == kind::OPEN)
+            .map(|e| e.host)
+            .unwrap_or(0);
+        push_event(
+            &mut out,
+            &mut first,
+            "op",
+            "X",
+            open_host,
+            t.trace,
+            t.start,
+            Some(t.end.saturating_sub(t.start)),
+            &format!("\"trace\":\"{:#x}\",\"outcome\":{}", t.trace, t.outcome),
+        );
+        for e in &t.events {
+            match e.kind {
+                kind::INTERVAL => push_event(
+                    &mut out,
+                    &mut first,
+                    stage::name(e.stage),
+                    "X",
+                    e.host,
+                    t.trace,
+                    e.t0,
+                    Some(e.t1.saturating_sub(e.t0)),
+                    "",
+                ),
+                kind::MARK => push_event(
+                    &mut out,
+                    &mut first,
+                    stage::name(e.stage),
+                    "i",
+                    e.host,
+                    t.trace,
+                    e.t0,
+                    None,
+                    &format!("\"aux\":{}", e.aux),
+                ),
+                _ => {}
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    #[test]
+    fn emits_valid_shape() {
+        let t = OpTrace {
+            trace: 0x5,
+            start: 1_000,
+            end: 9_000,
+            outcome: 1,
+            events: vec![
+                TraceEvent {
+                    trace: 0x5,
+                    host: 1,
+                    stage: stage::CLIENT_CPU,
+                    kind: kind::OPEN,
+                    t0: 1_000,
+                    t1: 1_000,
+                    aux: 0,
+                },
+                TraceEvent {
+                    trace: 0x5,
+                    host: 1,
+                    stage: stage::FABRIC,
+                    kind: kind::INTERVAL,
+                    t0: 2_000,
+                    t1: 4_000,
+                    aux: 0,
+                },
+                TraceEvent {
+                    trace: 0x5,
+                    host: 2,
+                    stage: stage::SERVER_CPU,
+                    kind: kind::MARK,
+                    t0: 3_000,
+                    t1: 3_000,
+                    aux: 2,
+                },
+            ],
+        };
+        let json = chrome_trace_json(&[t]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("}"));
+        assert!(json.contains("\"name\":\"op\""));
+        assert!(json.contains("\"name\":\"fabric\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"dur\":2.000"));
+        // Deterministic: same input, same bytes.
+        let t2 = OpTrace {
+            trace: 0x5,
+            start: 1_000,
+            end: 9_000,
+            outcome: 1,
+            events: vec![],
+        };
+        assert_eq!(
+            chrome_trace_json(std::slice::from_ref(&t2)),
+            chrome_trace_json(&[t2])
+        );
+    }
+
+    #[test]
+    fn empty_input_is_valid_document() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.contains("\"traceEvents\":["));
+    }
+}

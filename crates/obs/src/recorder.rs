@@ -1,0 +1,235 @@
+//! The flight recorder: bounded per-host rings of trace events.
+//!
+//! Each host gets its own ring so a chatty host cannot evict another
+//! host's events, mirroring how a production flight recorder lives in
+//! host-local memory. Rings are bounded: when full the oldest event is
+//! overwritten (and counted), never blocking the simulation.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::event::{kind, TraceEvent};
+
+/// Default ring capacity per host (events). At ~48 bytes/event this bounds
+/// a host's recorder at ~3 MB; harnesses that drain every sampling window
+/// stay far below it.
+pub const DEFAULT_RING_CAP: usize = 64 * 1024;
+
+/// How long (ns) events of a still-open trace are retained after the last
+/// activity before being discarded as abandoned. Covers sub-op timeouts
+/// that fire after the parent op already completed and drained.
+pub const DEFAULT_RETENTION_NS: u64 = 100_000_000;
+
+/// One op's complete drained trace.
+#[derive(Debug, Clone)]
+pub struct OpTrace {
+    /// Trace id.
+    pub trace: u64,
+    /// Op start (ns), from the CLOSE event.
+    pub start: u64,
+    /// Op completion (ns), from the CLOSE event.
+    pub end: u64,
+    /// Outcome code, from the CLOSE event's `aux`.
+    pub outcome: u64,
+    /// All events of the trace, in canonical [`TraceEvent::sort_key`] order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Per-host bounded flight recorder.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    rings: Vec<VecDeque<TraceEvent>>,
+    cap: usize,
+    recorded: u64,
+    overwritten: u64,
+    abandoned: u64,
+}
+
+impl Recorder {
+    /// A recorder with the default per-host ring capacity. Rings grow on
+    /// demand as hosts record (hosts may be added to a running sim).
+    pub fn new() -> Recorder {
+        Recorder::with_capacity(DEFAULT_RING_CAP)
+    }
+
+    /// A recorder with an explicit per-host ring capacity.
+    pub fn with_capacity(cap: usize) -> Recorder {
+        Recorder {
+            rings: Vec::new(),
+            cap: cap.max(1),
+            recorded: 0,
+            overwritten: 0,
+            abandoned: 0,
+        }
+    }
+
+    /// Append an event to `host`'s ring, evicting the oldest when full.
+    pub fn record(&mut self, host: usize, ev: TraceEvent) {
+        if host >= self.rings.len() {
+            self.rings.resize_with(host + 1, VecDeque::new);
+        }
+        let ring = &mut self.rings[host];
+        if ring.len() == self.cap {
+            ring.pop_front();
+            self.overwritten += 1;
+        }
+        ring.push_back(ev);
+        self.recorded += 1;
+    }
+
+    /// Total events recorded.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to ring overwrite (flight-recorder eviction).
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Events discarded because their trace never closed within retention.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    /// Events currently buffered across all rings.
+    pub fn buffered(&self) -> usize {
+        self.rings.iter().map(|r| r.len()).sum()
+    }
+
+    /// Drain every trace that has a CLOSE event, returning them sorted by
+    /// (completion time, trace id). Events of still-open traces are
+    /// retained in place unless their last activity is older than
+    /// `retention_ns` before `now` (straggler sub-op events arriving after
+    /// their parent drained are dropped once stale).
+    pub fn drain_completed(&mut self, now: u64, retention_ns: u64) -> Vec<OpTrace> {
+        // Pass 1: which traces have closed, and when was each trace's last
+        // activity (for the retention decision).
+        let mut closed: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new(); // trace -> (start, end, outcome)
+        let mut last_activity: BTreeMap<u64, u64> = BTreeMap::new();
+        for ring in &self.rings {
+            for ev in ring {
+                let last = last_activity.entry(ev.trace).or_insert(0);
+                *last = (*last).max(ev.t1).max(ev.t0);
+                if ev.kind == kind::CLOSE {
+                    closed.insert(ev.trace, (ev.t0, ev.t1, ev.aux));
+                }
+            }
+        }
+        // Pass 2: extract closed-trace events; retain fresh open ones.
+        let horizon = now.saturating_sub(retention_ns);
+        let mut groups: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
+        for ring in &mut self.rings {
+            let mut kept = VecDeque::with_capacity(ring.len());
+            for ev in ring.drain(..) {
+                if closed.contains_key(&ev.trace) {
+                    groups.entry(ev.trace).or_default().push(ev);
+                } else if last_activity.get(&ev.trace).copied().unwrap_or(0) >= horizon {
+                    kept.push_back(ev);
+                } else {
+                    self.abandoned += 1;
+                }
+            }
+            *ring = kept;
+        }
+        let mut out: Vec<OpTrace> = groups
+            .into_iter()
+            .map(|(trace, mut events)| {
+                events.sort_by_key(|e| e.sort_key());
+                let (start, end, outcome) = closed[&trace];
+                OpTrace {
+                    trace,
+                    start,
+                    end,
+                    outcome,
+                    events,
+                }
+            })
+            .collect();
+        out.sort_by_key(|t| (t.end, t.trace));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::stage;
+
+    fn ev(trace: u64, host: u32, k: u8, t0: u64, t1: u64) -> TraceEvent {
+        TraceEvent {
+            trace,
+            host,
+            stage: stage::QUEUE,
+            kind: k,
+            t0,
+            t1,
+            aux: 0,
+        }
+    }
+
+    #[test]
+    fn drain_returns_only_closed_traces() {
+        let mut r = Recorder::new();
+        r.record(0, ev(1, 0, kind::OPEN, 10, 10));
+        r.record(1, ev(1, 1, kind::INTERVAL, 12, 20));
+        r.record(0, ev(1, 0, kind::CLOSE, 10, 30));
+        r.record(0, ev(2, 0, kind::OPEN, 15, 15));
+        let done = r.drain_completed(40, 1_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].trace, 1);
+        assert_eq!((done[0].start, done[0].end), (10, 30));
+        assert_eq!(done[0].events.len(), 3);
+        // Open trace 2 retained for a later drain.
+        assert_eq!(r.buffered(), 1);
+        let done2 = r.drain_completed(40, 1_000);
+        assert!(done2.is_empty());
+        r.record(0, ev(2, 0, kind::CLOSE, 15, 35));
+        assert_eq!(r.drain_completed(40, 1_000).len(), 1);
+    }
+
+    #[test]
+    fn cross_host_events_merge_in_time_order() {
+        let mut r = Recorder::new();
+        r.record(2, ev(7, 2, kind::INTERVAL, 50, 60));
+        r.record(0, ev(7, 0, kind::OPEN, 10, 10));
+        r.record(1, ev(7, 1, kind::INTERVAL, 20, 40));
+        r.record(0, ev(7, 0, kind::CLOSE, 10, 70));
+        let done = r.drain_completed(100, 1_000);
+        let t0s: Vec<u64> = done[0].events.iter().map(|e| e.t0).collect();
+        assert_eq!(t0s, vec![10, 10, 20, 50]);
+    }
+
+    #[test]
+    fn stale_open_traces_are_abandoned() {
+        let mut r = Recorder::new();
+        r.record(0, ev(9, 0, kind::INTERVAL, 10, 20));
+        // Fresh drain keeps it; a drain past the retention horizon drops it.
+        r.drain_completed(30, 1_000);
+        assert_eq!(r.buffered(), 1);
+        r.drain_completed(10_000, 1_000);
+        assert_eq!(r.buffered(), 0);
+        assert_eq!(r.abandoned(), 1);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let mut r = Recorder::with_capacity(2);
+        r.record(0, ev(1, 0, kind::OPEN, 1, 1));
+        r.record(0, ev(1, 0, kind::INTERVAL, 2, 3));
+        r.record(0, ev(1, 0, kind::CLOSE, 1, 4));
+        assert_eq!(r.overwritten(), 1);
+        let done = r.drain_completed(10, 1_000);
+        // The OPEN was evicted; the trace still drains off its CLOSE.
+        assert_eq!(done[0].events.len(), 2);
+    }
+
+    #[test]
+    fn drain_order_is_deterministic_by_completion() {
+        let mut r = Recorder::new();
+        r.record(0, ev(5, 0, kind::CLOSE, 0, 90));
+        r.record(1, ev(3, 1, kind::CLOSE, 0, 50));
+        let done = r.drain_completed(100, 1_000);
+        let ids: Vec<u64> = done.iter().map(|t| t.trace).collect();
+        assert_eq!(ids, vec![3, 5]);
+    }
+}

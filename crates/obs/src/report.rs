@@ -1,0 +1,245 @@
+//! Slow-op postmortems and SLO burn-rate monitoring.
+//!
+//! A [`Postmortem`] keeps the K worst ops of a window with their dominant
+//! stage and fault-plan context (MARK annotations), and renders a verdict:
+//! what ate the tail. [`BurnRate`] is the standard SRE error-budget burn
+//! monitor: how fast a window is consuming its SLO breach allowance.
+
+use crate::attr::Attribution;
+use crate::event::stage;
+
+/// One slow op in a postmortem.
+#[derive(Debug, Clone)]
+pub struct SlowOp {
+    /// Trace id.
+    pub trace: u64,
+    /// End-to-end latency (ns).
+    pub e2e: u64,
+    /// Dominant stage.
+    pub dominant: u8,
+    /// MARK annotations `(stage, aux)`.
+    pub marks: Vec<(u8, u64)>,
+}
+
+/// The window-level diagnosis a postmortem renders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// No ops observed.
+    Quiet,
+    /// At least half the worst ops targeted a CPU-dead server (carry a
+    /// `SERVER_CPU` MARK); the payload is the implicated host id.
+    ServerCpuDead(u32),
+    /// The worst ops' time concentrates in this stage.
+    Stage(u8),
+}
+
+impl Verdict {
+    /// Stable label for CSV columns.
+    pub fn label(&self) -> String {
+        match self {
+            Verdict::Quiet => "quiet".to_string(),
+            Verdict::ServerCpuDead(h) => format!("server_cpu_dead:h{h}"),
+            Verdict::Stage(s) => stage::name(*s).to_string(),
+        }
+    }
+}
+
+/// The K worst ops of a window, by end-to-end latency.
+#[derive(Debug, Clone)]
+pub struct Postmortem {
+    /// Worst ops, slowest first.
+    pub worst: Vec<SlowOp>,
+}
+
+impl Postmortem {
+    /// Build from a window's attributions, keeping the `k` slowest ops.
+    pub fn build(attrs: &[Attribution], k: usize) -> Postmortem {
+        let mut worst: Vec<SlowOp> = attrs
+            .iter()
+            .map(|a| SlowOp {
+                trace: a.trace,
+                e2e: a.e2e,
+                dominant: a.dominant(),
+                marks: a.marks.clone(),
+            })
+            .collect();
+        // Slowest first; trace id tie-break keeps the order deterministic.
+        worst.sort_by(|a, b| b.e2e.cmp(&a.e2e).then(a.trace.cmp(&b.trace)));
+        worst.truncate(k);
+        Postmortem { worst }
+    }
+
+    /// Diagnose the window. A majority of worst ops annotated with a
+    /// CPU-dead server target implicates the gray failure directly — the
+    /// op-level signal (sub-ops aimed at a frozen host) is stronger than
+    /// the time-share signal, because quorum ops complete *around* the
+    /// dead replica and bury its cost in retry/queue time.
+    pub fn verdict(&self) -> Verdict {
+        if self.worst.is_empty() {
+            return Verdict::Quiet;
+        }
+        let dead: Vec<u64> = self
+            .worst
+            .iter()
+            .filter_map(|op| {
+                op.marks
+                    .iter()
+                    .find(|&&(s, _)| s == stage::SERVER_CPU)
+                    .map(|&(_, aux)| aux)
+            })
+            .collect();
+        if dead.len() * 2 >= self.worst.len() {
+            // Most-implicated host (deterministic: smallest id on ties).
+            let mut hosts: Vec<u64> = dead.clone();
+            hosts.sort_unstable();
+            let mut best = (hosts[0], 0usize);
+            let mut i = 0;
+            while i < hosts.len() {
+                let j = hosts[i..].iter().take_while(|&&h| h == hosts[i]).count();
+                if j > best.1 {
+                    best = (hosts[i], j);
+                }
+                i += j;
+            }
+            return Verdict::ServerCpuDead(best.0 as u32);
+        }
+        // Otherwise: the stage dominating the most worst-ops.
+        let mut votes = [0usize; stage::COUNT];
+        for op in &self.worst {
+            votes[(op.dominant as usize).min(stage::COUNT - 1)] += 1;
+        }
+        let best = (0..stage::COUNT)
+            .max_by_key(|&s| (votes[s], stage::priority(s as u8)))
+            .unwrap_or(stage::QUEUE as usize);
+        Verdict::Stage(best as u8)
+    }
+
+    /// Human-readable rendering, one line per slow op.
+    pub fn render(&self, prefix: &str) -> Vec<String> {
+        self.worst
+            .iter()
+            .map(|op| {
+                let marks = if op.marks.is_empty() {
+                    String::new()
+                } else {
+                    let m: Vec<String> = op
+                        .marks
+                        .iter()
+                        .map(|(s, aux)| format!("{}@h{}", stage::name(*s), aux))
+                        .collect();
+                    format!(" marks={}", m.join(","))
+                };
+                format!(
+                    "{prefix}trace={:#x} e2e_us={:.1} dominant={}{}",
+                    op.trace,
+                    op.e2e as f64 / 1e3,
+                    stage::name(op.dominant),
+                    marks
+                )
+            })
+            .collect()
+    }
+}
+
+/// SLO burn-rate monitor: breaches consumed relative to the error budget.
+///
+/// With a budget of `budget` (allowed breach fraction, e.g. 0.01 for a
+/// 99%-under-threshold SLO), a window's burn rate is
+/// `(breaches / ops) / budget`: 1.0 burns exactly the budget, >1 burns
+/// faster (alertable), <1 is healthy.
+#[derive(Debug, Clone, Copy)]
+pub struct BurnRate {
+    /// Allowed breach fraction in `(0, 1]`.
+    pub budget: f64,
+}
+
+impl BurnRate {
+    /// A monitor with the given error budget.
+    pub fn new(budget: f64) -> BurnRate {
+        BurnRate {
+            budget: budget.clamp(1e-9, 1.0),
+        }
+    }
+
+    /// Burn rate for a window of `ops` operations with `breaches` SLO
+    /// violations (0.0 for an empty window).
+    pub fn rate(&self, ops: u64, breaches: u64) -> f64 {
+        if ops == 0 {
+            0.0
+        } else {
+            (breaches as f64 / ops as f64) / self.budget
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(trace: u64, e2e: u64, dom: u8, marks: Vec<(u8, u64)>) -> Attribution {
+        let mut stages = [0u64; stage::COUNT];
+        stages[dom as usize] = e2e;
+        Attribution {
+            trace,
+            e2e,
+            stages,
+            outcome: 0,
+            marks,
+        }
+    }
+
+    #[test]
+    fn worst_k_sorted_and_truncated() {
+        let attrs: Vec<Attribution> = (1..=10u64)
+            .map(|i| attr(i, i * 100, stage::FABRIC, vec![]))
+            .collect();
+        let pm = Postmortem::build(&attrs, 3);
+        let e2es: Vec<u64> = pm.worst.iter().map(|o| o.e2e).collect();
+        assert_eq!(e2es, vec![1000, 900, 800]);
+        assert_eq!(pm.verdict(), Verdict::Stage(stage::FABRIC));
+    }
+
+    #[test]
+    fn cpu_dead_marks_override_stage_vote() {
+        let attrs = vec![
+            attr(1, 900, stage::QUEUE, vec![(stage::SERVER_CPU, 7)]),
+            attr(2, 800, stage::QUEUE, vec![(stage::SERVER_CPU, 7)]),
+            attr(3, 700, stage::FABRIC, vec![]),
+        ];
+        let pm = Postmortem::build(&attrs, 3);
+        assert_eq!(pm.verdict(), Verdict::ServerCpuDead(7));
+        assert_eq!(pm.verdict().label(), "server_cpu_dead:h7");
+    }
+
+    #[test]
+    fn empty_window_is_quiet() {
+        let pm = Postmortem::build(&[], 5);
+        assert_eq!(pm.verdict(), Verdict::Quiet);
+        assert!(pm.render("# ").is_empty());
+    }
+
+    #[test]
+    fn render_includes_marks() {
+        let pm = Postmortem::build(
+            &[attr(
+                0xAB,
+                5_000,
+                stage::RETRY,
+                vec![(stage::SERVER_CPU, 3)],
+            )],
+            1,
+        );
+        let lines = pm.render("");
+        assert!(lines[0].contains("dominant=retry"));
+        assert!(lines[0].contains("server_cpu@h3"));
+    }
+
+    #[test]
+    fn burn_rate_scales_with_breaches() {
+        let b = BurnRate::new(0.01);
+        assert_eq!(b.rate(0, 0), 0.0);
+        assert!((b.rate(1000, 10) - 1.0).abs() < 1e-9);
+        assert!((b.rate(1000, 50) - 5.0).abs() < 1e-9);
+        assert!(b.rate(1000, 1) < 1.0);
+    }
+}

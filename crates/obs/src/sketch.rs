@@ -1,0 +1,249 @@
+//! Streaming quantile sketch (DDSketch-style relative-error guarantees).
+//!
+//! Log-spaced buckets with ratio `γ = (1+α)/(1-α)` give every quantile a
+//! bounded *relative* error of `α` regardless of the value range — the
+//! right contract for latency distributions spanning hundreds of ns to
+//! hundreds of ms. This is the repo's one shared percentile helper: bench
+//! experiments that used to carry private `pctl` copies now bridge their
+//! histograms into a `Sketch` and query it.
+
+use std::collections::BTreeMap;
+
+/// Default relative-error bound.
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// A streaming quantile sketch over `u64` values.
+#[derive(Debug, Clone)]
+pub struct Sketch {
+    /// Bucket `i` covers `(γ^(i-1), γ^i]`; value 0 has its own counter.
+    counts: BTreeMap<i32, u64>,
+    zero: u64,
+    count: u64,
+    min: u64,
+    max: u64,
+    gamma: f64,
+    inv_ln_gamma: f64,
+}
+
+impl Default for Sketch {
+    fn default() -> Self {
+        Sketch::new(DEFAULT_ALPHA)
+    }
+}
+
+impl Sketch {
+    /// A sketch with relative-error bound `alpha` in `(0, 1)`.
+    pub fn new(alpha: f64) -> Sketch {
+        let alpha = alpha.clamp(1e-6, 0.5);
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        Sketch {
+            counts: BTreeMap::new(),
+            zero: 0,
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+            gamma,
+            inv_ln_gamma: 1.0 / gamma.ln(),
+        }
+    }
+
+    fn index_of(&self, v: u64) -> i32 {
+        ((v as f64).ln() * self.inv_ln_gamma).ceil() as i32
+    }
+
+    /// Midpoint representative of bucket `i` (relative error ≤ α).
+    fn value_of(&self, i: i32) -> u64 {
+        let upper = self.gamma.powi(i);
+        (2.0 * upper / (self.gamma + 1.0)).round() as u64
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` observations of the same value (histogram bridging).
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if v == 0 {
+            self.zero += n;
+        } else {
+            *self.counts.entry(self.index_of(v)).or_insert(0) += n;
+        }
+        self.count += n;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (0 when empty), accurate to the
+    /// sketch's relative-error bound and clamped to the observed range.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = self.zero;
+        if seen >= rank {
+            return 0;
+        }
+        for (&i, &c) in &self.counts {
+            seen += c;
+            if seen >= rank {
+                return self.value_of(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand for common percentiles: `p` in `{50, 90, 99, 99.9}`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// Merge another sketch into this one. Both must share the same α
+    /// (same bucket geometry); sketches from [`Sketch::new`] with equal
+    /// alphas merge exactly.
+    pub fn merge(&mut self, other: &Sketch) {
+        debug_assert_eq!(self.gamma.to_bits(), other.gamma.to_bits());
+        for (&i, &c) in &other.counts {
+            *self.counts.entry(i).or_insert(0) += c;
+        }
+        self.zero += other.zero;
+        self.count += other.count;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Reset to empty, keeping the bucket geometry.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.zero = 0;
+        self.count = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact reference: sorted-Vec nearest-rank quantile.
+    fn exact(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn within_relative_error_on_uniform() {
+        let mut s = Sketch::new(0.01);
+        let vals: Vec<u64> = (1..=10_000u64).collect();
+        for &v in &vals {
+            s.record(v);
+        }
+        for &q in &[0.5, 0.9, 0.99, 0.999] {
+            let e = exact(&vals, q) as f64;
+            let got = s.quantile(q) as f64;
+            assert!((got - e).abs() / e <= 0.011, "q={q}: got {got}, exact {e}");
+        }
+    }
+
+    #[test]
+    fn within_relative_error_on_heavy_tail() {
+        // Latency-shaped: 99% fast, 1% three orders of magnitude slower.
+        let mut s = Sketch::new(0.01);
+        let mut vals = Vec::new();
+        for i in 0..990u64 {
+            vals.push(3_000 + i);
+        }
+        for i in 0..10u64 {
+            vals.push(2_000_000 + i * 50_000);
+        }
+        vals.sort_unstable();
+        for &v in &vals {
+            s.record(v);
+        }
+        for &q in &[0.5, 0.99, 0.999] {
+            let e = exact(&vals, q) as f64;
+            let got = s.quantile(q) as f64;
+            assert!((got - e).abs() / e <= 0.011, "q={q}: got {got}, exact {e}");
+        }
+    }
+
+    #[test]
+    fn zero_and_extremes() {
+        let mut s = Sketch::default();
+        assert_eq!(s.quantile(0.5), 0);
+        s.record(0);
+        s.record(0);
+        s.record(100);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 100);
+        assert_eq!(s.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn merge_matches_combined_stream() {
+        let mut a = Sketch::new(0.01);
+        let mut b = Sketch::new(0.01);
+        let mut all = Sketch::new(0.01);
+        for v in 1..500u64 {
+            a.record(v * 7);
+            all.record(v * 7);
+        }
+        for v in 1..500u64 {
+            b.record(v * 13);
+            all.record(v * 13);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for &q in &[0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = Sketch::new(0.02);
+        let mut b = Sketch::new(0.02);
+        a.record_n(777, 5);
+        for _ in 0..5 {
+            b.record(777);
+        }
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+        assert_eq!(a.count(), b.count());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = Sketch::default();
+        s.record(9);
+        s.clear();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.99), 0);
+    }
+}

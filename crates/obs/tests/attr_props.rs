@@ -1,0 +1,58 @@
+//! Property: latency attribution always partitions the op window exactly —
+//! the per-stage nanoseconds sum to the end-to-end duration for *any* set
+//! of recorded intervals (overlapping, out of range, zero-length, any
+//! stage mix). This is the invariant `bench figures trace` relies on when
+//! it promises per-op stage shares that add up.
+
+use obs::{attribute, kind, stage, OpTrace, TraceEvent};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+fn arb_event(start: u64, end: u64) -> impl Strategy<Value = TraceEvent> {
+    // Events may spill outside the op window and may be zero-length.
+    let lo = start.saturating_sub(500);
+    let hi = end + 500;
+    (
+        lo..=hi,
+        0u64..=1_000,
+        0u8..stage::COUNT as u8,
+        prop_oneof![Just(kind::INTERVAL), Just(kind::MARK)],
+        0u32..4,
+    )
+        .prop_map(move |(t0, len, s, k, host)| TraceEvent {
+            trace: 1,
+            host,
+            stage: s,
+            kind: k,
+            t0,
+            t1: if k == kind::MARK { t0 } else { t0 + len },
+            aux: 0,
+        })
+}
+
+proptest! {
+    #[test]
+    fn stages_sum_to_e2e(
+        start in 0u64..10_000,
+        len in 0u64..5_000,
+        events in pvec(arb_event(1_000, 6_000), 0..40),
+    ) {
+        let end = start + len;
+        let t = OpTrace { trace: 1, start, end, outcome: 0, events };
+        let a = attribute(&t);
+        prop_assert_eq!(a.e2e, end - start);
+        prop_assert_eq!(a.stages.iter().sum::<u64>(), a.e2e);
+    }
+
+    #[test]
+    fn attribution_is_order_insensitive(
+        mut events in pvec(arb_event(0, 4_000), 2..20),
+    ) {
+        let t1 = OpTrace { trace: 1, start: 500, end: 3_500, outcome: 0, events: events.clone() };
+        events.reverse();
+        let t2 = OpTrace { trace: 1, start: 500, end: 3_500, outcome: 0, events };
+        let a1 = attribute(&t1);
+        let a2 = attribute(&t2);
+        prop_assert_eq!(a1.stages, a2.stages);
+    }
+}

@@ -61,6 +61,8 @@ pub mod time;
 pub mod truetime;
 pub mod util;
 
+pub use obs;
+
 pub use deferred::Deferred;
 pub use fault::{Fault, FaultEvent, FaultPlan, HostSet, LinkImpairment};
 pub use host::{CpuAdmission, Host, HostCfg, HostId, NodeId};

@@ -22,6 +22,10 @@ pub struct Frame {
     pub payload: Bytes,
     /// Bytes charged on the wire (payload + headers).
     pub wire_bytes: u64,
+    /// Trace id the frame belongs to (0 = untraced). Carried out-of-band —
+    /// it is observability metadata, not payload, so it never affects
+    /// `wire_bytes`, timing, or any simulation decision.
+    pub trace: u64,
 }
 
 /// Events delivered to a node by the simulation engine.

@@ -161,6 +161,12 @@ pub struct Sim {
     /// every fault hook a single branch — a simulation without a plan is
     /// byte-identical to one built before fault injection existed.
     fault: Option<Box<FaultState>>,
+    /// Trace recorder, if tracing is enabled. Mirrors the fault layer's
+    /// contract: `None` (the default) makes every trace hook a single
+    /// branch, draws no randomness, and schedules nothing — a simulation
+    /// without a recorder is byte-identical to one built before the obs
+    /// subsystem existed.
+    obs: Option<Box<obs::Recorder>>,
     /// Builds the replacement node when a scheduled `Restart` fires.
     #[allow(clippy::type_complexity)]
     fault_reviver: Option<Box<dyn FnMut(NodeId) -> Option<Box<dyn Node>>>>,
@@ -206,7 +212,38 @@ impl Sim {
             truetime: TrueTime::default(),
             fault: None,
             fault_reviver: None,
+            obs: None,
         }
+    }
+
+    /// Enable per-op tracing: install a flight recorder with the default
+    /// per-host ring capacity. Nodes observe this via
+    /// [`Ctx::tracing`] and start stamping frames/CPU work with trace ids;
+    /// with tracing off all of that is skipped entirely.
+    pub fn enable_tracing(&mut self) {
+        self.obs = Some(Box::new(obs::Recorder::new()));
+    }
+
+    /// Whether a trace recorder is installed.
+    pub fn tracing_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Drain every completed (closed) trace from the flight recorder.
+    /// Returns an empty vec when tracing is disabled. Events of still-open
+    /// traces are retained until they close or exceed the recorder's
+    /// retention window (late sub-op timeouts of already-drained ops).
+    pub fn drain_traces(&mut self) -> Vec<obs::OpTrace> {
+        let now = self.now.nanos();
+        match self.obs.as_mut() {
+            Some(r) => r.drain_completed(now, obs::recorder::DEFAULT_RETENTION_NS),
+            None => Vec::new(),
+        }
+    }
+
+    /// Recorder statistics (None when tracing is disabled).
+    pub fn recorder(&self) -> Option<&obs::Recorder> {
+        self.obs.as_deref()
     }
 
     /// Install (compile and arm) a fault plan. Link and CPU faults become
@@ -481,7 +518,43 @@ impl Sim {
         match pending {
             Pending::RxArrive { frame, incarnation } => {
                 let dst_host = self.nodes[frame.dst.0 as usize].host;
-                let deliver_at = self.hosts[dst_host.0 as usize].admit_rx(at, frame.wire_bytes);
+                let host = &mut self.hosts[dst_host.0 as usize];
+                // Pre-read the RX link's busy horizon: the gap between
+                // arrival and serialization start is queueing, and the
+                // tracer wants the two attributed separately.
+                let rx_start = at.max(host.rx_free_at);
+                let deliver_at = host.admit_rx(at, frame.wire_bytes);
+                if frame.trace != 0 {
+                    if let Some(rec) = self.obs.as_deref_mut() {
+                        let h = dst_host.0;
+                        if rx_start > at {
+                            rec.record(
+                                h as usize,
+                                obs::TraceEvent {
+                                    trace: frame.trace,
+                                    host: h,
+                                    stage: obs::stage::QUEUE,
+                                    kind: obs::kind::INTERVAL,
+                                    t0: at.nanos(),
+                                    t1: rx_start.nanos(),
+                                    aux: frame.wire_bytes,
+                                },
+                            );
+                        }
+                        rec.record(
+                            h as usize,
+                            obs::TraceEvent {
+                                trace: frame.trace,
+                                host: h,
+                                stage: obs::stage::SER,
+                                kind: obs::kind::INTERVAL,
+                                t0: rx_start.nanos(),
+                                t1: deliver_at.nanos(),
+                                aux: frame.wire_bytes,
+                            },
+                        );
+                    }
+                }
                 self.schedule(
                     deliver_at,
                     Pending::Deliver {
@@ -600,12 +673,27 @@ impl<'a> Ctx<'a> {
     /// destination host's RX link. Co-located nodes use the loopback path.
     pub fn send(&mut self, dst: NodeId, payload: Bytes) {
         let wire = self.sim.fabric.wire_size(payload.len());
-        self.send_wire(dst, payload, wire);
+        self.send_wire_traced(dst, payload, wire, 0);
+    }
+
+    /// Like [`Ctx::send`] but stamping the frame with a trace id so the
+    /// recorder attributes its TX queueing / serialization / fabric time.
+    pub fn send_traced(&mut self, dst: NodeId, payload: Bytes, trace: u64) {
+        let wire = self.sim.fabric.wire_size(payload.len());
+        self.send_wire_traced(dst, payload, wire, trace);
     }
 
     /// Like [`Ctx::send`] but with an explicit wire size (used by protocol
     /// layers that account their own header overheads).
     pub fn send_wire(&mut self, dst: NodeId, payload: Bytes, wire_bytes: u64) {
+        self.send_wire_traced(dst, payload, wire_bytes, 0);
+    }
+
+    /// The full send path: explicit wire size plus a trace id (0 = untraced).
+    /// The trace id rides the frame out-of-band — it never changes wire
+    /// size, timing, or any RNG draw, so a traced run's schedule is
+    /// identical to an untraced one.
+    pub fn send_wire_traced(&mut self, dst: NodeId, payload: Bytes, wire_bytes: u64, trace: u64) {
         assert!(
             (dst.0 as usize) < self.sim.nodes.len(),
             "unknown node {dst}"
@@ -617,6 +705,7 @@ impl<'a> Ctx<'a> {
             dst,
             payload,
             wire_bytes,
+            trace,
         };
         // Capture the destination's incarnation at send time: a frame on
         // the wire is addressed to the process that exists *now*, and must
@@ -626,6 +715,10 @@ impl<'a> Ctx<'a> {
             // Loopback (kernel IPC) is below the fault layer's fabric
             // model: link impairments never apply to co-located nodes.
             let at = self.sim.now + self.sim.fabric.loopback_latency;
+            if trace != 0 {
+                let (t0, t1) = (self.sim.now.nanos(), at.nanos());
+                self.record_trace(src_host, trace, obs::stage::FABRIC, t0, t1, wire_bytes);
+            }
             self.sim.schedule(
                 at,
                 Pending::Deliver {
@@ -637,9 +730,32 @@ impl<'a> Ctx<'a> {
             return;
         }
         let now = self.sim.now;
+        let txq_start = now.max(self.sim.hosts[src_host.0 as usize].tx_free_at);
         let depart = self.sim.hosts[src_host.0 as usize].admit_tx(now, wire_bytes);
         let jitter = SimDuration(self.sim.rng.gen_range(self.sim.fabric.jitter.nanos() + 1));
         let mut arrive = depart + self.sim.fabric.base_latency + jitter;
+        if trace != 0 {
+            // TX-side queueing (waiting for the NIC) then serialization
+            // (the bytes going onto the wire).
+            if txq_start > now {
+                self.record_trace(
+                    src_host,
+                    trace,
+                    obs::stage::QUEUE,
+                    now.nanos(),
+                    txq_start.nanos(),
+                    wire_bytes,
+                );
+            }
+            self.record_trace(
+                src_host,
+                trace,
+                obs::stage::SER,
+                txq_start.nanos(),
+                depart.nanos(),
+                wire_bytes,
+            );
+        }
         // Fault layer: the frame has left the NIC (TX was charged), now the
         // fabric decides whether it survives, slows, or forks.
         let fate = self
@@ -650,6 +766,8 @@ impl<'a> Ctx<'a> {
         if let Some((fate, mids)) = fate {
             if fate.drop {
                 self.sim.metrics.add_id(mids.frames_dropped, 1);
+                // No fabric interval: the frame died on the wire, and the
+                // op's eventual retry tier owns the lost time.
                 return;
             }
             if fate.extra > SimDuration::ZERO {
@@ -667,6 +785,10 @@ impl<'a> Ctx<'a> {
                 );
             }
         }
+        if trace != 0 {
+            let (t0, t1) = (depart.nanos(), arrive.nanos());
+            self.record_trace(src_host, trace, obs::stage::FABRIC, t0, t1, wire_bytes);
+        }
         self.sim.schedule(
             arrive,
             Pending::RxArrive {
@@ -674,6 +796,25 @@ impl<'a> Ctx<'a> {
                 incarnation: inc,
             },
         );
+    }
+
+    /// Record one INTERVAL event against `host` if tracing is enabled.
+    /// Single `Option` check when it isn't.
+    fn record_trace(&mut self, host: HostId, trace: u64, stage: u8, t0: u64, t1: u64, aux: u64) {
+        if let Some(rec) = self.sim.obs.as_deref_mut() {
+            rec.record(
+                host.0 as usize,
+                obs::TraceEvent {
+                    trace,
+                    host: host.0,
+                    stage,
+                    kind: obs::kind::INTERVAL,
+                    t0,
+                    t1,
+                    aux,
+                },
+            );
+        }
     }
 
     /// Arrange for [`Event::Timer`] with `token` after `delay`.
@@ -696,12 +837,28 @@ impl<'a> Ctx<'a> {
     /// host queues the work until its window heals and a straggler host
     /// inflates the execution time.
     pub fn spawn_cpu(&mut self, work: SimDuration, token: u64) {
+        self.spawn_cpu_traced(work, token, 0, 0);
+    }
+
+    /// Like [`Ctx::spawn_cpu`] but recording the core wait as
+    /// [`obs::stage::QUEUE`] and the execution as `stage` (the caller names
+    /// which side of the op it is: [`obs::stage::CLIENT_CPU`] or
+    /// [`obs::stage::SERVER_CPU`]). `trace == 0` is the untraced fast path.
+    pub fn spawn_cpu_traced(&mut self, work: SimDuration, token: u64, trace: u64, stage: u8) {
         let host = self.self_host();
         let now = self.sim.now;
         let (submit, scale) = self.sim.cpu_fault_adjust(now, host);
         let admission = self.sim.hosts[host.0 as usize].admit_cpu_scaled(submit, work, scale);
         if admission.cold_start {
             self.sim.metrics.add_id(self.sim.mids.cstate_exits, 1);
+        }
+        if trace != 0 {
+            if admission.start > now {
+                let (t0, t1) = (now.nanos(), admission.start.nanos());
+                self.record_trace(host, trace, obs::stage::QUEUE, t0, t1, 0);
+            }
+            let (t0, t1) = (admission.start.nanos(), admission.done.nanos());
+            self.record_trace(host, trace, stage, t0, t1, 0);
         }
         let inc = self.sim.nodes[self.id.0 as usize].incarnation;
         self.sim.schedule(
@@ -717,10 +874,126 @@ impl<'a> Ctx<'a> {
     /// Charge CPU time on this host without a completion event (background
     /// accounting for costs that don't gate forward progress).
     pub fn charge_cpu(&mut self, work: SimDuration) {
+        self.charge_cpu_traced(work, 0, 0);
+    }
+
+    /// Like [`Ctx::charge_cpu`] but attributing the execution window to
+    /// `stage` on trace `trace` (0 = untraced).
+    pub fn charge_cpu_traced(&mut self, work: SimDuration, trace: u64, stage: u8) {
         let host = self.self_host();
         let now = self.sim.now;
         let (submit, scale) = self.sim.cpu_fault_adjust(now, host);
-        self.sim.hosts[host.0 as usize].admit_cpu_scaled(submit, work, scale);
+        let admission = self.sim.hosts[host.0 as usize].admit_cpu_scaled(submit, work, scale);
+        if trace != 0 {
+            if admission.start > now {
+                let (t0, t1) = (now.nanos(), admission.start.nanos());
+                self.record_trace(host, trace, obs::stage::QUEUE, t0, t1, 0);
+            }
+            let (t0, t1) = (admission.start.nanos(), admission.done.nanos());
+            self.record_trace(host, trace, stage, t0, t1, 0);
+        }
+    }
+
+    /// Whether tracing is enabled for this run. Nodes check this once per
+    /// op to decide whether to allocate a trace id; everything downstream
+    /// keys off `trace != 0`.
+    pub fn tracing(&self) -> bool {
+        self.sim.obs.is_some()
+    }
+
+    /// Open a trace: the op's life starts now. `aux` is a caller-defined
+    /// op descriptor (e.g. op kind).
+    pub fn trace_open(&mut self, trace: u64, aux: u64) {
+        if trace == 0 {
+            return;
+        }
+        let host = self.self_host();
+        let now = self.sim.now.nanos();
+        if let Some(rec) = self.sim.obs.as_deref_mut() {
+            rec.record(
+                host.0 as usize,
+                obs::TraceEvent {
+                    trace,
+                    host: host.0,
+                    stage: 0,
+                    kind: obs::kind::OPEN,
+                    t0: now,
+                    t1: now,
+                    aux,
+                },
+            );
+        }
+    }
+
+    /// Close a trace with its full `[start, end)` window and an outcome
+    /// code. The recorder releases the trace on the next drain.
+    pub fn trace_close(&mut self, trace: u64, start: SimTime, end: SimTime, aux: u64) {
+        if trace == 0 {
+            return;
+        }
+        let host = self.self_host();
+        if let Some(rec) = self.sim.obs.as_deref_mut() {
+            rec.record(
+                host.0 as usize,
+                obs::TraceEvent {
+                    trace,
+                    host: host.0,
+                    stage: 0,
+                    kind: obs::kind::CLOSE,
+                    t0: start.nanos(),
+                    t1: end.nanos(),
+                    aux,
+                },
+            );
+        }
+    }
+
+    /// Record an arbitrary stage interval on this node's host (protocol
+    /// layers annotating costs the engine can't see, e.g. engine occupancy
+    /// or retry backoff).
+    pub fn trace_interval(&mut self, trace: u64, stage: u8, t0: SimTime, t1: SimTime) {
+        if trace == 0 {
+            return;
+        }
+        let host = self.self_host();
+        self.record_trace(host, trace, stage, t0.nanos(), t1.nanos(), 0);
+    }
+
+    /// Record a point annotation (no duration) — e.g. "this sub-op targeted
+    /// a CPU-dead replica", with the replica's host in `aux`.
+    pub fn trace_mark(&mut self, trace: u64, stage: u8, aux: u64) {
+        if trace == 0 {
+            return;
+        }
+        let host = self.self_host();
+        let now = self.sim.now.nanos();
+        if let Some(rec) = self.sim.obs.as_deref_mut() {
+            rec.record(
+                host.0 as usize,
+                obs::TraceEvent {
+                    trace,
+                    host: host.0,
+                    stage,
+                    kind: obs::kind::MARK,
+                    t0: now,
+                    t1: now,
+                    aux,
+                },
+            );
+        }
+    }
+
+    /// Whether `node`'s host is currently in a CPU-dead fault window, as
+    /// observable by the tracer. Read-only: no RNG draws, no scheduling —
+    /// used to annotate (not alter) traced ops.
+    pub fn peer_cpu_dead(&self, node: NodeId) -> bool {
+        match self.sim.fault.as_deref() {
+            Some(f) => {
+                let host = self.sim.nodes[node.0 as usize].host;
+                f.host_cpu_dead(self.sim.now, host)
+            }
+            None => false,
+        }
     }
 
     /// Whether this node's host is currently in a [`Fault::CpuDead`] window

@@ -52,6 +52,14 @@ impl Histogram {
         ((msb - SUB_BUCKET_BITS + 1) as usize) * SUB_BUCKETS + sub
     }
 
+    /// Representative (upper-bound) value of a bucket index, the inverse
+    /// of the bucketing function. Together with
+    /// [`Histogram::nonzero_buckets`] this lets external aggregators
+    /// (e.g. `obs::Sketch`) rebuild the distribution.
+    pub fn bucket_value(index: usize) -> u64 {
+        Self::value_of(index)
+    }
+
     fn value_of(index: usize) -> u64 {
         let tier = index / SUB_BUCKETS;
         let sub = index % SUB_BUCKETS;
@@ -118,6 +126,14 @@ impl Histogram {
     /// Shorthand for common percentiles: p in `{50, 90, 99, 999(=99.9)}`.
     pub fn percentile(&self, p: f64) -> u64 {
         self.quantile(p / 100.0)
+    }
+
+    /// Number of observations strictly above `value` (SLO breach
+    /// counting). Resolution is the histogram's bucket width: values in
+    /// `value`'s own bucket are not counted.
+    pub fn count_above(&self, value: u64) -> u64 {
+        let idx = Self::index_of(value);
+        self.buckets[idx + 1..].iter().sum()
     }
 
     /// Merge another histogram into this one.
