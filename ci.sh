@@ -60,4 +60,17 @@ cmp "$CHAOS_TMP/trace1/trace_chrome.json" "$CHAOS_TMP/chrome_committed.json"
 # schedules with no recorder installed, and the simperf gates bound the
 # disabled-path cost (a single Option check per hook) at noise.
 
+echo "== deterministic parallel-step gate (SIMNET_PARALLEL) =="
+# The opt-in conservative parallel step must be byte-identical to the
+# serial engine on whole experiments: with SIMNET_PARALLEL set, every cell
+# in the run takes the windowed path, and the chaos (fault plans) and
+# trace (flight recorder) figures must still regenerate the committed
+# artifacts byte for byte.
+SIMNET_PARALLEL=8 cargo run --release -p bench --bin figures -- chaos --csv "$CHAOS_TMP/par_chaos" >/dev/null
+cmp "$CHAOS_TMP/par_chaos/chaos.csv" results/chaos.csv
+SIMNET_PARALLEL=8 cargo run --release -p bench --bin figures -- trace --csv "$CHAOS_TMP/par_trace" >/dev/null
+cp results/trace_chrome.json "$CHAOS_TMP/par_trace/trace_chrome.json"
+cmp "$CHAOS_TMP/par_trace/trace.csv" results/trace.csv
+cmp "$CHAOS_TMP/par_trace/trace_chrome.json" "$CHAOS_TMP/chrome_committed.json"
+
 echo "CI OK"

@@ -33,7 +33,7 @@ use std::time::Instant;
 
 use simnet::SimDuration;
 
-use bench::simcore::{ads_cell, pony_ramp_cell, ADS_SPAN, PONY_SPAN};
+use bench::simcore::{ads_cell, cell950, pony_ramp_cell, ADS_SPAN, CELL950_SPAN, PONY_SPAN};
 use cliquemap::cell::Cell;
 
 /// Tolerated events/sec drop (and, with `simperf-alloc`, allocs/op growth)
@@ -115,9 +115,48 @@ struct Sample {
     allocs_per_op: f64,
     /// Heap bytes allocated per event over the run.
     alloc_bytes_per_op: f64,
+    /// High-water mark of queued events in the cell's event queue.
+    queue_hwm: u64,
+    /// `Pending` boxes sitting in the simulator freelist at end of run —
+    /// the steady-state working set the pool is amortizing.
+    pool_len: u64,
+    /// Process peak RSS in bytes after this workload (Linux `VmHWM`).
+    /// Process-wide and monotone, so workloads later in the list inherit
+    /// earlier peaks; the first cell to spike is the one that moves it.
+    peak_rss_bytes: u64,
 }
 
-fn run_once(build: fn() -> Cell, sim_span: SimDuration) -> (u64, f64, u64, u64) {
+/// One rep's measurements, before best-of selection.
+struct Rep {
+    events: u64,
+    wall_s: f64,
+    allocs: u64,
+    alloc_bytes: u64,
+    queue_hwm: u64,
+    pool_len: u64,
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`), or 0
+/// when `/proc` is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+fn run_once(build: fn() -> Cell, sim_span: SimDuration) -> Rep {
     let mut cell = build();
     let events_at_start = cell.sim.events_processed();
     let (allocs0, bytes0) = alloc_snapshot();
@@ -125,32 +164,42 @@ fn run_once(build: fn() -> Cell, sim_span: SimDuration) -> (u64, f64, u64, u64) 
     cell.run_for(sim_span);
     let wall_s = start.elapsed().as_secs_f64();
     let (allocs1, bytes1) = alloc_snapshot();
-    let events = cell.sim.events_processed() - events_at_start;
-    (events, wall_s, allocs1 - allocs0, bytes1 - bytes0)
+    Rep {
+        events: cell.sim.events_processed() - events_at_start,
+        wall_s,
+        allocs: allocs1 - allocs0,
+        alloc_bytes: bytes1 - bytes0,
+        queue_hwm: cell.sim.queue_high_water() as u64,
+        pool_len: cell.sim.pending_pool_len() as u64,
+    }
 }
 
-/// Best-of-[`REPS`]: the rep with the highest events/sec wins. Events and
-/// allocation counts are deterministic across reps; wall time is not.
+/// Best-of-[`REPS`]: the rep with the highest events/sec wins. Events,
+/// allocation counts, and queue/pool depths are deterministic across reps;
+/// wall time is not.
 fn run_workload(name: &'static str, build: fn() -> Cell, sim_span: SimDuration) -> Sample {
-    let mut best: Option<(u64, f64, u64, u64)> = None;
+    let mut best: Option<Rep> = None;
     for _ in 0..REPS {
         let rep = run_once(build, sim_span);
         let better = match &best {
-            Some((_, wall, _, _)) => rep.1 < *wall,
+            Some(b) => rep.wall_s < b.wall_s,
             None => true,
         };
         if better {
             best = Some(rep);
         }
     }
-    let (events, wall_s, allocs, bytes) = best.expect("REPS >= 1");
+    let rep = best.expect("REPS >= 1");
     Sample {
         name,
-        events,
-        wall_s,
-        events_per_sec: events as f64 / wall_s.max(1e-9),
-        allocs_per_op: allocs as f64 / events.max(1) as f64,
-        alloc_bytes_per_op: bytes as f64 / events.max(1) as f64,
+        events: rep.events,
+        wall_s: rep.wall_s,
+        events_per_sec: rep.events as f64 / rep.wall_s.max(1e-9),
+        allocs_per_op: rep.allocs as f64 / rep.events.max(1) as f64,
+        alloc_bytes_per_op: rep.alloc_bytes as f64 / rep.events.max(1) as f64,
+        queue_hwm: rep.queue_hwm,
+        pool_len: rep.pool_len,
+        peak_rss_bytes: peak_rss_bytes(),
     }
 }
 
@@ -166,12 +215,15 @@ fn to_json(samples: &[Sample]) -> String {
             String::new()
         };
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"events\": {}, \"wall_s\": {:.3}, \"events_per_sec\": {:.0}{}}}{}\n",
+            "    {{\"name\": \"{}\", \"events\": {}, \"wall_s\": {:.3}, \"events_per_sec\": {:.0}{}, \"queue_hwm\": {}, \"pool_len\": {}, \"peak_rss_bytes\": {}}}{}\n",
             s.name,
             s.events,
             s.wall_s,
             s.events_per_sec,
             alloc_fields,
+            s.queue_hwm,
+            s.pool_len,
+            s.peak_rss_bytes,
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }
@@ -237,19 +289,23 @@ fn main() {
     let samples = vec![
         run_workload("ads_week", ads_cell, ADS_SPAN),
         run_workload("pony_ramp", pony_ramp_cell, PONY_SPAN),
+        run_workload("cell950", cell950, CELL950_SPAN),
     ];
     let mut total_events = 0u64;
     let mut total_wall = 0f64;
     for s in &samples {
         if ALLOC_COUNTING {
             println!(
-                "{:<12} {:>12} events {:>8.2}s wall {:>12.0} events/s {:>8.3} allocs/op {:>8.1} B/op",
-                s.name, s.events, s.wall_s, s.events_per_sec, s.allocs_per_op, s.alloc_bytes_per_op
+                "{:<12} {:>12} events {:>8.2}s wall {:>12.0} events/s {:>8.3} allocs/op {:>8.1} B/op qhwm {} pool {} rss {}MiB",
+                s.name, s.events, s.wall_s, s.events_per_sec, s.allocs_per_op,
+                s.alloc_bytes_per_op, s.queue_hwm, s.pool_len,
+                s.peak_rss_bytes >> 20
             );
         } else {
             println!(
-                "{:<12} {:>12} events {:>8.2}s wall {:>12.0} events/s",
-                s.name, s.events, s.wall_s, s.events_per_sec
+                "{:<12} {:>12} events {:>8.2}s wall {:>12.0} events/s qhwm {} pool {} rss {}MiB",
+                s.name, s.events, s.wall_s, s.events_per_sec, s.queue_hwm,
+                s.pool_len, s.peak_rss_bytes >> 20
             );
         }
         total_events += s.events;

@@ -28,6 +28,9 @@ pub const ADS_SPAN: SimDuration = SimDuration::from_millis(4060);
 /// Simulated span `simperf` drives the Pony ramp cell for.
 pub const PONY_SPAN: SimDuration = SimDuration::from_millis(2010);
 
+/// Simulated span `simperf` drives the 950-host macro cell for.
+pub const CELL950_SPAN: SimDuration = SimDuration::from_millis(500);
+
 /// F8-style Ads cell: batched production GETs + steady SETs with backfill
 /// bursts against an R=3.2 SCAR cell, run for a fixed simulated span.
 pub fn ads_cell() -> Cell {
@@ -92,5 +95,35 @@ pub fn pony_ramp_cell() -> Cell {
         .collect();
     let mut cell = Cell::build(spec, wls);
     populate_cell(&mut cell, "k", keys, &SizeDist::fixed(4096));
+    cell
+}
+
+/// Paper-scale macro cell: 950 hosts (1 config store + 115 backends + 834
+/// client hosts), 10,000 client tasks ramping offered load 10x. This is
+/// the topology class the paper validated on (950-host testbeds) and the
+/// cell that makes event-queue and host-state scaling visible: thousands
+/// of concurrent same-window events, a node table an order of magnitude
+/// past the other cells, and enough in-flight ops to exercise the pending
+/// pool. Per-client rates are low — aggregate load is what matters here.
+pub fn cell950() -> Cell {
+    let keys = 4_000u64;
+    let mut spec: CellSpec = base_spec(LookupStrategy::Scar, ReplicationMode::R32, 115);
+    spec.seed = 53;
+    spec.clients_per_host = 12;
+    spec.client.max_in_flight = 64;
+    let wls: Vec<Box<dyn Workload>> = (0..10_000)
+        .map(|_| {
+            Box::new(RampWorkload {
+                prefix: "k".into(),
+                keys,
+                rate0: 20.0,
+                rate1: 200.0,
+                duration: SimDuration::from_millis(450),
+                stop_at_end: false,
+            }) as Box<dyn Workload>
+        })
+        .collect();
+    let mut cell = Cell::build(spec, wls);
+    populate_cell(&mut cell, "k", keys, &SizeDist::fixed(1024));
     cell
 }

@@ -5,6 +5,14 @@
 //! [`Node`](crate::node::Node)s may be co-located on one host (e.g. a
 //! CliqueMap backend plus several clients, as in the paper's "co-tenant"
 //! machines) and then contend for its NIC and cores.
+//!
+//! Host state is stored structure-of-arrays in [`Hosts`], indexed by
+//! [`HostId`]: the per-frame NIC fields, the per-admission CPU fields, and
+//! the per-core free-at instants each live in their own contiguous array.
+//! At paper scale (~1000 hosts) the whole NIC table is ~48KB and the CPU
+//! table ~24KB — both cache-resident — where the former array-of-structs
+//! layout dragged the cold config, core vector header, and frame-pool
+//! handle into every NIC touch.
 
 use bytes::Pool;
 
@@ -77,27 +85,27 @@ impl HostCfg {
     }
 }
 
-/// Runtime state of one host.
-#[derive(Debug)]
-pub struct Host {
-    /// Configuration the host was created with.
-    pub cfg: HostCfg,
-    /// Instant at which the NIC TX path frees up.
-    pub tx_free_at: SimTime,
-    /// Instant at which the NIC RX path frees up.
-    pub rx_free_at: SimTime,
-    /// Per-core instant at which the core frees up.
-    cores: Vec<SimTime>,
-    /// Cumulative busy nanoseconds across all cores (for utilization).
-    pub cpu_busy_ns: u64,
-    /// Cumulative bytes through TX / RX (for bandwidth accounting).
-    pub tx_bytes: u64,
-    /// Cumulative bytes received.
-    pub rx_bytes: u64,
-    /// Frame-buffer pool shared by every node co-located on this host.
-    /// Outbound frames are encoded into pooled buffers and recycle here
-    /// when the receiver drops them.
-    pub pool: Pool,
+/// Hot NIC state of one host: everything the per-frame TX/RX admission
+/// path reads or writes, and nothing else (48 bytes).
+#[derive(Debug, Clone, Copy)]
+struct Nic {
+    tx_free_at: SimTime,
+    rx_free_at: SimTime,
+    tx_gbps: f64,
+    rx_gbps: f64,
+    tx_bytes: u64,
+    rx_bytes: u64,
+}
+
+/// Hot CPU state of one host. The per-core free-at instants live in the
+/// shared [`Hosts::cores`] arena at `core_off .. core_off + core_cnt`.
+#[derive(Debug, Clone, Copy)]
+struct Cpu {
+    core_off: u32,
+    core_cnt: u32,
+    cstate_idle_ns: u64,
+    cstate_exit_ns: u64,
+    busy_ns: u64,
 }
 
 /// Result of admitting a task onto a host CPU.
@@ -111,85 +119,152 @@ pub struct CpuAdmission {
     pub cold_start: bool,
 }
 
-impl Host {
-    /// Create a host from its configuration.
-    pub fn new(cfg: HostCfg) -> Host {
-        let cores = vec![SimTime::ZERO; cfg.cores.max(1) as usize];
-        Host {
-            cfg,
+/// By-value accounting snapshot of one host, returned by
+/// [`Sim::host`](crate::sim::Sim::host) for harness-side reads.
+#[derive(Debug, Clone, Copy)]
+pub struct HostStats {
+    /// Cumulative busy nanoseconds across all cores (for utilization).
+    pub cpu_busy_ns: u64,
+    /// Cumulative bytes through TX (for bandwidth accounting).
+    pub tx_bytes: u64,
+    /// Cumulative bytes through RX.
+    pub rx_bytes: u64,
+    /// Number of cores on the host.
+    pub cores: usize,
+}
+
+/// All hosts of a simulation, structure-of-arrays, indexed by [`HostId`].
+#[derive(Debug, Default)]
+pub struct Hosts {
+    nic: Vec<Nic>,
+    cpu: Vec<Cpu>,
+    /// Flattened per-core free-at instants for every host.
+    cores: Vec<SimTime>,
+    /// Cold: construction-time configuration (kept for inspection).
+    cfgs: Vec<HostCfg>,
+    /// Cold-ish: per-host frame-buffer pools; nodes clone the handle once
+    /// at [`Event::Start`](crate::node::Event::Start).
+    pools: Vec<Pool>,
+}
+
+impl Hosts {
+    /// An empty host table.
+    pub fn new() -> Hosts {
+        Hosts::default()
+    }
+
+    /// Add a host; returns its id.
+    pub fn add(&mut self, cfg: HostCfg) -> HostId {
+        let id = HostId(self.nic.len() as u32);
+        let core_cnt = cfg.cores.max(1);
+        let core_off = self.cores.len() as u32;
+        self.cores
+            .extend(std::iter::repeat_n(SimTime::ZERO, core_cnt as usize));
+        self.nic.push(Nic {
             tx_free_at: SimTime::ZERO,
             rx_free_at: SimTime::ZERO,
-            cores,
-            cpu_busy_ns: 0,
+            tx_gbps: cfg.tx_gbps,
+            rx_gbps: cfg.rx_gbps,
             tx_bytes: 0,
             rx_bytes: 0,
-            pool: Pool::new(),
-        }
+        });
+        self.cpu.push(Cpu {
+            core_off,
+            core_cnt,
+            cstate_idle_ns: cfg.cstate_idle.nanos(),
+            cstate_exit_ns: cfg.cstate_exit.nanos(),
+            busy_ns: 0,
+        });
+        self.pools.push(Pool::new());
+        self.cfgs.push(cfg);
+        id
     }
 
-    /// Admit `wire_bytes` to the TX path at `now`; returns the departure time
-    /// of the last bit.
-    pub fn admit_tx(&mut self, now: SimTime, wire_bytes: u64) -> SimTime {
-        let start = now.max(self.tx_free_at);
-        let done = start + serialization_delay(wire_bytes, self.cfg.tx_gbps);
-        self.tx_free_at = done;
-        self.tx_bytes += wire_bytes;
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.nic.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nic.is_empty()
+    }
+
+    /// Admit `wire_bytes` to `h`'s TX path at `now`; returns the departure
+    /// time of the last bit.
+    pub fn admit_tx(&mut self, h: HostId, now: SimTime, wire_bytes: u64) -> SimTime {
+        let n = &mut self.nic[h.0 as usize];
+        let start = now.max(n.tx_free_at);
+        let done = start + serialization_delay(wire_bytes, n.tx_gbps);
+        n.tx_free_at = done;
+        n.tx_bytes += wire_bytes;
         done
     }
 
-    /// Admit `wire_bytes` to the RX path when the first bit arrives at
+    /// Instant at which `h`'s TX path frees up (trace attribution).
+    pub fn tx_free_at(&self, h: HostId) -> SimTime {
+        self.nic[h.0 as usize].tx_free_at
+    }
+
+    /// Instant at which `h`'s RX path frees up (trace attribution).
+    pub fn rx_free_at(&self, h: HostId) -> SimTime {
+        self.nic[h.0 as usize].rx_free_at
+    }
+
+    /// Admit `wire_bytes` to `h`'s RX path when the first bit arrives at
     /// `arrival`; returns the delivery time of the last bit. This is where
     /// incast shows up: concurrent senders serialize on the receiver's link.
-    pub fn admit_rx(&mut self, arrival: SimTime, wire_bytes: u64) -> SimTime {
-        let start = arrival.max(self.rx_free_at);
-        let done = start + serialization_delay(wire_bytes, self.cfg.rx_gbps);
-        self.rx_free_at = done;
-        self.rx_bytes += wire_bytes;
+    pub fn admit_rx(&mut self, h: HostId, arrival: SimTime, wire_bytes: u64) -> SimTime {
+        let n = &mut self.nic[h.0 as usize];
+        let start = arrival.max(n.rx_free_at);
+        let done = start + serialization_delay(wire_bytes, n.rx_gbps);
+        n.rx_free_at = done;
+        n.rx_bytes += wire_bytes;
         done
     }
 
-    /// Admit a CPU task of length `work` submitted at `now`. Tasks are
-    /// scheduled work-conserving FIFO onto the earliest-free core.
-    pub fn admit_cpu(&mut self, now: SimTime, work: SimDuration) -> CpuAdmission {
-        self.admit_cpu_scaled(now, work, 1.0)
+    /// Admit a CPU task of length `work` submitted at `now` on `h`. Tasks
+    /// are scheduled work-conserving FIFO onto the earliest-free core.
+    pub fn admit_cpu(&mut self, h: HostId, now: SimTime, work: SimDuration) -> CpuAdmission {
+        self.admit_cpu_scaled(h, now, work, 1.0)
     }
 
-    /// Like [`Host::admit_cpu`] but with the task's execution time scaled by
-    /// `scale` (> 1 runs slower). This is the fault-injection straggler
+    /// Like [`Hosts::admit_cpu`] but with the task's execution time scaled
+    /// by `scale` (> 1 runs slower). This is the fault-injection straggler
     /// hook: a gray-failed host executes the *same logical work* at a
     /// multiple of its normal cost, and the inflation shows up in busy-ns
     /// accounting just like real antagonist interference would.
     pub fn admit_cpu_scaled(
         &mut self,
+        h: HostId,
         now: SimTime,
         work: SimDuration,
         scale: f64,
     ) -> CpuAdmission {
+        let c = &mut self.cpu[h.0 as usize];
         let work = if scale == 1.0 {
             work
         } else {
             SimDuration((work.nanos() as f64 * scale).round() as u64)
         };
-        // Earliest-free core.
-        let (idx, &free_at) = self
-            .cores
+        let cores =
+            &mut self.cores[c.core_off as usize..(c.core_off + c.core_cnt) as usize];
+        // Earliest-free core (first minimum, matching the pre-SoA layout).
+        let (idx, &free_at) = cores
             .iter()
             .enumerate()
             .min_by_key(|(_, &t)| t)
             .expect("host has at least one core");
         let mut start = now.max(free_at);
-        let idle = start.since(free_at.max(SimTime::ZERO));
+        let idle = start.since(free_at);
         let mut cold = false;
-        if self.cfg.cstate_idle > SimDuration::ZERO
-            && idle >= self.cfg.cstate_idle
-            && self.cfg.cstate_exit > SimDuration::ZERO
-        {
-            start += self.cfg.cstate_exit;
+        if c.cstate_idle_ns > 0 && idle.nanos() >= c.cstate_idle_ns && c.cstate_exit_ns > 0 {
+            start += SimDuration(c.cstate_exit_ns);
             cold = true;
         }
         let done = start + work;
-        self.cores[idx] = done;
-        self.cpu_busy_ns += work.nanos();
+        cores[idx] = done;
+        c.busy_ns += work.nanos();
         CpuAdmission {
             start,
             done,
@@ -197,14 +272,40 @@ impl Host {
         }
     }
 
-    /// Number of cores on this host.
-    pub fn core_count(&self) -> usize {
-        self.cores.len()
+    /// Number of cores on host `h`.
+    pub fn core_count(&self, h: HostId) -> usize {
+        self.cpu[h.0 as usize].core_cnt as usize
     }
 
-    /// How many cores are busy at instant `t`.
-    pub fn busy_cores_at(&self, t: SimTime) -> usize {
-        self.cores.iter().filter(|&&free| free > t).count()
+    /// How many of `h`'s cores are busy at instant `t`.
+    pub fn busy_cores_at(&self, h: HostId, t: SimTime) -> usize {
+        let c = &self.cpu[h.0 as usize];
+        self.cores[c.core_off as usize..(c.core_off + c.core_cnt) as usize]
+            .iter()
+            .filter(|&&free| free > t)
+            .count()
+    }
+
+    /// Handle to `h`'s frame-buffer pool (a cheap clone sharing freelists).
+    pub fn pool(&self, h: HostId) -> Pool {
+        self.pools[h.0 as usize].clone()
+    }
+
+    /// Configuration host `h` was created with.
+    pub fn cfg(&self, h: HostId) -> &HostCfg {
+        &self.cfgs[h.0 as usize]
+    }
+
+    /// Accounting snapshot of host `h`.
+    pub fn stats(&self, h: HostId) -> HostStats {
+        let n = &self.nic[h.0 as usize];
+        let c = &self.cpu[h.0 as usize];
+        HostStats {
+            cpu_busy_ns: c.busy_ns,
+            tx_bytes: n.tx_bytes,
+            rx_bytes: n.rx_bytes,
+            cores: c.core_cnt as usize,
+        }
     }
 }
 
@@ -212,36 +313,38 @@ impl Host {
 mod tests {
     use super::*;
 
-    fn host() -> Host {
-        Host::new(HostCfg::with_gbps(100.0).no_cstates())
+    fn one_host() -> (Hosts, HostId) {
+        let mut hs = Hosts::new();
+        let h = hs.add(HostCfg::with_gbps(100.0).no_cstates());
+        (hs, h)
     }
 
     #[test]
     fn tx_serializes_back_to_back() {
-        let mut h = host();
+        let (mut hs, h) = one_host();
         // 1250 bytes at 100 Gbps = 100ns each.
-        let d1 = h.admit_tx(SimTime(0), 1250);
-        let d2 = h.admit_tx(SimTime(0), 1250);
+        let d1 = hs.admit_tx(h, SimTime(0), 1250);
+        let d2 = hs.admit_tx(h, SimTime(0), 1250);
         assert_eq!(d1, SimTime(100));
         assert_eq!(d2, SimTime(200));
-        assert_eq!(h.tx_bytes, 2500);
+        assert_eq!(hs.stats(h).tx_bytes, 2500);
     }
 
     #[test]
     fn tx_idle_gap_resets_queue() {
-        let mut h = host();
-        h.admit_tx(SimTime(0), 1250);
-        let d = h.admit_tx(SimTime(1_000), 1250);
+        let (mut hs, h) = one_host();
+        hs.admit_tx(h, SimTime(0), 1250);
+        let d = hs.admit_tx(h, SimTime(1_000), 1250);
         assert_eq!(d, SimTime(1_100));
     }
 
     #[test]
     fn rx_incast_serializes() {
-        let mut h = host();
+        let (mut hs, h) = one_host();
         // Three frames arriving simultaneously queue behind each other.
-        let a = h.admit_rx(SimTime(500), 1250);
-        let b = h.admit_rx(SimTime(500), 1250);
-        let c = h.admit_rx(SimTime(500), 1250);
+        let a = hs.admit_rx(h, SimTime(500), 1250);
+        let b = hs.admit_rx(h, SimTime(500), 1250);
+        let c = hs.admit_rx(h, SimTime(500), 1250);
         assert_eq!(a, SimTime(600));
         assert_eq!(b, SimTime(700));
         assert_eq!(c, SimTime(800));
@@ -249,19 +352,20 @@ mod tests {
 
     #[test]
     fn cpu_fifo_across_cores() {
-        let mut h = Host::new(HostCfg {
+        let mut hs = Hosts::new();
+        let h = hs.add(HostCfg {
             cores: 2,
             ..HostCfg::with_gbps(100.0).no_cstates()
         });
         let w = SimDuration::from_micros(10);
-        let a = h.admit_cpu(SimTime(0), w);
-        let b = h.admit_cpu(SimTime(0), w);
-        let c = h.admit_cpu(SimTime(0), w);
+        let a = hs.admit_cpu(h, SimTime(0), w);
+        let b = hs.admit_cpu(h, SimTime(0), w);
+        let c = hs.admit_cpu(h, SimTime(0), w);
         assert_eq!(a.start, SimTime(0));
         assert_eq!(b.start, SimTime(0));
         // Third task waits for a core.
         assert_eq!(c.start, a.done.min(b.done));
-        assert_eq!(h.cpu_busy_ns, 30_000);
+        assert_eq!(hs.stats(h).cpu_busy_ns, 30_000);
     }
 
     #[test]
@@ -272,46 +376,74 @@ mod tests {
             cstate_exit: SimDuration::from_micros(20),
             ..HostCfg::with_gbps(100.0)
         };
-        let mut h = Host::new(cfg);
+        let mut hs = Hosts::new();
+        let h = hs.add(cfg);
         let w = SimDuration::from_micros(1);
         // First task at t=200us: core idle since 0 -> cold start.
-        let a = h.admit_cpu(SimTime(200_000), w);
+        let a = hs.admit_cpu(h, SimTime(200_000), w);
         assert!(a.cold_start);
         assert_eq!(a.start, SimTime(220_000));
         // Back-to-back task: hot.
-        let b = h.admit_cpu(SimTime(221_000), w);
+        let b = hs.admit_cpu(h, SimTime(221_000), w);
         assert!(!b.cold_start);
         assert_eq!(b.start, SimTime(221_000));
     }
 
     #[test]
     fn scaled_admission_inflates_work() {
-        let mut h = Host::new(HostCfg {
+        let mut hs = Hosts::new();
+        let h = hs.add(HostCfg {
             cores: 1,
             ..HostCfg::with_gbps(100.0).no_cstates()
         });
         let w = SimDuration::from_micros(10);
-        let slow = h.admit_cpu_scaled(SimTime(0), w, 8.0);
+        let slow = hs.admit_cpu_scaled(h, SimTime(0), w, 8.0);
         assert_eq!(slow.done, SimTime(80_000));
-        assert_eq!(h.cpu_busy_ns, 80_000);
+        assert_eq!(hs.stats(h).cpu_busy_ns, 80_000);
         // Scale 1.0 is exactly the unscaled path.
-        let mut a = Host::new(HostCfg::with_gbps(100.0).no_cstates());
-        let mut b = Host::new(HostCfg::with_gbps(100.0).no_cstates());
+        let (mut a, ha) = one_host();
+        let (mut b, hb) = one_host();
         assert_eq!(
-            a.admit_cpu(SimTime(5), w),
-            b.admit_cpu_scaled(SimTime(5), w, 1.0)
+            a.admit_cpu(ha, SimTime(5), w),
+            b.admit_cpu_scaled(hb, SimTime(5), w, 1.0)
         );
     }
 
     #[test]
     fn busy_cores_counts() {
-        let mut h = Host::new(HostCfg {
+        let mut hs = Hosts::new();
+        let h = hs.add(HostCfg {
             cores: 4,
             ..HostCfg::with_gbps(100.0).no_cstates()
         });
-        h.admit_cpu(SimTime(0), SimDuration::from_micros(10));
-        h.admit_cpu(SimTime(0), SimDuration::from_micros(10));
-        assert_eq!(h.busy_cores_at(SimTime(5_000)), 2);
-        assert_eq!(h.busy_cores_at(SimTime(20_000)), 0);
+        hs.admit_cpu(h, SimTime(0), SimDuration::from_micros(10));
+        hs.admit_cpu(h, SimTime(0), SimDuration::from_micros(10));
+        assert_eq!(hs.busy_cores_at(h, SimTime(5_000)), 2);
+        assert_eq!(hs.busy_cores_at(h, SimTime(20_000)), 0);
+        assert_eq!(hs.core_count(h), 4);
+    }
+
+    #[test]
+    fn core_arena_isolates_hosts() {
+        // Two hosts with different core counts: admissions on one must not
+        // perturb the other's arena slice.
+        let mut hs = Hosts::new();
+        let h1 = hs.add(HostCfg {
+            cores: 2,
+            ..HostCfg::with_gbps(100.0).no_cstates()
+        });
+        let h2 = hs.add(HostCfg {
+            cores: 1,
+            ..HostCfg::with_gbps(100.0).no_cstates()
+        });
+        let w = SimDuration::from_micros(10);
+        hs.admit_cpu(h1, SimTime(0), w);
+        hs.admit_cpu(h1, SimTime(0), w);
+        let b = hs.admit_cpu(h2, SimTime(0), w);
+        assert_eq!(b.start, SimTime(0), "h2's core must be free");
+        assert_eq!(hs.busy_cores_at(h1, SimTime(1)), 2);
+        assert_eq!(hs.busy_cores_at(h2, SimTime(1)), 1);
+        assert_eq!(hs.stats(h1).cpu_busy_ns, 20_000);
+        assert_eq!(hs.stats(h2).cpu_busy_ns, 10_000);
     }
 }

@@ -22,7 +22,8 @@
 //!
 //! ## Model
 //!
-//! A [`Sim`] owns [`Host`]s (machines: NIC + cores) and [`Node`]s (logical
+//! A [`Sim`] owns hosts (machines: NIC + cores, stored structure-of-arrays
+//! in [`Hosts`]) and [`Node`]s (logical
 //! processes placed on hosts). Nodes are event-driven state machines: the
 //! engine calls [`Node::on_event`] with [`Event`]s (start, frame arrival,
 //! timer, CPU completion) and the node acts on the world through [`Ctx`]
@@ -54,6 +55,7 @@ pub mod deferred;
 pub mod fault;
 pub mod host;
 pub mod node;
+pub mod queue;
 pub mod rng;
 pub mod sim;
 pub mod stats;
@@ -65,8 +67,9 @@ pub use obs;
 
 pub use deferred::Deferred;
 pub use fault::{Fault, FaultEvent, FaultPlan, HostSet, LinkImpairment};
-pub use host::{CpuAdmission, Host, HostCfg, HostId, NodeId};
+pub use host::{CpuAdmission, HostCfg, HostId, HostStats, Hosts, NodeId};
 pub use node::{Event, Frame, Node};
+pub use queue::CalendarQueue;
 pub use rng::{SimRng, Zipf};
 pub use sim::{Ctx, FabricCfg, Sim};
 pub use stats::{Histogram, MetricId, Metrics, TimeSeries};

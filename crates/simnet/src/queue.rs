@@ -1,0 +1,415 @@
+//! The sharded calendar event queue.
+//!
+//! [`CalendarQueue`] replaces the single global `BinaryHeap` as the
+//! simulator's event queue. It is a classic calendar/ladder queue tuned
+//! for the event-time distribution a datacenter fabric simulation
+//! actually produces: the overwhelming majority of events land within a
+//! few microseconds of `now` (NIC serialization, fabric propagation, CPU
+//! completions), while a thin far tail (retry timers, chaos acts,
+//! revival and backfill schedules) stretches out to seconds.
+//!
+//! Layout:
+//!
+//! * **Wheel** — `NUM_BUCKETS` time buckets of `BUCKET_NS` nanoseconds
+//!   each, covering a rotating horizon of `HORIZON_NS` from the drain
+//!   front. Insertion into the wheel is O(1): shift, mask, push.
+//! * **Drain lane** — the bucket currently being consumed, sorted
+//!   *descending* by `(at, seq)` once per window so `pop` is a `Vec::pop`
+//!   from the end and a same-window insert is a binary-search splice.
+//! * **Overflow heap** — events beyond the wheel horizon. Far-future
+//!   events are rare, so heap discipline is paid only by the tail. As the
+//!   horizon advances, the overflow prefix migrates into the wheel.
+//!
+//! Total order is **`(at, seq)`** — time, then a stable sequence number
+//! assigned at schedule time — exactly the order the `BinaryHeap` it
+//! replaces popped in. Same-timestamp ties resolve in schedule order
+//! (FIFO), which the engine's zero-delay fast path and every committed
+//! figure CSV depend on. The proptest in `tests/` holds this queue to
+//! byte-exact pop-order agreement with a reference heap.
+
+/// Log2 of the wheel bucket width in nanoseconds (2048ns ≈ the fabric
+/// base latency). Power of two: bucket index is shift + mask, no division.
+const BUCKET_SHIFT: u32 = 11;
+/// Width of one wheel bucket in nanoseconds.
+const BUCKET_NS: u64 = 1 << BUCKET_SHIFT;
+/// Number of wheel buckets. With 2048ns buckets this spans an ~8.4ms
+/// horizon — wide enough that only genuinely far-future events (long
+/// timeouts, chaos schedules) touch the overflow heap.
+const NUM_BUCKETS: usize = 4096;
+/// Bucket index mask.
+const BUCKET_MASK: usize = NUM_BUCKETS - 1;
+/// Rotating horizon covered by the wheel, in nanoseconds.
+const HORIZON_NS: u64 = (NUM_BUCKETS as u64) << BUCKET_SHIFT;
+
+/// One queued event: its firing time, its stable tie-break sequence, and
+/// the payload.
+#[derive(Debug)]
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A calendar/ladder priority queue popping in `(at, seq)` order.
+///
+/// Generic over the payload so the ordering machinery can be tested (and
+/// property-tested) without dragging the engine's `Pending` type along.
+pub struct CalendarQueue<T> {
+    /// Wheel buckets; unsorted within a bucket.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// One bit per bucket: non-empty. Scanned word-wise to find the next
+    /// occupied window without touching `NUM_BUCKETS` `Vec` headers.
+    occupied: Vec<u64>,
+    /// The window being consumed, sorted descending by `(at, seq)` so the
+    /// minimum is at the end.
+    drain: Vec<Entry<T>>,
+    /// Exclusive upper bound of the drain window. Every drained entry is
+    /// `< drain_end`; every wheel/overflow entry is `>= drain_end` at the
+    /// time it is filed (entries inserted *into* a non-empty drain may be
+    /// earlier, which the binary splice handles).
+    drain_end: u64,
+    /// Bucket index the next window load scans from. Invariant:
+    /// `drain_end >> BUCKET_SHIFT & BUCKET_MASK == wheel_pos`.
+    wheel_pos: usize,
+    /// Events currently filed in wheel buckets.
+    wheel_len: usize,
+    /// Exclusive upper bound of the wheel horizon: `drain_end + HORIZON_NS`.
+    /// Entries at or past it go to the overflow heap.
+    wheel_limit: u64,
+    /// Far-future events, min-first by `(at, seq)`.
+    overflow: std::collections::BinaryHeap<std::cmp::Reverse<Entry<T>>>,
+    /// Total queued events.
+    len: usize,
+    /// Largest `len` ever observed (capacity planning / regression diffs).
+    high_water: usize,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// An empty queue with its drain front at t=0.
+    pub fn new() -> CalendarQueue<T> {
+        let mut buckets = Vec::with_capacity(NUM_BUCKETS);
+        buckets.resize_with(NUM_BUCKETS, Vec::new);
+        CalendarQueue {
+            buckets,
+            occupied: vec![0u64; NUM_BUCKETS / 64],
+            drain: Vec::new(),
+            drain_end: 0,
+            wheel_pos: 0,
+            wheel_len: 0,
+            wheel_limit: HORIZON_NS,
+            overflow: std::collections::BinaryHeap::new(),
+            len: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Number of queued events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Largest number of simultaneously queued events ever observed.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Insert an event. `seq` must be unique across live entries (the
+    /// engine's global schedule counter guarantees it); `(at, seq)` is the
+    /// total order.
+    pub fn push(&mut self, at: u64, seq: u64, item: T) {
+        self.len += 1;
+        if self.len > self.high_water {
+            self.high_water = self.len;
+        }
+        let e = Entry { at, seq, item };
+        if at < self.drain_end {
+            // Into the active window: splice at the descending-sort
+            // position. Same-window inserts are the zero/near-zero-delay
+            // events the engine produces in bursts; they land at or near
+            // the tail (pop end) so the splice shifts few elements.
+            let pos = self
+                .drain
+                .partition_point(|p| (p.at, p.seq) > (e.at, e.seq));
+            self.drain.insert(pos, e);
+        } else if at < self.wheel_limit {
+            let idx = (at >> BUCKET_SHIFT) as usize & BUCKET_MASK;
+            self.buckets[idx].push(e);
+            self.occupied[idx >> 6] |= 1u64 << (idx & 63);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(std::cmp::Reverse(e));
+        }
+    }
+
+    /// Remove and return the earliest event as `(at, seq, item)`.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        if !self.ensure_drain() {
+            return None;
+        }
+        let e = self.drain.pop().expect("ensure_drain loaded a window");
+        self.len -= 1;
+        Some((e.at, e.seq, e.item))
+    }
+
+    /// Firing time of the earliest event without removing it. `&mut`
+    /// because it may rotate the next window into the drain lane.
+    pub fn peek_at(&mut self) -> Option<u64> {
+        if !self.ensure_drain() {
+            return None;
+        }
+        Some(self.drain.last().expect("loaded").at)
+    }
+
+    /// Cheap, non-rotating check: is it certain that no queued event fires
+    /// at or before `t`? Used by the engine's same-timestamp fast path.
+    /// `false` is always safe (the caller just takes the slow path); `true`
+    /// is only returned when provable from the drain lane alone.
+    #[inline]
+    pub fn none_at_or_before(&self, t: u64) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        match self.drain.last() {
+            // The drain minimum is the global minimum.
+            Some(min) => min.at > t,
+            // Drain empty: everything queued lives at >= drain_end.
+            None => self.drain_end > t,
+        }
+    }
+
+    /// Make the drain lane non-empty, rotating the wheel (and migrating
+    /// the overflow prefix) as needed. Returns `false` iff the queue is
+    /// empty.
+    fn ensure_drain(&mut self) -> bool {
+        if !self.drain.is_empty() {
+            return true;
+        }
+        if self.wheel_len == 0 {
+            // Wheel dry: jump the window straight to the overflow head
+            // instead of sweeping empty buckets.
+            let Some(std::cmp::Reverse(head)) = self.overflow.peek() else {
+                return false;
+            };
+            let start = (head.at >> BUCKET_SHIFT) << BUCKET_SHIFT;
+            self.drain_end = start;
+            self.wheel_pos = (start >> BUCKET_SHIFT) as usize & BUCKET_MASK;
+            self.wheel_limit = start + HORIZON_NS;
+            self.migrate_overflow();
+            debug_assert!(self.wheel_len > 0, "overflow head did not migrate");
+        }
+        // Scan the occupancy bitmap for the next non-empty bucket,
+        // cyclically from wheel_pos. All wheel entries lie within one
+        // revolution of the horizon, so the first occupied bucket is the
+        // earliest window.
+        let idx = self.next_occupied(self.wheel_pos);
+        let steps = (idx.wrapping_sub(self.wheel_pos)) & BUCKET_MASK;
+        let window_start = self.drain_end + (steps as u64) * BUCKET_NS;
+        std::mem::swap(&mut self.drain, &mut self.buckets[idx]);
+        self.occupied[idx >> 6] &= !(1u64 << (idx & 63));
+        self.wheel_len -= self.drain.len();
+        // Unique (at, seq) keys: unstable sort is deterministic.
+        self.drain.sort_unstable_by(|a, b| b.cmp(a));
+        debug_assert!(self.drain.iter().all(|e| {
+            e.at >= window_start && e.at < window_start + BUCKET_NS
+        }));
+        self.drain_end = window_start + BUCKET_NS;
+        self.wheel_pos = (idx + 1) & BUCKET_MASK;
+        self.wheel_limit = self.drain_end + HORIZON_NS;
+        self.migrate_overflow();
+        true
+    }
+
+    /// File every overflow event now inside the wheel horizon into its
+    /// bucket. Must run each time `wheel_limit` advances, or a later wheel
+    /// insert could pop before an earlier overflow event.
+    fn migrate_overflow(&mut self) {
+        while let Some(std::cmp::Reverse(head)) = self.overflow.peek() {
+            if head.at >= self.wheel_limit {
+                break;
+            }
+            let std::cmp::Reverse(e) = self.overflow.pop().expect("peeked");
+            debug_assert!(e.at >= self.drain_end);
+            let idx = (e.at >> BUCKET_SHIFT) as usize & BUCKET_MASK;
+            self.buckets[idx].push(e);
+            self.occupied[idx >> 6] |= 1u64 << (idx & 63);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Index of the first occupied bucket at or cyclically after `from`.
+    /// Caller guarantees `wheel_len > 0`.
+    fn next_occupied(&self, from: usize) -> usize {
+        let words = self.occupied.len();
+        let mut w = from >> 6;
+        let mut word = self.occupied[w] & (!0u64 << (from & 63));
+        for _ in 0..=words {
+            if word != 0 {
+                return (w << 6) + word.trailing_zeros() as usize;
+            }
+            w = (w + 1) % words;
+            word = self.occupied[w];
+        }
+        unreachable!("next_occupied called on an empty wheel");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(q: &mut CalendarQueue<u32>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some((at, seq, _)) = q.pop() {
+            out.push((at, seq));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.push(500, 2, 0);
+        q.push(500, 1, 0);
+        q.push(10, 3, 0);
+        q.push(7_000_000, 0, 0); // same-bucket far entries
+        q.push(6_999_000, 4, 0);
+        assert_eq!(
+            drain_all(&mut q),
+            vec![(10, 3), (500, 1), (500, 2), (6_999_000, 4), (7_000_000, 0)]
+        );
+    }
+
+    #[test]
+    fn overflow_migrates_before_wheel_events_pop() {
+        let mut q = CalendarQueue::new();
+        // Far beyond the initial horizon: lands in overflow.
+        let far = HORIZON_NS + 5 * BUCKET_NS;
+        q.push(far, 0, 1);
+        // Pop rotates/jumps; then file an event into the wheel just after
+        // the (migrated) overflow event. Order must hold.
+        q.push(10, 1, 2);
+        assert_eq!(q.pop(), Some((10, 1, 2)));
+        q.push(far + 100, 2, 3);
+        assert_eq!(q.pop(), Some((far, 0, 1)));
+        assert_eq!(q.pop(), Some((far + 100, 2, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_window_insert_during_drain_keeps_order() {
+        let mut q = CalendarQueue::new();
+        q.push(100, 0, 0);
+        q.push(120, 1, 0);
+        assert_eq!(q.pop(), Some((100, 0, 0)));
+        // 110 < drain_end now: must splice ahead of 120.
+        q.push(110, 2, 9);
+        assert_eq!(q.pop(), Some((110, 2, 9)));
+        assert_eq!(q.pop(), Some((120, 1, 0)));
+    }
+
+    #[test]
+    fn none_at_or_before_is_conservative_and_sound() {
+        let mut q = CalendarQueue::new();
+        assert!(q.none_at_or_before(u64::MAX));
+        q.push(5_000, 0, 0);
+        // Wheel-only state: provable because drain_end (0) check fails but
+        // len > 0 -> conservative false even though 5_000 > 10.
+        assert!(!q.none_at_or_before(10));
+        // After a pop starts the window, the drain lane answers exactly.
+        q.push(5_500, 1, 0);
+        assert_eq!(q.pop(), Some((5_000, 0, 0)));
+        assert!(q.none_at_or_before(5_400));
+        assert!(!q.none_at_or_before(5_500));
+    }
+
+    #[test]
+    fn len_and_high_water_track() {
+        let mut q = CalendarQueue::new();
+        assert!(q.is_empty());
+        for i in 0..10u64 {
+            q.push(i * 1_000_000, i, 0);
+        }
+        assert_eq!(q.len(), 10);
+        assert_eq!(q.high_water(), 10);
+        while q.pop().is_some() {}
+        assert!(q.is_empty());
+        assert_eq!(q.high_water(), 10);
+        q.push(1, 99, 0);
+        assert_eq!(q.high_water(), 10);
+    }
+
+    #[test]
+    fn interleaved_push_pop_random_times_match_reference_heap() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        // Deterministic LCG; no external RNG in unit tests.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut q = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for _ in 0..50_000 {
+            if rand() % 3 != 0 {
+                // Mixed horizon: near (80%), mid, far.
+                let dt = match rand() % 10 {
+                    0 => rand() % (HORIZON_NS * 4),
+                    1 => rand() % HORIZON_NS,
+                    _ => rand() % 4_096,
+                };
+                q.push(now + dt, seq, 0u32);
+                heap.push(Reverse((now + dt, seq)));
+                seq += 1;
+            } else {
+                let got = q.pop().map(|(at, s, _)| (at, s));
+                let want = heap.pop().map(|Reverse(p)| p);
+                assert_eq!(got, want);
+                if let Some((at, _)) = got {
+                    now = at;
+                }
+            }
+        }
+        loop {
+            let got = q.pop().map(|(at, s, _)| (at, s));
+            let want = heap.pop().map(|Reverse(p)| p);
+            assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+}

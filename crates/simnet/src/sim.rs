@@ -6,14 +6,14 @@
 //! through the (totally ordered) event queue and two runs with the same seed
 //! are bit-identical.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use bytes::{Bytes, Pool};
 
 use crate::fault::{Fault, FaultPlan, FaultState};
-use crate::host::{Host, HostCfg, HostId, NodeId};
+use crate::host::{HostCfg, HostId, HostStats, Hosts, NodeId};
 use crate::node::{Event, Frame, Node};
+use crate::queue::CalendarQueue;
 use crate::rng::SimRng;
 use crate::stats::{MetricId, Metrics};
 use crate::time::{SimDuration, SimTime};
@@ -88,18 +88,11 @@ enum FaultAction {
     Restart(NodeId),
 }
 
-/// One heap entry. The payload lives behind a pooled `Box` so sift
-/// operations move 24 bytes instead of a full inline `Frame` — `Pending`
-/// is ~5x larger and every `BinaryHeap` sift would copy it otherwise.
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    pending: Box<Pending>,
-}
-
-// The whole point of boxing the payload: heap sifts stay cheap. If this
-// fires, a field crept into the hot heap entry.
-const _: () = assert!(std::mem::size_of::<Scheduled>() <= 32);
+// Queue entries stay slim: the payload lives behind a pooled `Box`, so a
+// calendar-queue entry (or overflow-heap sift) moves 24 bytes instead of a
+// full inline `Frame` — `Pending` is ~5x larger and every bucket sort or
+// drain splice would copy it otherwise.
+const _: () = assert!(std::mem::size_of::<(u64, u64, Box<Pending>)>() <= 32);
 
 /// Upper bound on the `Box<Pending>` freelist; entries beyond this are
 /// simply dropped. Sized to cover deep-pipeline macro workloads (tens of
@@ -109,29 +102,31 @@ const _: () = assert!(std::mem::size_of::<Scheduled>() <= 32);
 /// memory.
 const PENDING_POOL_CAP: usize = 128 * 1024;
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+/// Hot per-node fields, split off from the boxed node object and the
+/// (cold) clock skew so the dispatch and send paths touch a 12-byte
+/// record: at 10K nodes the whole table is ~120KB and mostly
+/// cache-resident, where the former array-of-structs row dragged the
+/// `Box<dyn Node>` fat pointer and skew along on every liveness check.
+#[derive(Clone, Copy)]
+struct NodeMeta {
+    host: HostId,
+    incarnation: u32,
+    alive: bool,
 }
 
-struct NodeSlot {
-    node: Option<Box<dyn Node>>,
-    host: HostId,
-    alive: bool,
-    incarnation: u32,
-    clock_skew_ns: i64,
+/// Deterministic parallel-step state: configuration plus plain-field
+/// window statistics (never metrics — the parallel path must leave the
+/// metrics dump byte-identical to the serial path).
+#[derive(Debug, Clone, Copy)]
+struct ParallelState {
+    /// Host partitions the conservative window is reasoned over.
+    partitions: u32,
+    /// Windows executed so far.
+    windows: u64,
+    /// Events executed through the parallel path.
+    events: u64,
+    /// Largest single window (events).
+    max_window: u64,
 }
 
 /// The simulation world.
@@ -139,19 +134,31 @@ pub struct Sim {
     now: SimTime,
     seq: u64,
     events: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    /// The sharded calendar queue: near-horizon time buckets with an
+    /// overflow heap for the far tail, popping in exact `(at, seq)` order.
+    queue: CalendarQueue<Box<Pending>>,
     /// Same-timestamp fast path: events scheduled for exactly `now` while
-    /// the heap holds nothing at `now` bypass the heap entirely. They run
-    /// before anything in the heap (which is strictly later) in insertion
+    /// the queue provably holds nothing at `now` bypass it entirely. They
+    /// run before anything queued (which is strictly later) in insertion
     /// (= seq) order, so total order is unchanged.
     fifo: VecDeque<Box<Pending>>,
     /// Freelist of recycled `Pending` boxes (capped at
     /// [`PENDING_POOL_CAP`]). The boxes themselves are the resource being
-    /// pooled — they move into heap/fifo entries without reallocating.
+    /// pooled — they move into queue/fifo entries without reallocating.
     #[allow(clippy::vec_box)]
     pool: Vec<Box<Pending>>,
-    hosts: Vec<Host>,
-    nodes: Vec<NodeSlot>,
+    hosts: Hosts,
+    /// Hot per-node fields (host, incarnation, liveness), SoA with...
+    node_meta: Vec<NodeMeta>,
+    /// ...the boxed node objects, touched only to dispatch, and...
+    node_objs: Vec<Option<Box<dyn Node>>>,
+    /// ...the cold per-node clock skews (TrueTime reads only).
+    node_skew: Vec<i64>,
+    /// High-water mark of total queued events (fifo + calendar queue).
+    queue_high_water: usize,
+    /// Opt-in deterministic parallel stepping; `None` (the default) leaves
+    /// [`Sim::run_until`] on the serial path.
+    parallel: Option<ParallelState>,
     fabric: FabricCfg,
     rng: SimRng,
     metrics: Metrics,
@@ -193,18 +200,38 @@ impl SimMetricIds {
 
 impl Sim {
     /// Create a simulation with the given fabric and RNG seed.
+    ///
+    /// The `SIMNET_PARALLEL` environment variable (a partition count > 0)
+    /// opts the new simulation into the deterministic parallel step, as if
+    /// [`Sim::set_parallel`] had been called — this is how whole-harness
+    /// runs (figures, CI gates) flip every cell to the parallel path
+    /// without threading a flag through each experiment.
     pub fn new(fabric: FabricCfg, seed: u64) -> Sim {
         let mut metrics = Metrics::new();
         let mids = SimMetricIds::resolve(&mut metrics);
+        let parallel = std::env::var("SIMNET_PARALLEL")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&p| p > 0)
+            .map(|partitions| ParallelState {
+                partitions,
+                windows: 0,
+                events: 0,
+                max_window: 0,
+            });
         Sim {
             now: SimTime::ZERO,
             seq: 0,
             events: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             fifo: VecDeque::new(),
             pool: Vec::new(),
-            hosts: Vec::new(),
-            nodes: Vec::new(),
+            hosts: Hosts::new(),
+            node_meta: Vec::new(),
+            node_objs: Vec::new(),
+            node_skew: Vec::new(),
+            queue_high_water: 0,
+            parallel,
             fabric,
             rng: SimRng::new(seed),
             metrics,
@@ -312,7 +339,7 @@ impl Sim {
     fn apply_fault_action(&mut self, action: FaultAction) {
         match action {
             FaultAction::Crash(node) => {
-                if self.nodes[node.0 as usize].alive {
+                if self.node_meta[node.0 as usize].alive {
                     self.crash(node);
                     if let Some(f) = self.fault.as_deref() {
                         self.metrics.add_id(f.mids.crashes, 1);
@@ -343,8 +370,7 @@ impl Sim {
 
     /// Add a host; returns its id.
     pub fn add_host(&mut self, cfg: HostCfg) -> HostId {
-        self.hosts.push(Host::new(cfg));
-        HostId(self.hosts.len() as u32 - 1)
+        self.hosts.add(cfg)
     }
 
     /// Add a node on `host`; the node receives [`Event::Start`] at the
@@ -352,14 +378,14 @@ impl Sim {
     pub fn add_node(&mut self, host: HostId, node: Box<dyn Node>) -> NodeId {
         assert!((host.0 as usize) < self.hosts.len(), "unknown host {host}");
         let skew = self.truetime.sample_skew(&mut self.rng);
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeSlot {
-            node: Some(node),
+        let id = NodeId(self.node_meta.len() as u32);
+        self.node_meta.push(NodeMeta {
             host,
-            alive: true,
             incarnation: 0,
-            clock_skew_ns: skew,
+            alive: true,
         });
+        self.node_objs.push(Some(node));
+        self.node_skew.push(skew);
         self.schedule(
             self.now,
             Pending::Deliver {
@@ -374,8 +400,7 @@ impl Sim {
     /// Mark a node as crashed: pending and future frames/timers to it are
     /// dropped. The node's state is retained for post-mortem inspection.
     pub fn crash(&mut self, id: NodeId) {
-        let slot = &mut self.nodes[id.0 as usize];
-        slot.alive = false;
+        self.node_meta[id.0 as usize].alive = false;
     }
 
     /// Install a fresh node at an existing id (a process restart on the same
@@ -387,11 +412,12 @@ impl Sim {
     /// process responses to requests it never made. Frames sent after the
     /// revive are delivered normally.
     pub fn revive(&mut self, id: NodeId, node: Box<dyn Node>) {
-        let slot = &mut self.nodes[id.0 as usize];
-        slot.node = Some(node);
-        slot.alive = true;
-        slot.incarnation += 1;
-        let inc = slot.incarnation;
+        let idx = id.0 as usize;
+        self.node_objs[idx] = Some(node);
+        let meta = &mut self.node_meta[idx];
+        meta.alive = true;
+        meta.incarnation += 1;
+        let inc = meta.incarnation;
         self.schedule(
             self.now,
             Pending::Deliver {
@@ -404,17 +430,17 @@ impl Sim {
 
     /// Whether a node is currently alive.
     pub fn is_alive(&self, id: NodeId) -> bool {
-        self.nodes[id.0 as usize].alive
+        self.node_meta[id.0 as usize].alive
     }
 
     /// Host a node lives on.
     pub fn host_of(&self, id: NodeId) -> HostId {
-        self.nodes[id.0 as usize].host
+        self.node_meta[id.0 as usize].host
     }
 
-    /// Immutable host access (for harness-side accounting).
-    pub fn host(&self, id: HostId) -> &Host {
-        &self.hosts[id.0 as usize]
+    /// Snapshot of a host's accounting counters (for harness-side reads).
+    pub fn host(&self, id: HostId) -> HostStats {
+        self.hosts.stats(id)
     }
 
     /// Number of hosts.
@@ -424,7 +450,7 @@ impl Sim {
 
     /// Number of nodes (including crashed ones).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.node_meta.len()
     }
 
     /// Current simulation time.
@@ -452,8 +478,7 @@ impl Sim {
     /// `None` if the node is of a different type or currently crashed-and-
     /// removed. Used by benchmark harnesses between `run_until` steps.
     pub fn with_node<T: Node, R>(&mut self, id: NodeId, f: impl FnOnce(&mut T) -> R) -> Option<R> {
-        let slot = self.nodes.get_mut(id.0 as usize)?;
-        let node = slot.node.as_mut()?;
+        let node = self.node_objs.get_mut(id.0 as usize)?.as_mut()?;
         let any: &mut dyn std::any::Any = node.as_mut();
         any.downcast_mut::<T>().map(f)
     }
@@ -479,34 +504,31 @@ impl Sim {
         let seq = self.seq;
         self.seq += 1;
         let boxed = self.alloc_pending(pending);
-        // Fast path: an event for *right now* while the heap holds nothing
-        // at `now` skips the heap. Correctness: every heap entry is then
-        // strictly later, and this event's seq is larger than that of any
-        // earlier fifo entry, so fifo-before-heap in insertion order is
-        // exactly the (at, seq) total order.
-        if at == self.now {
-            let heap_clear = match self.queue.peek() {
-                None => true,
-                Some(Reverse(head)) => head.at > self.now,
-            };
-            if heap_clear {
-                self.fifo.push_back(boxed);
-                return;
-            }
+        // Fast path: an event for *right now* while the calendar queue
+        // provably holds nothing at or before `now` skips it. Correctness:
+        // every queued entry is then strictly later, and this event's seq
+        // is larger than that of any earlier fifo entry, so
+        // fifo-before-queue in insertion order is exactly the (at, seq)
+        // total order. `none_at_or_before` is conservative (may say `false`
+        // when the queue is in fact clear), which only costs the shortcut —
+        // the queue itself pops in exact (at, seq) order either way.
+        if at == self.now && self.queue.none_at_or_before(self.now.0) {
+            self.fifo.push_back(boxed);
+        } else {
+            self.queue.push(at.0, seq, boxed);
         }
-        self.queue.push(Reverse(Scheduled {
-            at,
-            seq,
-            pending: boxed,
-        }));
+        let depth = self.queue.len() + self.fifo.len();
+        if depth > self.queue_high_water {
+            self.queue_high_water = depth;
+        }
     }
 
     /// Process a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let (at, mut boxed) = if let Some(b) = self.fifo.pop_front() {
             (self.now, b)
-        } else if let Some(Reverse(Scheduled { at, pending, .. })) = self.queue.pop() {
-            (at, pending)
+        } else if let Some((at, _seq, pending)) = self.queue.pop() {
+            (SimTime(at), pending)
         } else {
             return false;
         };
@@ -517,13 +539,12 @@ impl Sim {
         self.events += 1;
         match pending {
             Pending::RxArrive { frame, incarnation } => {
-                let dst_host = self.nodes[frame.dst.0 as usize].host;
-                let host = &mut self.hosts[dst_host.0 as usize];
+                let dst_host = self.node_meta[frame.dst.0 as usize].host;
                 // Pre-read the RX link's busy horizon: the gap between
                 // arrival and serialization start is queueing, and the
                 // tracer wants the two attributed separately.
-                let rx_start = at.max(host.rx_free_at);
-                let deliver_at = host.admit_rx(at, frame.wire_bytes);
+                let rx_start = at.max(self.hosts.rx_free_at(dst_host));
+                let deliver_at = self.hosts.admit_rx(dst_host, at, frame.wire_bytes);
                 if frame.trace != 0 {
                     if let Some(rec) = self.obs.as_deref_mut() {
                         let h = dst_host.0;
@@ -572,26 +593,25 @@ impl Sim {
             } => {
                 let idx = dst.0 as usize;
                 {
-                    let slot = &self.nodes[idx];
-                    if !slot.alive || slot.node.is_none() {
+                    let meta = self.node_meta[idx];
+                    if !meta.alive || self.node_objs[idx].is_none() {
                         self.metrics.add_id(self.mids.dropped_dead, 1);
                         return true;
                     }
-                    if slot.incarnation != incarnation {
+                    if meta.incarnation != incarnation {
                         self.metrics.add_id(self.mids.dropped_stale, 1);
                         return true;
                     }
                 }
                 // Take the node out so we can hand the rest of the world to it.
-                let mut node = self.nodes[idx].node.take().expect("checked above");
+                let mut node = self.node_objs[idx].take().expect("checked above");
                 {
                     let mut ctx = Ctx { sim: self, id: dst };
                     node.on_event(ev, &mut ctx);
                 }
                 // The node may have exited (exit_self) during the event.
-                let slot = &mut self.nodes[idx];
-                if slot.node.is_none() {
-                    slot.node = Some(node);
+                if self.node_objs[idx].is_none() {
+                    self.node_objs[idx] = Some(node);
                 }
             }
             Pending::Vacant => unreachable!("vacant pool entry reached the queue"),
@@ -600,7 +620,17 @@ impl Sim {
     }
 
     /// Run until the queue drains or the clock passes `deadline`.
+    ///
+    /// With parallel stepping enabled ([`Sim::set_parallel`] or the
+    /// `SIMNET_PARALLEL` environment variable) this drives
+    /// [`Sim::step_parallel`] windows instead of single steps; the two
+    /// paths are byte-identical by construction.
     pub fn run_until(&mut self, deadline: SimTime) {
+        if self.parallel.is_some() {
+            while self.step_parallel(deadline) {}
+            self.now = self.now.max(deadline);
+            return;
+        }
         loop {
             if !self.fifo.is_empty() {
                 // Fifo events fire at exactly `now`; only run them inside
@@ -609,14 +639,131 @@ impl Sim {
                     break;
                 }
             } else {
-                match self.queue.peek() {
-                    Some(Reverse(head)) if head.at <= deadline => {}
+                match self.queue.peek_at() {
+                    Some(at) if at <= deadline.0 => {}
                     _ => break,
                 }
             }
             self.step();
         }
         self.now = self.now.max(deadline);
+    }
+
+    /// Time of the next pending event (same-time fifo events fire at
+    /// `now`), or `None` when the simulation is fully drained.
+    pub fn next_event_at(&mut self) -> Option<SimTime> {
+        if !self.fifo.is_empty() {
+            return Some(self.now);
+        }
+        self.queue.peek_at().map(SimTime)
+    }
+
+    /// Conservative parallel lookahead: the minimum latency any event on
+    /// one host needs to affect a *different* node — cross-fabric base
+    /// latency or loopback, whichever is smaller. Two events within one
+    /// lookahead window can only interact through same-host state, which
+    /// the deterministic `(at, seq)` merge order serializes anyway.
+    pub fn lookahead(&self) -> SimDuration {
+        let min = self.fabric.base_latency.min(self.fabric.loopback_latency);
+        if min > SimDuration::ZERO {
+            min
+        } else {
+            SimDuration(1)
+        }
+    }
+
+    /// Execute one conservative parallel window ending no later than
+    /// `deadline`; returns `false` when no event at or before `deadline`
+    /// remains.
+    ///
+    /// The window is the classic conservative-lookahead bound: an event
+    /// executing at time `t` cannot cause a new event on another host
+    /// before `t + lookahead` (the minimum link latency), so every event
+    /// in `[window_start, window_start + lookahead)` already exists when
+    /// the window opens and the per-host partitions are causally
+    /// independent within it. To keep the committed figures byte-identical
+    /// the merge order chosen is exactly the serial `(at, seq)` order —
+    /// the order any threaded executor must merge back to — and window
+    /// statistics go to plain fields, never metrics (see DESIGN.md).
+    pub fn step_parallel(&mut self, deadline: SimTime) -> bool {
+        let look = self.lookahead();
+        let start = match self.next_event_at() {
+            Some(at) if at <= deadline => at,
+            _ => return false,
+        };
+        // Half-open window, clipped so nothing past `deadline` runs.
+        let window_end = start.0.saturating_add(look.0).min(deadline.0.saturating_add(1));
+        let before = self.events;
+        loop {
+            if !self.fifo.is_empty() {
+                if self.now.0 >= window_end {
+                    break;
+                }
+            } else {
+                match self.queue.peek_at() {
+                    Some(at) if at < window_end => {}
+                    _ => break,
+                }
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        let ran = self.events - before;
+        if let Some(p) = self.parallel.as_mut() {
+            p.windows += 1;
+            p.events += ran;
+            if ran > p.max_window {
+                p.max_window = ran;
+            }
+        }
+        ran > 0
+    }
+
+    /// Opt in to deterministic parallel stepping with `partitions` host
+    /// partitions (0 disables). Off by default; the parallel path is
+    /// byte-identical to the serial engine.
+    pub fn set_parallel(&mut self, partitions: u32) {
+        self.parallel = (partitions > 0).then_some(ParallelState {
+            partitions,
+            windows: 0,
+            events: 0,
+            max_window: 0,
+        });
+    }
+
+    /// Whether parallel stepping is enabled.
+    pub fn parallel_enabled(&self) -> bool {
+        self.parallel.is_some()
+    }
+
+    /// Configured partition count for the parallel path (0 = serial).
+    pub fn parallel_partitions(&self) -> u32 {
+        self.parallel.map_or(0, |p| p.partitions)
+    }
+
+    /// `(windows, events, max single window)` executed via the parallel
+    /// path since it was enabled.
+    pub fn parallel_stats(&self) -> (u64, u64, u64) {
+        match self.parallel {
+            Some(p) => (p.windows, p.events, p.max_window),
+            None => (0, 0, 0),
+        }
+    }
+
+    /// High-water mark of queued events (calendar queue + same-time fifo).
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water
+    }
+
+    /// Events currently queued (calendar queue + same-time fifo).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len() + self.fifo.len()
+    }
+
+    /// Recycled `Pending` boxes currently sitting in the freelist.
+    pub fn pending_pool_len(&self) -> usize {
+        self.pool.len()
     }
 
     /// Run for a duration from the current time.
@@ -660,12 +807,12 @@ impl<'a> Ctx<'a> {
 
     /// The host this node runs on.
     pub fn self_host(&self) -> HostId {
-        self.sim.nodes[self.id.0 as usize].host
+        self.sim.node_meta[self.id.0 as usize].host
     }
 
     /// Host of an arbitrary node.
     pub fn host_of(&self, id: NodeId) -> HostId {
-        self.sim.nodes[id.0 as usize].host
+        self.sim.node_meta[id.0 as usize].host
     }
 
     /// Send `payload` to `dst`. The frame contends for this host's TX link,
@@ -695,11 +842,11 @@ impl<'a> Ctx<'a> {
     /// identical to an untraced one.
     pub fn send_wire_traced(&mut self, dst: NodeId, payload: Bytes, wire_bytes: u64, trace: u64) {
         assert!(
-            (dst.0 as usize) < self.sim.nodes.len(),
+            (dst.0 as usize) < self.sim.node_meta.len(),
             "unknown node {dst}"
         );
         let src_host = self.self_host();
-        let dst_host = self.sim.nodes[dst.0 as usize].host;
+        let dst_host = self.sim.node_meta[dst.0 as usize].host;
         let frame = Frame {
             src: self.id,
             dst,
@@ -710,7 +857,7 @@ impl<'a> Ctx<'a> {
         // Capture the destination's incarnation at send time: a frame on
         // the wire is addressed to the process that exists *now*, and must
         // not reach a later incarnation (see [`Sim::revive`]).
-        let inc = self.sim.nodes[dst.0 as usize].incarnation;
+        let inc = self.sim.node_meta[dst.0 as usize].incarnation;
         if src_host == dst_host {
             // Loopback (kernel IPC) is below the fault layer's fabric
             // model: link impairments never apply to co-located nodes.
@@ -730,8 +877,8 @@ impl<'a> Ctx<'a> {
             return;
         }
         let now = self.sim.now;
-        let txq_start = now.max(self.sim.hosts[src_host.0 as usize].tx_free_at);
-        let depart = self.sim.hosts[src_host.0 as usize].admit_tx(now, wire_bytes);
+        let txq_start = now.max(self.sim.hosts.tx_free_at(src_host));
+        let depart = self.sim.hosts.admit_tx(src_host, now, wire_bytes);
         let jitter = SimDuration(self.sim.rng.gen_range(self.sim.fabric.jitter.nanos() + 1));
         let mut arrive = depart + self.sim.fabric.base_latency + jitter;
         if trace != 0 {
@@ -820,7 +967,7 @@ impl<'a> Ctx<'a> {
     /// Arrange for [`Event::Timer`] with `token` after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
         let at = self.sim.now + delay;
-        let inc = self.sim.nodes[self.id.0 as usize].incarnation;
+        let inc = self.sim.node_meta[self.id.0 as usize].incarnation;
         self.sim.schedule(
             at,
             Pending::Deliver {
@@ -848,7 +995,7 @@ impl<'a> Ctx<'a> {
         let host = self.self_host();
         let now = self.sim.now;
         let (submit, scale) = self.sim.cpu_fault_adjust(now, host);
-        let admission = self.sim.hosts[host.0 as usize].admit_cpu_scaled(submit, work, scale);
+        let admission = self.sim.hosts.admit_cpu_scaled(host, submit, work, scale);
         if admission.cold_start {
             self.sim.metrics.add_id(self.sim.mids.cstate_exits, 1);
         }
@@ -860,7 +1007,7 @@ impl<'a> Ctx<'a> {
             let (t0, t1) = (admission.start.nanos(), admission.done.nanos());
             self.record_trace(host, trace, stage, t0, t1, 0);
         }
-        let inc = self.sim.nodes[self.id.0 as usize].incarnation;
+        let inc = self.sim.node_meta[self.id.0 as usize].incarnation;
         self.sim.schedule(
             admission.done,
             Pending::Deliver {
@@ -883,7 +1030,7 @@ impl<'a> Ctx<'a> {
         let host = self.self_host();
         let now = self.sim.now;
         let (submit, scale) = self.sim.cpu_fault_adjust(now, host);
-        let admission = self.sim.hosts[host.0 as usize].admit_cpu_scaled(submit, work, scale);
+        let admission = self.sim.hosts.admit_cpu_scaled(host, submit, work, scale);
         if trace != 0 {
             if admission.start > now {
                 let (t0, t1) = (now.nanos(), admission.start.nanos());
@@ -989,7 +1136,7 @@ impl<'a> Ctx<'a> {
     pub fn peer_cpu_dead(&self, node: NodeId) -> bool {
         match self.sim.fault.as_deref() {
             Some(f) => {
-                let host = self.sim.nodes[node.0 as usize].host;
+                let host = self.sim.node_meta[node.0 as usize].host;
                 f.host_cpu_dead(self.sim.now, host)
             }
             None => false,
@@ -1013,7 +1160,7 @@ impl<'a> Ctx<'a> {
     /// recycle once the receiver drops them.
     pub fn pool(&self) -> Pool {
         let host = self.self_host();
-        self.sim.hosts[host.0 as usize].pool.clone()
+        self.sim.hosts.pool(host)
     }
 
     /// The deterministic RNG stream.
@@ -1030,14 +1177,14 @@ impl<'a> Ctx<'a> {
     /// interval around the true simulation time, offset by this node's
     /// deterministic clock skew).
     pub fn truetime(&mut self) -> TrueTimestamp {
-        let skew = self.sim.nodes[self.id.0 as usize].clock_skew_ns;
+        let skew = self.sim.node_skew[self.id.0 as usize];
         self.sim.truetime.read(self.sim.now, skew)
     }
 
     /// Terminate this node after the current event (planned exit, e.g. a
     /// backend that has migrated its shard away).
     pub fn exit_self(&mut self) {
-        self.sim.nodes[self.id.0 as usize].alive = false;
+        self.sim.node_meta[self.id.0 as usize].alive = false;
     }
 }
 
@@ -1510,15 +1657,61 @@ mod tests {
     }
 
     #[test]
-    fn scheduled_heap_entry_is_slim() {
-        // Sift cost on the event heap is proportional to this; the payload
-        // must stay boxed (see the const assert at the type).
+    fn scheduled_queue_entry_is_slim() {
+        // Bucket-sort and drain-splice cost on the calendar queue is
+        // proportional to this; the payload must stay boxed (see the const
+        // assert at the type).
         assert!(
-            std::mem::size_of::<Scheduled>() <= 32,
-            "Scheduled grew to {} bytes",
-            std::mem::size_of::<Scheduled>()
+            std::mem::size_of::<(u64, u64, Box<Pending>)>() <= 32,
+            "queue entry grew to {} bytes",
+            std::mem::size_of::<(u64, u64, Box<Pending>)>()
         );
         assert!(std::mem::size_of::<Pending>() > 32, "boxing no longer pays");
+    }
+
+    #[test]
+    fn queue_and_pool_stats_track() {
+        let (mut sim, _pinger, _) = two_host_sim();
+        sim.run_to_completion(1_000_000);
+        assert!(sim.queue_high_water() >= 1);
+        assert_eq!(sim.queue_len(), 0);
+        assert!(sim.pending_pool_len() >= 1);
+    }
+
+    #[test]
+    fn parallel_step_matches_serial_ping_pong() {
+        // The conservative-window path must produce the exact same RTT
+        // sequence (and event count) as the serial engine.
+        let serial = {
+            let (mut sim, pinger, _) = two_host_sim();
+            sim.run_to_completion(1_000_000);
+            let rtts = sim
+                .with_node::<Pinger, _>(pinger, |p| p.rtts.clone())
+                .unwrap();
+            (rtts, sim.events_processed())
+        };
+        let parallel = {
+            let (mut sim, pinger, _) = two_host_sim();
+            sim.set_parallel(8);
+            assert!(sim.parallel_enabled());
+            // Drive via run_until (the parallel dispatch point) far past
+            // quiescence.
+            sim.run_until(SimTime(10_000_000));
+            let rtts = sim
+                .with_node::<Pinger, _>(pinger, |p| p.rtts.clone())
+                .unwrap();
+            (rtts, sim.events_processed())
+        };
+        assert_eq!(serial.0, parallel.0);
+        assert_eq!(serial.1, parallel.1);
+        let (mut sim, _, _) = two_host_sim();
+        sim.set_parallel(8);
+        sim.run_until(SimTime(10_000_000));
+        let (windows, events, max_window) = sim.parallel_stats();
+        assert!(windows >= 1);
+        assert_eq!(events, sim.events_processed());
+        assert!(max_window >= 1);
+        assert_eq!(sim.parallel_partitions(), 8);
     }
 
     #[test]

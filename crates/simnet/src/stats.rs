@@ -249,8 +249,19 @@ pub struct MetricId(u32);
 pub struct Metrics {
     /// name -> slot, also the sorted iteration order for dumps.
     names: BTreeMap<String, u32>,
-    hists: Vec<Option<Histogram>>,
-    counters: Vec<Option<u64>>,
+    /// Histograms are boxed so a slot costs one pointer: the slot tables
+    /// are what every `*_id` write indexes, and at hundreds of interned
+    /// names they should stay cache-resident rather than carry a ~64-byte
+    /// inline histogram header each.
+    hists: Vec<Option<Box<Histogram>>>,
+    /// Dense counter arena: every interned id owns a word here, written or
+    /// not, so `add_id` is a single indexed add with no `Option`
+    /// discriminant in the way.
+    counters: Vec<u64>,
+    /// Which counter slots have been written — dumps only show created
+    /// (first-written) metrics, and a counter that was only interned must
+    /// stay invisible.
+    counter_set: Vec<bool>,
     series: Vec<Option<TimeSeries>>,
 }
 
@@ -269,28 +280,31 @@ impl Metrics {
         let slot = self.hists.len() as u32;
         self.names.insert(name.to_string(), slot);
         self.hists.push(None);
-        self.counters.push(None);
+        self.counters.push(0);
+        self.counter_set.push(false);
         self.series.push(None);
         MetricId(slot)
     }
 
     /// Get-or-create a histogram by id.
     pub fn hist_id(&mut self, id: MetricId) -> &mut Histogram {
-        self.hists[id.0 as usize].get_or_insert_with(Histogram::new)
+        self.hists[id.0 as usize].get_or_insert_with(|| Box::new(Histogram::new()))
     }
 
     /// Record into a histogram by id (creates it on first use).
     #[inline]
     pub fn record_id(&mut self, id: MetricId, value: u64) {
         self.hists[id.0 as usize]
-            .get_or_insert_with(Histogram::new)
+            .get_or_insert_with(|| Box::new(Histogram::new()))
             .record(value);
     }
 
     /// Add to a counter by id (creates it on first use).
     #[inline]
     pub fn add_id(&mut self, id: MetricId, delta: u64) {
-        *self.counters[id.0 as usize].get_or_insert(0) += delta;
+        let slot = id.0 as usize;
+        self.counters[slot] += delta;
+        self.counter_set[slot] = true;
     }
 
     /// Append to a time series by id (creates it on first use).
@@ -310,7 +324,7 @@ impl Metrics {
     /// Read a histogram if it exists.
     pub fn hist_ref(&self, name: &str) -> Option<&Histogram> {
         let &slot = self.names.get(name)?;
-        self.hists[slot as usize].as_ref()
+        self.hists[slot as usize].as_deref()
     }
 
     /// Record into a histogram by name (creates it on first use).
@@ -327,10 +341,10 @@ impl Metrics {
 
     /// Read a counter (0 if never written).
     pub fn counter(&self, name: &str) -> u64 {
-        self.names
-            .get(name)
-            .and_then(|&slot| self.counters[slot as usize])
-            .unwrap_or(0)
+        match self.names.get(name) {
+            Some(&slot) => self.counters[slot as usize],
+            None => 0,
+        }
     }
 
     /// Append to a time series by name.
@@ -357,7 +371,7 @@ impl Metrics {
     pub fn counter_names(&self) -> impl Iterator<Item = &str> {
         self.names
             .iter()
-            .filter(|(_, &slot)| self.counters[slot as usize].is_some())
+            .filter(|(_, &slot)| self.counter_set[slot as usize])
             .map(|(name, _)| name.as_str())
     }
 
@@ -379,8 +393,8 @@ impl Metrics {
         let mut out = String::new();
         for (name, &slot) in &self.names {
             let slot = slot as usize;
-            if let Some(v) = self.counters[slot] {
-                writeln!(out, "counter {name} = {v}").unwrap();
+            if self.counter_set[slot] {
+                writeln!(out, "counter {name} = {}", self.counters[slot]).unwrap();
             }
             if let Some(h) = &self.hists[slot] {
                 write!(

@@ -165,3 +165,54 @@ fn handle_api_writes_are_indistinguishable_from_string_api() {
     assert_eq!(dump_name, dump_id);
     assert!(!dump_id.contains("never.written"));
 }
+
+/// The 950-host / 10K-client macro cell (`cell950`) must be exactly as
+/// deterministic as the small cells — two seeded runs produce identical
+/// event counts and bit-identical metric dumps — and the opt-in
+/// conservative parallel step must be byte-identical to the serial engine
+/// on it (same events, same dump, while its window machinery really ran).
+#[test]
+fn cell950_serial_and_parallel_runs_are_metric_identical() {
+    // Keep the span tiny: the full macro cell pushes on the order of a
+    // million events per simulated millisecond across 10K clients, and
+    // this test runs the cell three times in a debug build. 2ms is enough
+    // to cover startup, populate, ramp traffic, and tens of thousands of
+    // calendar-queue window rotations.
+    let span = SimDuration::from_millis(2);
+    let serial = || {
+        let mut cell = bench::simcore::cell950();
+        cell.run_for(span);
+        (cell.sim.events_processed(), cell.sim.metrics().dump())
+    };
+    let (events_a, dump_a) = serial();
+    let (events_b, dump_b) = serial();
+    assert!(
+        events_a > 20_000,
+        "cell950 shrank too far to be a real check: {events_a} events"
+    );
+    assert_eq!(events_a, events_b, "cell950 event counts diverged");
+    assert_eq!(
+        fnv1a(&dump_a),
+        fnv1a(&dump_b),
+        "cell950 metric dumps diverged"
+    );
+    assert_eq!(dump_a, dump_b);
+
+    let mut cell = bench::simcore::cell950();
+    cell.sim.set_parallel(8);
+    cell.run_for(span);
+    assert_eq!(
+        cell.sim.events_processed(),
+        events_a,
+        "parallel step diverged from serial on events"
+    );
+    assert_eq!(
+        cell.sim.metrics().dump(),
+        dump_a,
+        "parallel step diverged from serial on metrics"
+    );
+    let (windows, win_events, max_window) = cell.sim.parallel_stats();
+    assert!(windows > 0, "parallel path never opened a window");
+    assert!(win_events > 0 && win_events <= events_a);
+    assert!(max_window >= 1);
+}

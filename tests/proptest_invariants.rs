@@ -599,3 +599,66 @@ proptest! {
         }
     }
 }
+
+// ---- calendar event queue vs. reference heap -------------------------
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use simnet::CalendarQueue;
+
+/// Scripted queue actions: `kind` selects push-near / push-mid / push-far /
+/// push-tie / pop, `mag` scales the push distance so scripts exercise
+/// same-bucket splices, wheel-window rotation, and far-future overflow.
+fn queue_script() -> impl Strategy<Value = Vec<(u8, u32)>> {
+    proptest::collection::vec((any::<u8>(), any::<u32>()), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The calendar queue must pop in exactly the reference heap's
+    /// `(time, seq)` order: same-timestamp FIFO ties resolve by seq,
+    /// bucket-window rotation never reorders, and events migrating back
+    /// from the far-future overflow heap land in their correct slots.
+    fn calendar_queue_matches_reference_heap(script in queue_script()) {
+        let mut q: CalendarQueue<u64> = CalendarQueue::new();
+        let mut h: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut last_at = 0u64;
+        let mut seq = 0u64;
+        for (kind, mag) in script {
+            let at = match kind % 5 {
+                // Near: same or adjacent 2048ns bucket.
+                0 => now + (mag as u64 % 2_048),
+                // Mid: inside the ~8.4ms wheel horizon.
+                1 => now + (mag as u64 % 8_000_000),
+                // Far: beyond the horizon, lands in the overflow heap.
+                2 => now + 8_500_000 + (mag as u64 % 200_000_000),
+                // Tie: exact same timestamp as the previous push.
+                3 => last_at.max(now),
+                // Pop and cross-check against the reference.
+                _ => {
+                    let got = q.pop();
+                    let want = h.pop().map(|Reverse((at, s))| (at, s, s));
+                    prop_assert_eq!(got, want);
+                    if let Some((at, _, _)) = got {
+                        now = at;
+                    }
+                    continue;
+                }
+            };
+            last_at = at;
+            q.push(at, seq, seq);
+            h.push(Reverse((at, seq)));
+            seq += 1;
+            prop_assert_eq!(q.len(), h.len());
+        }
+        // Drain the remainder: every pop must match the reference exactly.
+        while let Some(Reverse((at, s))) = h.pop() {
+            prop_assert_eq!(q.pop(), Some((at, s, s)));
+        }
+        prop_assert_eq!(q.pop(), None);
+        prop_assert!(q.is_empty());
+    }
+}
