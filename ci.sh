@@ -43,6 +43,17 @@ for f in f3 f13 f14; do
   cmp "$CHAOS_TMP/base/$f.csv" "results/$f.csv"
 done
 
+echo "== skew smoke + determinism gate =="
+# The skew ablation study (Zipf hot keys vs client cache + hot-key
+# replication) must replay byte-identically: two seeded runs match each
+# other and the committed CSV. The f3/f13/f14 cmp gates above double as
+# the zero-impact proof: cells with cache/hot-repl disabled regenerate
+# their committed artifacts byte for byte.
+cargo run --release -p bench --bin figures -- skew --csv "$CHAOS_TMP/skew1" >/dev/null
+cargo run --release -p bench --bin figures -- skew --csv "$CHAOS_TMP/skew2" >/dev/null
+cmp "$CHAOS_TMP/skew1/skew.csv" "$CHAOS_TMP/skew2/skew.csv"
+cmp "$CHAOS_TMP/skew1/skew.csv" results/skew.csv
+
 echo "== trace smoke + tracing-disabled zero-impact gate =="
 # Tracing enabled: the trace experiment (flight recorder + attribution +
 # postmortems) must be reproducible — two seeded runs produce byte-identical

@@ -179,8 +179,16 @@ fn run_once(build: fn() -> Cell, sim_span: SimDuration) -> Rep {
 /// wall time is not.
 fn run_workload(name: &'static str, build: fn() -> Cell, sim_span: SimDuration) -> Sample {
     let mut best: Option<Rep> = None;
-    for _ in 0..REPS {
+    for i in 0..REPS {
         let rep = run_once(build, sim_span);
+        // Progress to stderr (unbuffered): a slow or wedged workload is
+        // visible while CI is still running, not only after the fact.
+        eprintln!(
+            "[simperf] {name} rep {}/{REPS}: {} events in {:.2}s",
+            i + 1,
+            rep.events,
+            rep.wall_s
+        );
         let better = match &best {
             Some(b) => rep.wall_s < b.wall_s,
             None => true,
@@ -304,8 +312,13 @@ fn main() {
         } else {
             println!(
                 "{:<12} {:>12} events {:>8.2}s wall {:>12.0} events/s qhwm {} pool {} rss {}MiB",
-                s.name, s.events, s.wall_s, s.events_per_sec, s.queue_hwm,
-                s.pool_len, s.peak_rss_bytes >> 20
+                s.name,
+                s.events,
+                s.wall_s,
+                s.events_per_sec,
+                s.queue_hwm,
+                s.pool_len,
+                s.peak_rss_bytes >> 20
             );
         }
         total_events += s.events;

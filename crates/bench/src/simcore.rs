@@ -11,6 +11,7 @@
 
 use cliquemap::cell::{Cell, CellSpec};
 use cliquemap::client::LookupStrategy;
+use cliquemap::client_cache::ClientCacheCfg;
 use cliquemap::config::ReplicationMode;
 use cliquemap::workload::Workload;
 use rma::PonyCfg;
@@ -28,8 +29,15 @@ pub const ADS_SPAN: SimDuration = SimDuration::from_millis(4060);
 /// Simulated span `simperf` drives the Pony ramp cell for.
 pub const PONY_SPAN: SimDuration = SimDuration::from_millis(2010);
 
-/// Simulated span `simperf` drives the 950-host macro cell for.
-pub const CELL950_SPAN: SimDuration = SimDuration::from_millis(500);
+/// Simulated span `simperf` drives the 950-host macro cell for. Most of
+/// this window is the cold-start herd: 10K clients fetching configs and
+/// connecting while the workload ramp is still near its floor, which is
+/// exactly the regime that used to livelock the config store (see
+/// `ConfigStoreNode` read coalescing). ~660K events, about a second per
+/// rep on a small CI box; the per-event cost is much higher than the
+/// small cells (4.3GiB of host state blows every cache), which is the
+/// point of gating on it.
+pub const CELL950_SPAN: SimDuration = SimDuration::from_millis(50);
 
 /// F8-style Ads cell: batched production GETs + steady SETs with backfill
 /// bursts against an R=3.2 SCAR cell, run for a fixed simulated span.
@@ -105,12 +113,23 @@ pub fn pony_ramp_cell() -> Cell {
 /// of concurrent same-window events, a node table an order of magnitude
 /// past the other cells, and enough in-flight ops to exercise the pending
 /// pool. Per-client rates are low — aggregate load is what matters here.
+/// A modest client-side lease cache is on so the perf + allocation gates
+/// exercise the local-hit path at scale (hits must stay allocation-free).
 pub fn cell950() -> Cell {
     let keys = 4_000u64;
     let mut spec: CellSpec = base_spec(LookupStrategy::Scar, ReplicationMode::R32, 115);
     spec.seed = 53;
     spec.clients_per_host = 12;
     spec.client.max_in_flight = 64;
+    // 10K clients cold-starting against one config store: without read
+    // coalescing the attempt-timeout retransmit herd outruns the store's
+    // serve rate and exhausts its deferred-response namespace.
+    spec.config_read_coalescing = true;
+    spec.client.cache = Some(ClientCacheCfg {
+        capacity: 128,
+        lease_ttl: SimDuration::from_millis(5),
+        max_value_len: 64 << 10,
+    });
     let wls: Vec<Box<dyn Workload>> = (0..10_000)
         .map(|_| {
             Box::new(RampWorkload {

@@ -73,6 +73,11 @@ pub struct BackendCfg {
     /// How often to poll the config store for cell reconfigurations (the
     /// production system watches Chubby; we poll). `None` disables.
     pub config_poll: Option<SimDuration>,
+    /// Load-aware hot-key replication (`None` disables): detect keys
+    /// dominating this backend's serve load from access records and
+    /// mutations, gated on engine occupancy, and seed extended replicas
+    /// via REPAIR_SET pushes so hot-routed clients find fresh copies.
+    pub hot_repl: Option<crate::policy::HotReplCfg>,
 }
 
 impl Default for BackendCfg {
@@ -98,6 +103,7 @@ impl Default for BackendCfg {
             repair_client_id: 0x8000_0000,
             shared_pony: None,
             config_poll: Some(SimDuration::from_millis(100)),
+            hot_repl: None,
         }
     }
 }
@@ -149,6 +155,9 @@ enum Work {
     Exit,
     /// Periodic config-store poll.
     ConfigPoll,
+    /// Hot-key epoch boundary: measure occupancy, promote/demote, push
+    /// extended copies.
+    HotEpoch,
 }
 
 /// Why this node is talking to its cohort.
@@ -211,6 +220,15 @@ pub struct BackendNode {
     cur_trace: u64,
     /// Interned metric handles; resolved on [`Event::Start`].
     mids: Option<BackendMetricIds>,
+    /// Hot-key detector (`cfg.hot_repl`), fed by access records and
+    /// mutations, rolled from the [`Work::HotEpoch`] timer.
+    hot: Option<crate::policy::HotKeyTracker>,
+    /// `transport.sw_cpu_ns()` at the last hot epoch boundary (occupancy
+    /// is the busy-ns delta over the epoch).
+    hot_busy_mark: u64,
+    /// Keys promoted before the cell config was learned: their extended
+    /// copies are pushed at the next epoch once a config exists.
+    hot_push_pending: Vec<KeyHash>,
     /// Frame-buffer pool every response/request is encoded into; swapped
     /// for the host-shared pool at [`Event::Start`].
     pool: Pool,
@@ -240,6 +258,9 @@ struct BackendMetricIds {
     access_records: MetricId,
     rpc_dropped_cpu_dead: MetricId,
     rma_dropped_cpu_dead: MetricId,
+    hot_promotions: MetricId,
+    hot_demotions: MetricId,
+    hot_pushes: MetricId,
 }
 
 impl BackendMetricIds {
@@ -265,6 +286,9 @@ impl BackendMetricIds {
             access_records: m.handle("cm.backend.access_records"),
             rpc_dropped_cpu_dead: m.handle("cm.backend.rpc_dropped_cpu_dead"),
             rma_dropped_cpu_dead: m.handle("cm.backend.rma_dropped_cpu_dead"),
+            hot_promotions: m.handle("cm.backend.hot_promotions"),
+            hot_demotions: m.handle("cm.backend.hot_demotions"),
+            hot_pushes: m.handle("cm.backend.hot_pushes"),
         }
     }
 }
@@ -302,6 +326,9 @@ impl BackendNode {
             retired: false,
             cur_trace: 0,
             mids: None,
+            hot: cfg.hot_repl.clone().map(crate::policy::HotKeyTracker::new),
+            hot_busy_mark: 0,
+            hot_push_pending: Vec::new(),
             pool: Pool::new(),
             cfg,
         }
@@ -427,6 +454,11 @@ impl BackendNode {
                 if let Some(recs) = messages::AccessRecords::decode(req.body) {
                     ctx.metrics()
                         .add_id(self.m().access_records, recs.hashes.len() as u64);
+                    if let Some(t) = self.hot.as_mut() {
+                        for &h in &recs.hashes {
+                            t.record(h);
+                        }
+                    }
                     self.store.apply_access_records(&recs.hashes);
                     self.respond_rpc(ctx, src, req.id, Status::Ok, Bytes::new());
                 } else {
@@ -468,6 +500,11 @@ impl BackendNode {
             return;
         };
         let hash = self.cfg.hasher.hash(&set.key);
+        if !is_repair {
+            if let Some(t) = self.hot.as_mut() {
+                t.record(hash);
+            }
+        }
         match self
             .store
             .prepare_set(&set.key, &set.value, hash, set.version)
@@ -578,6 +615,9 @@ impl BackendNode {
             return;
         };
         let hash = self.cfg.hasher.hash(&get.key);
+        if let Some(t) = self.hot.as_mut() {
+            t.record(hash);
+        }
         match self.store.fetch(hash) {
             Some((key, value, version)) if key == get.key => {
                 let body = messages::GetResp {
@@ -827,6 +867,111 @@ impl BackendNode {
             }
         }
         ctx.metrics().add_id(self.m().repairs, 1);
+    }
+
+    // ---- Load-aware hot-key replication ---------------------------------
+
+    /// Close a hot epoch: measure engine occupancy over the elapsed
+    /// period, promote/demote, push newly promoted keys to their extended
+    /// replicas, and re-arm the timer.
+    fn on_hot_epoch(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(epoch) = self.hot.as_ref().map(|t| t.cfg().epoch) else {
+            return;
+        };
+        // Occupancy = software-NIC busy core-ns over the epoch, per
+        // engine. Hardware transports report 0 busy-ns; pair them with an
+        // occupancy_gate of 0.0.
+        let busy = self.transport.sw_cpu_ns();
+        let delta = busy.saturating_sub(self.hot_busy_mark);
+        self.hot_busy_mark = busy;
+        let engines = self.transport.engine_count().max(1) as u64;
+        let occupancy = delta as f64 / (epoch.nanos().max(1) as f64 * engines as f64);
+        let decisions = self
+            .hot
+            .as_mut()
+            .expect("checked above")
+            .roll_epoch(ctx.now(), occupancy);
+        if !decisions.promoted.is_empty() {
+            ctx.metrics()
+                .add_id(self.m().hot_promotions, decisions.promoted.len() as u64);
+            for &key in &decisions.promoted {
+                self.push_hot_copies(ctx, key);
+            }
+        }
+        // Keys promoted before the config was learned retry here (the
+        // config poll runs on a much longer period than hot epochs).
+        if self.config.is_some() && !self.hot_push_pending.is_empty() {
+            let pending = std::mem::take(&mut self.hot_push_pending);
+            for key in pending {
+                if self.hot.as_ref().is_some_and(|t| t.is_hot(key)) {
+                    self.push_hot_copies(ctx, key);
+                }
+            }
+        }
+        if !decisions.demoted.is_empty() {
+            ctx.metrics()
+                .add_id(self.m().hot_demotions, decisions.demoted.len() as u64);
+        }
+        let tok = self.work.defer(Work::HotEpoch);
+        ctx.set_timer(epoch, tok);
+    }
+
+    /// Seed a newly promoted key's extended replicas with its *current*
+    /// version via REPAIR_SET (same mechanism as §5.4 repair, but the
+    /// version is preserved rather than re-nominated — the extended
+    /// copies' index votes must agree with the base quorum's).
+    fn push_hot_copies(&mut self, ctx: &mut Ctx<'_>, hash: KeyHash) {
+        let Some(config) = self.config.clone() else {
+            // Config not yet learned: remember the key and fetch the
+            // config now (without re-arming the poll timer) so the next
+            // epoch can push. Bounded; hot sets are tiny.
+            if self.hot_push_pending.len() < 64 {
+                self.hot_push_pending.push(hash);
+            }
+            if let Some(store) = self.cfg.config_store {
+                if !self.retired && self.migration.is_none() {
+                    self.call(
+                        ctx,
+                        store,
+                        method::GET_CONFIG,
+                        Bytes::new(),
+                        tag::CONFIG_POLL,
+                    );
+                }
+            }
+            return;
+        };
+        let Some(extra) = self.hot.as_ref().map(|t| t.cfg().extra_copies) else {
+            return;
+        };
+        let n = config.num_shards();
+        let base = config.replication.copies().min(n);
+        if extra == 0 || n < base + extra {
+            return;
+        }
+        let Some((key, value, version)) = self.store.fetch(hash) else {
+            return; // nothing stored here (e.g. promoted off SET churn)
+        };
+        let shard = crate::hash::place(hash, n, 1).shard;
+        let me = ctx.self_id();
+        let body = messages::SetReq {
+            key,
+            value,
+            version,
+        }
+        .encode_in(&self.pool);
+        let mut pushes = 0;
+        for i in 0..extra {
+            let replica = config.node_for((shard + base + i) % n);
+            if replica == me {
+                continue;
+            }
+            self.call(ctx, replica, method::REPAIR_SET, body.clone(), tag::REPAIR);
+            pushes += 1;
+        }
+        if pushes > 0 {
+            ctx.metrics().add_id(self.m().hot_pushes, pushes);
+        }
     }
 
     // ---- Warm-spare migration (§6.1) ------------------------------------
@@ -1083,6 +1228,10 @@ impl Node for BackendNode {
                     let tok = self.work.defer(Work::ConfigPoll);
                     ctx.set_timer(poll, tok);
                 }
+                if let Some(hot) = &self.cfg.hot_repl {
+                    let tok = self.work.defer(Work::HotEpoch);
+                    ctx.set_timer(hot.epoch, tok);
+                }
             }
             Event::Frame(frame) => {
                 let src = frame.src;
@@ -1161,6 +1310,7 @@ impl Node for BackendNode {
                             ctx.exit_self();
                         }
                         Work::ConfigPoll => self.config_poll(ctx),
+                        Work::HotEpoch => self.on_hot_epoch(ctx),
                     }
                 } else if let Some(call_id) = CallTable::call_of_timer(token) {
                     if let Some(call) = self.calls.expire(call_id) {

@@ -101,6 +101,11 @@ pub struct CellSpec {
     pub backend: BackendCfg,
     /// Client template (client-id/config-store fields are overridden).
     pub client: ClientCfg,
+    /// Coalesce retransmitted GET_CONFIGs at the config store (see
+    /// [`ConfigStoreNode::with_read_coalescing`]). Required for macro
+    /// cells where the cold-start herd outruns the store's serve rate;
+    /// off by default so existing figure schedules are untouched.
+    pub config_read_coalescing: bool,
 }
 
 impl Default for CellSpec {
@@ -116,6 +121,7 @@ impl Default for CellSpec {
             colocate_fraction: 0.0,
             backend: BackendCfg::default(),
             client: ClientCfg::default(),
+            config_read_coalescing: false,
         }
     }
 }
@@ -162,15 +168,16 @@ impl Cell {
         // The config store occupies node id 0 on its own host; it is
         // populated with the real configuration once all ids are known.
         let cs_host = sim.add_host(spec.host.clone());
-        let config_store = sim.add_node(
-            cs_host,
-            Box::new(ConfigStoreNode::new(CellConfig {
-                config_id: 0,
-                replication: spec.replication,
-                shards: Vec::new(),
-                spares: Vec::new(),
-            })),
-        );
+        let mut cs_node = ConfigStoreNode::new(CellConfig {
+            config_id: 0,
+            replication: spec.replication,
+            shards: Vec::new(),
+            spares: Vec::new(),
+        });
+        if spec.config_read_coalescing {
+            cs_node = cs_node.with_read_coalescing();
+        }
+        let config_store = sim.add_node(cs_host, Box::new(cs_node));
 
         // Backends: one host each.
         let mut backends = Vec::new();

@@ -27,10 +27,12 @@ use rma::{PonyCfg, RmaOpTable, RmaStatus, Transport, TransportKind, WindowId};
 use rpc::{CallTable, RetryPolicy, RetryState, RpcCostModel, Status};
 use simnet::{Ctx, Deferred, Event, MetricId, Metrics, Node, NodeId, SimDuration, SimTime};
 
+use crate::client_cache::{ClientCache, ClientCacheCfg, Lookup};
 use crate::config::{CellConfig, ReplicationMode};
 use crate::hash::{place, DefaultHasher, KeyHash, KeyHasher};
 use crate::layout::{self, bucket_size, parse_data_entry, Pointer};
 use crate::messages::{self, method, Geometry};
+use crate::policy::{HotKeyTracker, HotReplCfg};
 use crate::shim::ShimSpec;
 use crate::version::{VersionGen, VersionNumber};
 use crate::workload::{ClientOp, OpOutcome, Pacing, VersionMemo, Workload};
@@ -88,6 +90,13 @@ pub struct ClientCfg {
     /// from the key's primary replica — the ablation showing why the
     /// paper chose quoruming over primary/backup.
     pub prefer_first_responder: bool,
+    /// Client-side lease cache in front of the RMA path (`None` disables
+    /// it; see [`crate::client_cache`]).
+    pub cache: Option<ClientCacheCfg>,
+    /// Load-aware hot-key replication: track the client's own op stream
+    /// and route promoted keys across an extended replica set (`None`
+    /// disables it; see [`HotReplCfg`]).
+    pub hot_repl: Option<HotReplCfg>,
     /// Language-shim cost model (`None` = native C++ client).
     pub shim: Option<ShimSpec>,
     /// Host-level Pony engine pool shared with co-located nodes.
@@ -115,6 +124,8 @@ impl Default for ClientCfg {
             max_in_flight: 256,
             rpc_fallback_on_overflow: false,
             prefer_first_responder: true,
+            cache: None,
+            hot_repl: None,
             shim: None,
             shared_pony: None,
         }
@@ -161,6 +172,16 @@ struct GetState {
     waiting_geometry: bool,
     /// Outstanding overflow-fallback RPCs (one per replica).
     fallback_pending: u8,
+    /// Stale lease-cache version: if a read quorum agrees on it, the
+    /// cached value is validated and served without a data fetch.
+    cached_version: Option<VersionNumber>,
+    /// Prefix of `replicas` that is the base (quorum-bearing) set; any
+    /// suffix beyond it is extended hot-key copies that absorb load but
+    /// never count toward miss quorums.
+    n_base: u8,
+    /// Replicas actually consulted this attempt (hot-routed GETs consult
+    /// a subset of the extended set).
+    consulted: u8,
 }
 
 impl GetState {
@@ -184,6 +205,9 @@ impl GetState {
             saw_overflow: false,
             waiting_geometry: false,
             fallback_pending: 0,
+            cached_version: None,
+            n_base: 0,
+            consulted: 0,
         }
     }
 
@@ -200,6 +224,9 @@ impl GetState {
         self.saw_overflow = false;
         self.waiting_geometry = false;
         self.fallback_pending = 0;
+        self.cached_version = None;
+        self.n_base = 0;
+        self.consulted = 0;
     }
 }
 
@@ -217,6 +244,7 @@ enum MutationKind {
 struct MutationState {
     kind: MutationKind,
     key: Bytes,
+    hash: KeyHash,
     value: Bytes,
     expected: Option<VersionNumber>,
     version: VersionNumber,
@@ -224,8 +252,14 @@ struct MutationState {
     retry: RetryState,
     attempt: u64,
     replicas: Vec<NodeId>,
+    /// Base (quorum-bearing) prefix of `replicas`; extended hot-key
+    /// copies receive the mutation but don't count toward quorums.
+    n_base: u8,
     acks: u32,
     rejects: u32,
+    /// Acks/rejects from base replicas only (quorum inputs).
+    acks_base: u32,
+    rejects_base: u32,
     failures: u32,
     completed: bool,
 }
@@ -286,6 +320,10 @@ pub struct ClientNode {
     /// Recycled [`GetState`]s: completed GETs return here so steady-state
     /// issue reuses their `replicas`/`votes` capacity (no allocation).
     free_gets: Vec<GetState>,
+    /// Client-side lease cache (`cfg.cache`).
+    ccache: Option<ClientCache>,
+    /// Hot-key detector driving extended-replica routing (`cfg.hot_repl`).
+    hot: Option<HotKeyTracker>,
     batches: HashMap<u64, BatchState>,
     next_op_id: u64,
     in_flight: usize,
@@ -372,6 +410,14 @@ struct ClientMetricIds {
     getkey_latency_ns: MetricId,
     get_latency_ns: MetricId,
     set_latency_ns: MetricId,
+    ccache_hits: MetricId,
+    ccache_stale: MetricId,
+    ccache_misses: MetricId,
+    ccache_validations: MetricId,
+    ccache_invalidations: MetricId,
+    hot_promotions: MetricId,
+    hot_demotions: MetricId,
+    hot_routed: MetricId,
     retry: [MetricId; RETRY_REASONS.len()],
 }
 
@@ -409,6 +455,14 @@ impl ClientMetricIds {
             getkey_latency_ns: m.handle("cm.getkey.latency_ns"),
             get_latency_ns: m.handle("cm.get.latency_ns"),
             set_latency_ns: m.handle("cm.set.latency_ns"),
+            ccache_hits: m.handle("cm.ccache.hits"),
+            ccache_stale: m.handle("cm.ccache.stale"),
+            ccache_misses: m.handle("cm.ccache.misses"),
+            ccache_validations: m.handle("cm.ccache.validations"),
+            ccache_invalidations: m.handle("cm.ccache.invalidations"),
+            hot_promotions: m.handle("cm.client.hot_promotions"),
+            hot_demotions: m.handle("cm.client.hot_demotions"),
+            hot_routed: m.handle("cm.client.hot_routed_gets"),
             retry,
         }
     }
@@ -430,6 +484,8 @@ impl ClientNode {
         ClientNode {
             versions: VersionGen::new(cfg.client_id),
             calls: CallTable::new(cfg.client_id as u64),
+            ccache: cfg.cache.clone().map(ClientCache::new),
+            hot: cfg.hot_repl.clone().map(HotKeyTracker::new),
             cfg,
             workload,
             transport,
@@ -573,10 +629,6 @@ impl ClientNode {
         };
         let op = op.clone();
         let batch = *batch;
-        let Some(config) = self.config.clone() else {
-            self.refresh_config(ctx);
-            return; // stays parked; released by config arrival
-        };
         let key = match &op {
             ClientOp::Get { key }
             | ClientOp::Set { key, .. }
@@ -585,42 +637,113 @@ impl ClientNode {
             ClientOp::MultiGet { .. } => unreachable!("expanded in start_op"),
         };
         let hash = self.cfg.hasher.hash(&key);
+        let is_get = matches!(op, ClientOp::Get { .. });
+        let Some(config) = self.config.clone() else {
+            self.refresh_config(ctx);
+            return; // stays parked; released by config arrival
+        };
         let shard = place(hash, config.num_shards(), 1).shard;
-        let mut replica_buf = [NodeId(0); 4];
-        let nreplicas = config.replicas_for_buf(shard, &mut replica_buf);
+        // Load-aware hot-key replication: feed the detector with the
+        // client's own op stream; promoted keys get `extra_copies` more
+        // replicas so the base set stops serving every fast-path read.
+        let hot_now = match self.hot.as_mut() {
+            Some(t) => {
+                let rolled = t.touch(hash, ctx.now(), 1.0);
+                let hot = t.is_hot(hash);
+                if let Some(d) = rolled {
+                    if !d.promoted.is_empty() {
+                        ctx.metrics()
+                            .add_id(self.m().hot_promotions, d.promoted.len() as u64);
+                    }
+                    if !d.demoted.is_empty() {
+                        ctx.metrics()
+                            .add_id(self.m().hot_demotions, d.demoted.len() as u64);
+                    }
+                }
+                hot
+            }
+            None => false,
+        };
+        let base_copies = config.replication.copies().min(config.num_shards()) as usize;
+        let extra = self.hot.as_ref().map(|t| t.cfg().extra_copies).unwrap_or(0) as usize;
+        // Extended sets only make sense for mutable quorumed mode with
+        // enough distinct shards to walk past the base replicas.
+        let want = if hot_now
+            && config.replication == ReplicationMode::R32
+            && config.num_shards() as usize >= base_copies + extra
+        {
+            base_copies + extra
+        } else {
+            base_copies
+        };
+        let mut replica_buf = [NodeId(0); 8];
+        let nreplicas = config.replicas_n_buf(shard, want as u32, &mut replica_buf);
+        let n_base = base_copies.min(nreplicas);
         let replicas = &replica_buf[..nreplicas];
         // GETs need geometry for every replica (RMA addressing); mutations
         // are plain RPCs and can go immediately.
-        let is_get = matches!(op, ClientOp::Get { .. });
         let needs_geometry = is_get && self.cfg.strategy != LookupStrategy::Msg;
         if needs_geometry {
-            let mut missing = [NodeId(0); 4];
+            let mut missing = [NodeId(0); 8];
             let mut nmissing = 0;
-            for r in replicas {
+            let mut have_base = 0;
+            for (i, r) in replicas.iter().enumerate() {
                 if !self.geometry.contains_key(r) {
                     missing[nmissing] = *r;
                     nmissing += 1;
+                } else if i < n_base {
+                    have_base += 1;
                 }
             }
-            // Proceed once a read quorum's worth of connections exist; a
-            // dead replica must not park reads forever (its vote simply
-            // fails). Keep trying to connect to the stragglers.
+            // Proceed once a read quorum's worth of base connections
+            // exist; a dead replica must not park reads forever (its vote
+            // simply fails). Keep trying to connect to the stragglers.
             let quorum = config.replication.read_quorum() as usize;
             for &m in &missing[..nmissing] {
                 self.ensure_connect(ctx, m);
             }
-            if nreplicas - nmissing < quorum {
+            if have_base < quorum {
                 return; // stays parked; released by CONNECT completion
+            }
+        }
+        // Client-side lease cache: consulted only once the op is actually
+        // leaving the parked state (so cache counters reconcile 1:1 with
+        // issued ops). A valid lease completes the GET locally; a mutation
+        // drops the owner's entry at issue, so a client can never read its
+        // own stale write from the cache.
+        let mut cached_version = None;
+        if let Some(cache) = self.ccache.as_mut() {
+            if is_get {
+                match cache.lookup(hash, ctx.now()) {
+                    Lookup::Hit(version) => {
+                        self.complete_local_hit(ctx, op_id, key, hash, batch, version);
+                        return;
+                    }
+                    Lookup::Stale(version) => {
+                        ctx.metrics().add_id(self.m().ccache_stale, 1);
+                        cached_version = Some(version);
+                    }
+                    Lookup::Miss => {
+                        ctx.metrics().add_id(self.m().ccache_misses, 1);
+                    }
+                }
+            } else if cache.invalidate(hash) {
+                ctx.metrics().add_id(self.m().ccache_invalidations, 1);
             }
         }
         match op {
             ClientOp::Get { key } => {
+                if nreplicas > n_base {
+                    ctx.metrics().add_id(self.m().hot_routed, 1);
+                }
                 let mut state = self.free_gets.pop().unwrap_or_else(GetState::blank);
                 state.key = key;
                 state.hash = hash;
                 state.batch = batch;
                 state.retry = self.cfg.retry.start(ctx.now());
                 state.replicas.extend_from_slice(replicas);
+                state.cached_version = cached_version;
+                state.n_base = n_base as u8;
                 self.ops.insert(op_id, OpState::Get(state));
                 ctx.trace_open(self.trace_of(ctx, op_id), trace_aux::GET);
                 self.issue_get_attempt(ctx, op_id);
@@ -631,10 +754,12 @@ impl ClientNode {
                     op_id,
                     MutationKind::Set,
                     key,
+                    hash,
                     value,
                     None,
                     batch,
                     replicas.to_vec(),
+                    n_base,
                 );
             }
             ClientOp::Erase { key } => {
@@ -643,10 +768,12 @@ impl ClientNode {
                     op_id,
                     MutationKind::Erase,
                     key,
+                    hash,
                     Bytes::new(),
                     None,
                     batch,
                     replicas.to_vec(),
+                    n_base,
                 );
             }
             ClientOp::Cas { key, value } => {
@@ -659,14 +786,63 @@ impl ClientNode {
                     op_id,
                     MutationKind::Cas,
                     key,
+                    hash,
                     value,
                     Some(expected),
                     batch,
                     replicas.to_vec(),
+                    n_base,
                 );
             }
             ClientOp::MultiGet { .. } => unreachable!(),
         }
+    }
+
+    /// Complete a GET locally from the lease cache: no backend is
+    /// contacted, no sub-ops issue. The op still passes through the normal
+    /// completion path (trace, latency, batch accounting) and allocates
+    /// nothing (recycled [`GetState`], refcounted value).
+    fn complete_local_hit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        key: Bytes,
+        hash: KeyHash,
+        batch: Option<u64>,
+        version: VersionNumber,
+    ) {
+        let now = ctx.now();
+        ctx.metrics().add_id(self.m().ccache_hits, 1);
+        self.memo.remember(&key, version);
+        let mut state = self.free_gets.pop().unwrap_or_else(GetState::blank);
+        state.key = key;
+        state.hash = hash;
+        state.batch = batch;
+        state.retry = self.cfg.retry.start(now);
+        self.ops.insert(op_id, OpState::Get(state));
+        ctx.trace_open(self.trace_of(ctx, op_id), trace_aux::GET);
+        ctx.metrics().add_id(self.m().get_hits, 1);
+        self.complete_op(ctx, op_id, OpOutcome::Hit, now);
+    }
+
+    /// Lease-cache counters (`None` when the cache is disabled).
+    pub fn cache_stats(&self) -> Option<crate::client_cache::CacheStats> {
+        self.ccache.as_ref().map(|c| c.stats)
+    }
+
+    /// Currently promoted hot keys (0 when hot replication is disabled).
+    pub fn hot_keys(&self) -> usize {
+        self.hot.as_ref().map(|t| t.hot_len()).unwrap_or(0)
+    }
+
+    /// Inspect the cached entry for a key regardless of lease state
+    /// (harness/test visibility; `None` when absent or cache disabled).
+    pub fn cache_peek(&self, key: &[u8]) -> Option<(VersionNumber, Bytes)> {
+        let hash = self.cfg.hasher.hash(key);
+        self.ccache
+            .as_ref()
+            .and_then(|c| c.peek(hash))
+            .map(|(v, data, _lease)| (v, data))
     }
 
     // ---- GET path --------------------------------------------------------
@@ -692,15 +868,19 @@ impl ClientNode {
         if needs_geometry {
             let (missing, nmissing, have) = match self.ops.get(&op_id) {
                 Some(OpState::Get(get)) => {
-                    let mut missing = [NodeId(0); 4];
+                    let n_base = (get.n_base as usize).clamp(1, get.replicas.len());
+                    let mut missing = [NodeId(0); 8];
                     let mut nmissing = 0;
-                    for r in &get.replicas {
+                    let mut have_base = 0;
+                    for (i, r) in get.replicas.iter().enumerate() {
                         if !self.geometry.contains_key(r) {
                             missing[nmissing] = *r;
                             nmissing += 1;
+                        } else if i < n_base {
+                            have_base += 1;
                         }
                     }
-                    (missing, nmissing, get.replicas.len() - nmissing)
+                    (missing, nmissing, have_base)
                 }
                 _ => return,
             };
@@ -745,7 +925,8 @@ impl ClientNode {
         let attempt = get.attempt;
         let hash = get.hash;
         let key = get.key.clone();
-        let mut replica_buf = [NodeId(0); 4];
+        let n_base = (get.n_base as usize).clamp(1, get.replicas.len());
+        let mut replica_buf = [NodeId(0); 8];
         let nreps = match self.config.as_ref().map(|c| c.replication) {
             Some(ReplicationMode::R2Immutable) => {
                 // Immutable mode: consult one replica, alternating on retry.
@@ -753,12 +934,28 @@ impl ClientNode {
                 replica_buf[0] = get.replicas[idx];
                 1
             }
+            _ if get.replicas.len() > n_base => {
+                // Hot-routed GET: consult a read quorum's worth of base
+                // replicas (a rotating pair) plus one extended copy. Each
+                // base replica then serves ~2/(base) of the hot key's index
+                // reads instead of all of them, and data fetches spread
+                // across the whole extended set. Quorum still forms from
+                // agreeing versions regardless of which copies answered.
+                let ext_n = get.replicas.len() - n_base;
+                let spin = (attempt - 1) as usize + op_id as usize;
+                let b0 = spin % n_base;
+                replica_buf[0] = get.replicas[b0];
+                replica_buf[1] = get.replicas[(b0 + 1) % n_base];
+                replica_buf[2] = get.replicas[n_base + spin % ext_n];
+                3
+            }
             _ => {
                 let n = get.replicas.len().min(replica_buf.len());
                 replica_buf[..n].copy_from_slice(&get.replicas[..n]);
                 n
             }
         };
+        get.consulted = nreps as u8;
         let replicas = &replica_buf[..nreps];
         match self.cfg.strategy {
             LookupStrategy::TwoR => {
@@ -938,8 +1135,10 @@ impl ClientNode {
         };
         let expected_votes = match config.replication {
             ReplicationMode::R2Immutable => 1,
+            _ if get.consulted > 0 => get.consulted as usize,
             _ => get.replicas.len(),
         };
+        let n_base = (get.n_base as usize).clamp(1, get.replicas.len().max(1));
         // 1. If we have validated data, try to quorum on its version.
         if let Some((from, version, _)) = &get.data {
             let agree = get
@@ -954,19 +1153,29 @@ impl ClientNode {
             if agree >= read_quorum && from_is_member {
                 let (_, version, value) = get.data.take().expect("checked");
                 let key = get.key.clone();
+                let hash = get.hash;
                 self.memo.remember(&key, version);
                 self.note_access(op_id);
+                if let Some(cache) = self.ccache.as_mut() {
+                    // Lease-cache fill: the stored value shares the pooled
+                    // inbound frame (refcount bump, no copy).
+                    cache.insert(hash, version, value, ctx.now());
+                } else {
+                    let _ = value;
+                }
                 ctx.metrics().add_id(self.m().get_hits, 1);
                 self.complete_op(ctx, op_id, OpOutcome::Hit, ctx.now());
-                let _ = value;
                 return;
             }
         }
         // 2. Miss quorum: enough replicas affirmatively lack the key.
+        // Only base replicas count — an extended hot copy that hasn't
+        // received its repair push yet is absent without meaning the key
+        // doesn't exist.
         let absents = get
             .votes
             .iter()
-            .filter(|(_, v)| matches!(v, Vote::Absent))
+            .filter(|(n, v)| matches!(v, Vote::Absent) && get.replicas[..n_base].contains(n))
             .count() as u32;
         if absents >= read_quorum {
             // Optional RPC fallback: an overflowed bucket may hide a
@@ -987,13 +1196,74 @@ impl ClientNode {
             if get.fallback_pending > 0 {
                 return; // fallback verdicts still arriving
             }
+            // A quorum says the key is gone: drop any stale cached copy.
+            let hash = get.hash;
+            if get.cached_version.take().is_some() {
+                if let Some(cache) = self.ccache.as_mut() {
+                    cache.invalidate(hash);
+                }
+            }
             ctx.metrics().add_id(self.m().get_misses, 1);
             self.complete_op(ctx, op_id, OpOutcome::Miss, ctx.now());
             return;
         }
+        // 2.5 Stale-lease validation: when a read quorum already agrees on
+        // the version we hold cached, renew the lease and serve the cached
+        // value — on the 2×R path this skips the data read entirely; a
+        // SCAR whose inline data was served elsewhere short-circuits too.
+        if let Some(cv) = get.cached_version {
+            if get.data.is_none() && !get.data_requested {
+                let agree = get
+                    .votes
+                    .iter()
+                    .filter(|(_, v)| matches!(v, Vote::Entry(ver, _) if *ver == cv))
+                    .count() as u32;
+                if agree >= read_quorum {
+                    get.cached_version = None;
+                    let key = get.key.clone();
+                    let hash = get.hash;
+                    let now = ctx.now();
+                    let validated = self
+                        .ccache
+                        .as_mut()
+                        .is_some_and(|c| c.validate(hash, cv, now));
+                    if validated {
+                        ctx.metrics().add_id(self.m().ccache_validations, 1);
+                        self.memo.remember(&key, cv);
+                        self.note_access(op_id);
+                        ctx.metrics().add_id(self.m().get_hits, 1);
+                        self.complete_op(ctx, op_id, OpOutcome::Hit, now);
+                        return;
+                    }
+                    // Entry evicted or replaced since lookup: fall through
+                    // to the normal data-fetch path.
+                }
+            }
+        }
+        let Some(OpState::Get(get)) = self.ops.get_mut(&op_id) else {
+            return;
+        };
+        // A stale-lease GET holds off its speculative data fetch while a
+        // read quorum on the cached version is still achievable: successful
+        // validation serves the cached value and saves the data round trip
+        // entirely, so fetching early would waste it. Once enough
+        // disagreeing/failed votes arrive that agreement is impossible, the
+        // normal fetch path resumes.
+        let validation_open = match get.cached_version {
+            Some(cv) if get.data.is_none() && !get.data_requested => {
+                let agree = get
+                    .votes
+                    .iter()
+                    .filter(|(_, v)| matches!(v, Vote::Entry(ver, _) if *ver == cv))
+                    .count();
+                let outstanding = expected_votes.saturating_sub(get.votes.len());
+                agree + outstanding >= read_quorum as usize
+            }
+            _ => false,
+        };
         // 3. Preferred-backend selection: fetch data from the first entry
         // vote (2xR only; SCAR responses carry data inline).
-        if self.cfg.strategy == LookupStrategy::TwoR && !get.data_requested {
+        if self.cfg.strategy == LookupStrategy::TwoR && !get.data_requested && !validation_open {
             let avoid = get.avoid;
             let primary = get.replicas.first().copied();
             let prefer_first = self.cfg.prefer_first_responder;
@@ -1044,8 +1314,11 @@ impl ClientNode {
                 // Data fetched but didn't quorum (speculation failed or
                 // torn): retry, avoiding the preferred backend.
                 self.fail_attempt(ctx, op_id, RetryReason::Speculation);
-            } else if !get.data_requested && self.cfg.strategy == LookupStrategy::Scar {
-                // SCAR: all responses in, no data, no miss quorum.
+            } else if !get.data_requested {
+                // All responses in, no data, no miss quorum: SCAR with no
+                // usable inline copy, or a hot-routed 2×R attempt whose
+                // only absents were extended copies (not yet pushed) while
+                // a base vote failed. Retry on a rotated subset.
                 self.fail_attempt(ctx, op_id, RetryReason::Inquorate);
             }
         }
@@ -1115,14 +1388,17 @@ impl ClientNode {
         op_id: u64,
         kind: MutationKind,
         key: Bytes,
+        hash: KeyHash,
         value: Bytes,
         expected: Option<VersionNumber>,
         batch: Option<u64>,
         replicas: Vec<NodeId>,
+        n_base: usize,
     ) {
         let state = MutationState {
             kind,
             key,
+            hash,
             value,
             expected,
             version: VersionNumber::ZERO,
@@ -1130,8 +1406,11 @@ impl ClientNode {
             retry: self.cfg.retry.start(ctx.now()),
             attempt: 0,
             replicas,
+            n_base: n_base as u8,
             acks: 0,
             rejects: 0,
+            acks_base: 0,
+            rejects_base: 0,
             failures: 0,
             completed: false,
         };
@@ -1157,6 +1436,8 @@ impl ClientNode {
         m.attempt += 1;
         m.acks = 0;
         m.rejects = 0;
+        m.acks_base = 0;
+        m.rejects_base = 0;
         m.failures = 0;
         // Every attempt nominates a fresh, higher version (§5.2): retried
         // mutations eventually win.
@@ -1218,6 +1499,7 @@ impl ClientNode {
         op_id: u64,
         attempt: u64,
         status: Status,
+        from: NodeId,
     ) {
         let Some(config) = self.config.as_ref() else {
             return;
@@ -1229,27 +1511,58 @@ impl ClientNode {
         if m.attempt != attempt || m.completed {
             return;
         }
+        // Only base replicas carry quorum weight; extended hot copies get
+        // the write (so their data stays fresh) but can neither ack a
+        // write quorum nor veto one.
+        let n_base = (m.n_base as usize).clamp(1, m.replicas.len());
+        let is_base = m.replicas[..n_base].contains(&from);
         match status {
-            Status::Ok => m.acks += 1,
-            Status::VersionRejected | Status::NotFound => m.rejects += 1,
+            Status::Ok => {
+                m.acks += 1;
+                if is_base {
+                    m.acks_base += 1;
+                }
+            }
+            Status::VersionRejected | Status::NotFound => {
+                m.rejects += 1;
+                if is_base {
+                    m.rejects_base += 1;
+                }
+            }
             _ => m.failures += 1,
         }
         let copies = m.replicas.len() as u32;
-        if m.acks >= wq {
+        if m.acks_base >= wq {
             m.completed = true;
             let key = m.key.clone();
+            let hash = m.hash;
             let version = m.version;
             let kind = m.kind;
+            let value = m.value.clone();
             match kind {
                 MutationKind::Erase => self.memo.forget(&key),
                 _ => self.memo.remember(&key, version),
             }
+            if let Some(cache) = self.ccache.as_mut() {
+                // Write-through: the committed version replaces whatever
+                // the issue-time invalidation left behind.
+                match kind {
+                    MutationKind::Erase => {
+                        cache.invalidate(hash);
+                    }
+                    _ => cache.insert(hash, version, value, ctx.now()),
+                }
+            }
             ctx.metrics().add_id(self.m().set_acked, 1);
             self.complete_op(ctx, op_id, OpOutcome::Done, ctx.now());
-        } else if m.rejects > copies - wq {
+        } else if m.rejects_base > (n_base as u32).saturating_sub(wq) {
             // A write quorum of acks is no longer possible: a newer version
             // exists (or CAS expectation failed).
             m.completed = true;
+            let hash = m.hash;
+            if let Some(cache) = self.ccache.as_mut() {
+                cache.invalidate(hash);
+            }
             ctx.metrics().add_id(self.m().set_superseded, 1);
             self.complete_op(ctx, op_id, OpOutcome::Superseded, ctx.now());
         } else if m.acks + m.rejects + m.failures >= copies {
@@ -1402,7 +1715,13 @@ impl ClientNode {
                     0 => {
                         // Mutation response or MSG lookup.
                         if let Some(OpState::Mutation(_)) = self.ops.get(&op_id) {
-                            self.on_mutation_response(ctx, op_id, attempt, done.status);
+                            self.on_mutation_response(
+                                ctx,
+                                op_id,
+                                attempt,
+                                done.status,
+                                done.call.dst,
+                            );
                         } else if let Some(OpState::Get(_)) = self.ops.get(&op_id) {
                             self.on_msg_get_response(ctx, op_id, attempt, done);
                         }
@@ -1430,6 +1749,7 @@ impl ClientNode {
         if get.attempt != attempt {
             return;
         }
+        let hash = get.hash;
         let trace = self.trace_of(ctx, op_id);
         ctx.charge_cpu_traced(
             self.cfg.msg_cost.client_recv,
@@ -1443,6 +1763,9 @@ impl ClientNode {
                 if let Some(resp) = messages::GetResp::decode(done.body) {
                     let key = resp.key.clone();
                     self.memo.remember(&key, resp.version);
+                    if let Some(cache) = self.ccache.as_mut() {
+                        cache.insert(hash, resp.version, resp.value.clone(), ctx.now());
+                    }
                     ctx.metrics().add_id(self.m().get_hits, 1);
                     self.complete_op(ctx, op_id, OpOutcome::Hit, ctx.now());
                 } else {
@@ -1450,6 +1773,9 @@ impl ClientNode {
                 }
             }
             Status::NotFound => {
+                if let Some(cache) = self.ccache.as_mut() {
+                    cache.invalidate(hash);
+                }
                 ctx.metrics().add_id(self.m().get_misses, 1);
                 self.complete_op(ctx, op_id, OpOutcome::Miss, ctx.now());
             }
@@ -1470,6 +1796,7 @@ impl ClientNode {
         if get.attempt != attempt || get.fallback_pending == 0 {
             return;
         }
+        let hash = get.hash;
         get.fallback_pending -= 1;
         let exhausted = get.fallback_pending == 0;
         match done.status {
@@ -1478,6 +1805,9 @@ impl ClientNode {
                     get.fallback_pending = 0;
                     let key = resp.key.clone();
                     self.memo.remember(&key, resp.version);
+                    if let Some(cache) = self.ccache.as_mut() {
+                        cache.insert(hash, resp.version, resp.value.clone(), ctx.now());
+                    }
                     ctx.metrics().add_id(self.m().get_hits, 1);
                     ctx.metrics().add_id(self.m().get_overflow_hits, 1);
                     self.complete_op(ctx, op_id, OpOutcome::Hit, ctx.now());
@@ -1927,6 +2257,7 @@ impl Node for ClientNode {
                                         op_id,
                                         attempt,
                                         Status::Internal,
+                                        call.dst,
                                     ),
                                     Some(OpState::Get(_)) if phase == 0 => {
                                         // MSG lookup timeout.

@@ -114,6 +114,20 @@ impl CellConfig {
         r as usize
     }
 
+    /// [`Self::replicas_for_buf`] generalized to an explicit copy count:
+    /// hot-key promotion extends a key's replica set past the base three
+    /// (the extra copies continue the same shard walk, so base and
+    /// extended sets always agree on membership order). Returns the
+    /// replica count, capped at the shard count and the buffer size.
+    pub fn replicas_n_buf(&self, shard: u32, copies: u32, out: &mut [NodeId; 8]) -> usize {
+        let n = self.num_shards();
+        let r = copies.min(n).min(out.len() as u32);
+        for (i, slot) in out.iter_mut().enumerate().take(r as usize) {
+            *slot = NodeId(self.shards[((shard + i as u32) % n) as usize]);
+        }
+        r as usize
+    }
+
     /// The physical node serving a logical shard.
     pub fn node_for(&self, shard: u32) -> NodeId {
         NodeId(self.shards[shard as usize])
@@ -178,6 +192,20 @@ impl CellConfig {
 pub struct ConfigStoreNode {
     config: CellConfig,
     pending: simnet::Deferred<(NodeId, Bytes)>,
+    /// One queued GET_CONFIG response per requester: src -> pending token.
+    /// A client that retransmits (its attempt timer fired while our reply
+    /// sat in the CPU queue) gets its queued response *replaced* rather
+    /// than a second CPU task — without this, a cold-start herd of
+    /// thousands of clients retrying every attempt-timeout grows the
+    /// response queue without bound (each retransmit is a fresh call id,
+    /// so the work is not idempotent downstream, but the payload is the
+    /// same config either way). Only populated when coalescing is on.
+    reads_queued: std::collections::HashMap<NodeId, u64>,
+    /// Opt-in (macro cells): per-requester GET_CONFIG coalescing. Off by
+    /// default — coalescing changes response timing wherever retransmits
+    /// occur (e.g. config refreshes inside chaos fault windows), and the
+    /// committed figure CSVs pin the uncoalesced schedule.
+    coalesce_reads: bool,
     serve_cost: SimDuration,
 }
 
@@ -187,8 +215,19 @@ impl ConfigStoreNode {
         ConfigStoreNode {
             config,
             pending: simnet::Deferred::responses(),
+            reads_queued: std::collections::HashMap::new(),
+            coalesce_reads: false,
             serve_cost: SimDuration::from_micros(15),
         }
+    }
+
+    /// Enable per-requester read coalescing (required for cells whose
+    /// client count × attempt-timeout retransmit rate exceeds the store's
+    /// serve rate — a 10K-client cold-start herd otherwise grows the
+    /// response queue without bound).
+    pub fn with_read_coalescing(mut self) -> ConfigStoreNode {
+        self.coalesce_reads = true;
+        self
     }
 
     /// Read the current config (harness inspection).
@@ -209,6 +248,8 @@ impl Node for ConfigStoreNode {
                 let Some(rpc::Envelope::Request(req)) = rpc::decode(frame.payload) else {
                     return;
                 };
+                let coalesce =
+                    self.coalesce_reads && req.method == crate::messages::method::GET_CONFIG;
                 let (status, body) = match req.method {
                     crate::messages::method::GET_CONFIG => (rpc::Status::Ok, self.config.encode()),
                     crate::messages::method::UPDATE_CONFIG => match CellConfig::decode(req.body) {
@@ -231,11 +272,29 @@ impl Node for ConfigStoreNode {
                     },
                     &ctx.pool(),
                 );
+                if coalesce {
+                    if let Some(&tok) = self.reads_queued.get(&frame.src) {
+                        if let Some(slot) = self.pending.get_mut(tok) {
+                            // Retransmit from a client whose reply is still
+                            // in our CPU queue: answer the newest call id,
+                            // reusing the already-queued serve slot.
+                            *slot = (frame.src, resp);
+                            ctx.metrics().add("config_store.coalesced", 1);
+                            return;
+                        }
+                    }
+                }
                 let tok = self.pending.defer((frame.src, resp));
+                if coalesce {
+                    self.reads_queued.insert(frame.src, tok);
+                }
                 ctx.spawn_cpu(self.serve_cost, tok);
             }
             Event::CpuDone(tok) => {
                 if let Some((dst, resp)) = self.pending.take(tok) {
+                    if self.reads_queued.get(&dst) == Some(&tok) {
+                        self.reads_queued.remove(&dst);
+                    }
                     ctx.send(dst, resp);
                 }
             }
@@ -312,5 +371,119 @@ mod tests {
         }
         assert_eq!(ReplicationMode::from_u8(0), None);
         assert_eq!(ReplicationMode::from_u8(9), None);
+    }
+
+    /// A burst node: fires `burst` raw GET_CONFIG requests (fresh call ids,
+    /// like a client whose attempt timer keeps expiring) at the store in one
+    /// instant, then records every response id that comes back.
+    struct GetConfigBurst {
+        store: NodeId,
+        burst: u64,
+        responses: Vec<(u64, rpc::Status)>,
+    }
+
+    impl Node for GetConfigBurst {
+        fn on_event(&mut self, ev: Event, ctx: &mut Ctx<'_>) {
+            match ev {
+                Event::Start => {
+                    for id in 1..=self.burst {
+                        let wire = rpc::encode_request(&rpc::Request {
+                            version: rpc::PROTOCOL_VERSION,
+                            method: crate::messages::method::GET_CONFIG,
+                            id,
+                            auth: 0,
+                            deadline_ns: u64::MAX,
+                            body: Bytes::new(),
+                        });
+                        ctx.send(self.store, wire);
+                    }
+                }
+                Event::Frame(frame) => {
+                    if let Some(rpc::Envelope::Response(resp)) = rpc::decode(frame.payload) {
+                        self.responses.push((resp.id, resp.status));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        fn label(&self) -> String {
+            "get-config-burst".into()
+        }
+    }
+
+    #[test]
+    fn store_answers_every_read_by_default() {
+        use simnet::{FabricCfg, HostCfg, Sim};
+
+        // Without opt-in coalescing, every request (retransmit or not)
+        // gets its own served response — the schedule the committed
+        // figure CSVs pin.
+        let mut sim = Sim::new(FabricCfg::default(), 11);
+        let sh = sim.add_host(HostCfg::default().no_cstates());
+        let store = sim.add_node(sh, Box::new(ConfigStoreNode::new(sample())));
+        let ph = sim.add_host(HostCfg::default().no_cstates());
+        let probe = sim.add_node(
+            ph,
+            Box::new(GetConfigBurst {
+                store,
+                burst: 4,
+                responses: Vec::new(),
+            }),
+        );
+        sim.run_for(SimDuration::from_millis(5));
+        let responses = sim
+            .with_node::<GetConfigBurst, _>(probe, |p| p.responses.clone())
+            .unwrap();
+        assert_eq!(responses.len(), 4);
+        assert_eq!(sim.metrics().counter("config_store.coalesced"), 0);
+    }
+
+    #[test]
+    fn store_coalesces_retransmitted_reads() {
+        use simnet::{FabricCfg, HostCfg, Sim};
+
+        let mut sim = Sim::new(FabricCfg::default(), 11);
+        let sh = sim.add_host(HostCfg::default().no_cstates());
+        let store = sim.add_node(
+            sh,
+            Box::new(ConfigStoreNode::new(sample()).with_read_coalescing()),
+        );
+        let ph = sim.add_host(HostCfg::default().no_cstates());
+        let probe = sim.add_node(
+            ph,
+            Box::new(GetConfigBurst {
+                store,
+                burst: 4,
+                responses: Vec::new(),
+            }),
+        );
+        sim.run_for(SimDuration::from_millis(5));
+
+        // All four requests land inside the 15µs serve window, so the store
+        // must queue exactly one CPU task and answer only the newest call id
+        // — the other three are retransmits whose calls the client already
+        // abandoned.
+        let responses = sim
+            .with_node::<GetConfigBurst, _>(probe, |p| p.responses.clone())
+            .unwrap();
+        assert_eq!(responses, vec![(4, rpc::Status::Ok)]);
+        assert_eq!(sim.metrics().counter("config_store.coalesced"), 3);
+
+        // The queued-read marker must be cleared once served: a later,
+        // uncontended read is answered normally.
+        let probe2 = sim.add_node(
+            ph,
+            Box::new(GetConfigBurst {
+                store,
+                burst: 1,
+                responses: Vec::new(),
+            }),
+        );
+        sim.run_for(SimDuration::from_millis(5));
+        let responses2 = sim
+            .with_node::<GetConfigBurst, _>(probe2, |p| p.responses.clone())
+            .unwrap();
+        assert_eq!(responses2, vec![(1, rpc::Status::Ok)]);
     }
 }

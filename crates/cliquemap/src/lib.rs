@@ -64,6 +64,7 @@
 pub mod backend;
 pub mod cell;
 pub mod client;
+pub mod client_cache;
 pub mod config;
 pub mod hash;
 pub mod layout;

@@ -361,6 +361,215 @@ impl EvictionPolicy for ArcPolicy {
     }
 }
 
+// ---- load-aware hot-key replication ------------------------------------
+
+/// Configuration for load-aware per-key replication: keys whose observed
+/// share of recent touches crosses `promote_share_bp` while the serving
+/// side is hot get promoted from the base R=3 replica set to R=5 (two
+/// extra cohort members), and demoted again after `cooldown_epochs` whole
+/// epochs below `demote_share_bp`. Quorum math is unchanged: reads and
+/// writes still quorum against the base three replicas; the extra copies
+/// only absorb load.
+///
+/// Shares are integer basis points of the tracker's per-epoch touch total,
+/// so promotion decisions replay bit-identically from the same op stream.
+#[derive(Debug, Clone)]
+pub struct HotReplCfg {
+    /// Epoch over which touch shares are accumulated.
+    pub epoch: simnet::SimDuration,
+    /// Promote when a key's share of epoch touches ≥ this (basis points).
+    pub promote_share_bp: u32,
+    /// Demote after `cooldown_epochs` epochs with share < this (bp).
+    pub demote_share_bp: u32,
+    /// Whole epochs below `demote_share_bp` before a hot key demotes.
+    pub cooldown_epochs: u32,
+    /// Minimum touches in an epoch before any promotion is considered
+    /// (avoids promoting off a handful of early ops).
+    pub min_epoch_touches: u64,
+    /// Extra replicas a promoted key gains beyond the base set (the R=3 →
+    /// R=5 step of the tentpole is 2).
+    pub extra_copies: u32,
+    /// Backend-side gate: only promote while engine occupancy over the
+    /// last epoch is at least this fraction (ignored by client trackers,
+    /// which cannot observe the serving side; they use 0.0).
+    pub occupancy_gate: f64,
+    /// Most keys allowed hot at once (promotion is for the head of the
+    /// distribution; a runaway threshold must not replicate the corpus).
+    pub max_hot: usize,
+}
+
+impl Default for HotReplCfg {
+    fn default() -> Self {
+        HotReplCfg {
+            epoch: simnet::SimDuration::from_millis(20),
+            promote_share_bp: 200, // 2% of epoch touches
+            demote_share_bp: 100,  // 1%
+            cooldown_epochs: 2,
+            min_epoch_touches: 64,
+            extra_copies: 2,
+            occupancy_gate: 0.0,
+            max_hot: 32,
+        }
+    }
+}
+
+/// What a [`HotKeyTracker`] epoch roll decided.
+#[derive(Debug, Default)]
+pub struct EpochDecisions {
+    /// Keys newly promoted this epoch.
+    pub promoted: Vec<KeyHash>,
+    /// Keys demoted this epoch (cool-down expired).
+    pub demoted: Vec<KeyHash>,
+}
+
+#[derive(Debug)]
+struct HotState {
+    /// Consecutive whole epochs the key's share stayed below the demote
+    /// threshold.
+    cold_epochs: u32,
+}
+
+/// Deterministic hot-key detector: per-epoch touch counts → promote /
+/// demote decisions. Both the client (from its own op stream) and the
+/// backend (from ingested access records + mutations, gated on engine
+/// occupancy) run one; neither draws randomness, so the hot set replays
+/// exactly from the same inputs.
+#[derive(Debug)]
+pub struct HotKeyTracker {
+    cfg: HotReplCfg,
+    counts: HashMap<KeyHash, u64>,
+    total: u64,
+    epoch_end: simnet::SimTime,
+    hot: HashMap<KeyHash, HotState>,
+    /// Promotions/demotions across the tracker's lifetime (test/metric
+    /// visibility).
+    pub promotions: u64,
+    /// Lifetime demotion count.
+    pub demotions: u64,
+}
+
+impl HotKeyTracker {
+    /// Build a tracker; the first epoch ends `cfg.epoch` after time zero.
+    pub fn new(cfg: HotReplCfg) -> HotKeyTracker {
+        let epoch_end = simnet::SimTime(cfg.epoch.nanos());
+        HotKeyTracker {
+            cfg,
+            counts: HashMap::new(),
+            total: 0,
+            epoch_end,
+            hot: HashMap::new(),
+            promotions: 0,
+            demotions: 0,
+        }
+    }
+
+    /// The tracker's configuration.
+    pub fn cfg(&self) -> &HotReplCfg {
+        &self.cfg
+    }
+
+    /// Whether `key` is currently promoted.
+    #[inline]
+    pub fn is_hot(&self, key: KeyHash) -> bool {
+        !self.hot.is_empty() && self.hot.contains_key(&key)
+    }
+
+    /// Number of currently promoted keys.
+    pub fn hot_len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Count one touch of `key` without rolling the epoch. Backends use
+    /// this feed (access records, mutations) and roll exclusively from
+    /// their epoch timer, where engine occupancy is actually measurable.
+    #[inline]
+    pub fn record(&mut self, key: KeyHash) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Record one touch of `key` at `now`. Rolls the epoch first if `now`
+    /// has passed the epoch boundary; `occupancy` is the caller's engine
+    /// occupancy over the elapsed epoch (clients pass 1.0 — their gate is
+    /// configured as 0.0). Returns the roll's decisions when one happened.
+    pub fn touch(
+        &mut self,
+        key: KeyHash,
+        now: simnet::SimTime,
+        occupancy: f64,
+    ) -> Option<EpochDecisions> {
+        let rolled = if now >= self.epoch_end {
+            Some(self.roll_epoch(now, occupancy))
+        } else {
+            None
+        };
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.total += 1;
+        rolled
+    }
+
+    /// Close the current epoch at `now`: compute shares, promote/demote,
+    /// reset counters, and advance the epoch boundary past `now`.
+    pub fn roll_epoch(&mut self, now: simnet::SimTime, occupancy: f64) -> EpochDecisions {
+        let mut out = EpochDecisions::default();
+        let total = self.total;
+        let may_promote =
+            total >= self.cfg.min_epoch_touches && occupancy >= self.cfg.occupancy_gate;
+        // Promotions: hottest first, deterministic order (share, then key).
+        if may_promote {
+            let mut cands: Vec<(u64, KeyHash)> = self
+                .counts
+                .iter()
+                .filter(|(k, _)| !self.hot.contains_key(k))
+                .map(|(k, c)| (*c, *k))
+                .collect();
+            cands.sort_unstable_by(|a, b| b.cmp(a));
+            for (count, key) in cands {
+                if self.hot.len() >= self.cfg.max_hot {
+                    break;
+                }
+                let share_bp = count.saturating_mul(10_000) / total.max(1);
+                if share_bp < self.cfg.promote_share_bp as u64 {
+                    break; // sorted: nothing below this qualifies either
+                }
+                self.hot.insert(key, HotState { cold_epochs: 0 });
+                self.promotions += 1;
+                out.promoted.push(key);
+            }
+        }
+        // Demotions: cool-down counts whole epochs below the demote share.
+        let mut demote: Vec<KeyHash> = Vec::new();
+        for (key, state) in self.hot.iter_mut() {
+            if out.promoted.contains(key) {
+                continue; // promoted this very epoch
+            }
+            let count = self.counts.get(key).copied().unwrap_or(0);
+            let share_bp = count.saturating_mul(10_000) / total.max(1);
+            if total == 0 || share_bp < self.cfg.demote_share_bp as u64 {
+                state.cold_epochs += 1;
+                if state.cold_epochs >= self.cfg.cooldown_epochs {
+                    demote.push(*key);
+                }
+            } else {
+                state.cold_epochs = 0;
+            }
+        }
+        demote.sort_unstable();
+        for key in demote {
+            self.hot.remove(&key);
+            self.demotions += 1;
+            out.demoted.push(key);
+        }
+        self.counts.clear();
+        self.total = 0;
+        // Advance past `now` (may skip idle epochs).
+        let period = self.cfg.epoch.nanos().max(1);
+        let behind = now.nanos().saturating_sub(self.epoch_end.nanos());
+        self.epoch_end = simnet::SimTime(self.epoch_end.nanos() + period * (1 + behind / period));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,5 +733,111 @@ mod tests {
     #[should_panic(expected = "unknown eviction policy")]
     fn unknown_policy_panics() {
         policy_by_name("clock", 0);
+    }
+
+    // ---- hot-key tracker -------------------------------------------------
+
+    fn hot_cfg() -> HotReplCfg {
+        HotReplCfg {
+            epoch: simnet::SimDuration::from_millis(10),
+            promote_share_bp: 2000, // 20%
+            demote_share_bp: 1000,  // 10%
+            cooldown_epochs: 2,
+            min_epoch_touches: 10,
+            ..HotReplCfg::default()
+        }
+    }
+
+    fn at_ms(ms: u64) -> simnet::SimTime {
+        simnet::SimTime(simnet::SimDuration::from_millis(ms).nanos())
+    }
+
+    #[test]
+    fn promotes_dominant_key_and_demotes_after_cooldown() {
+        let mut t = HotKeyTracker::new(hot_cfg());
+        // Epoch 1: key 7 takes half the traffic.
+        for i in 0..20u128 {
+            t.touch(if i % 2 == 0 { 7 } else { 100 + i }, at_ms(1), 1.0);
+        }
+        let d = t.touch(999, at_ms(11), 1.0).expect("epoch rolled");
+        assert!(d.promoted.contains(&7));
+        assert!(t.is_hot(7));
+        // Two cold epochs -> demoted on the second roll.
+        let d = t.roll_epoch(at_ms(21), 1.0);
+        assert!(d.demoted.is_empty(), "one cold epoch is not enough");
+        let d = t.roll_epoch(at_ms(31), 1.0);
+        assert_eq!(d.demoted, vec![7]);
+        assert!(!t.is_hot(7));
+        assert_eq!((t.promotions, t.demotions), (1, 1));
+    }
+
+    #[test]
+    fn occupancy_gate_blocks_promotion() {
+        let mut cfg = hot_cfg();
+        cfg.occupancy_gate = 0.5;
+        let mut t = HotKeyTracker::new(cfg);
+        for _ in 0..20 {
+            t.touch(7, at_ms(1), 1.0);
+        }
+        let d = t.roll_epoch(at_ms(11), 0.1); // idle engines: no promotion
+        assert!(d.promoted.is_empty());
+        for _ in 0..20 {
+            t.touch(7, at_ms(12), 1.0);
+        }
+        let d = t.roll_epoch(at_ms(21), 0.9); // hot engines: promote
+        assert_eq!(d.promoted, vec![7]);
+    }
+
+    #[test]
+    fn min_touches_and_max_hot_bound_promotions() {
+        let mut cfg = hot_cfg();
+        cfg.max_hot = 2;
+        cfg.promote_share_bp = 100;
+        let mut t = HotKeyTracker::new(cfg);
+        // Below min_epoch_touches: no promotion even at 100% share.
+        t.touch(3, at_ms(1), 1.0);
+        let d = t.roll_epoch(at_ms(11), 1.0);
+        assert!(d.promoted.is_empty());
+        // Plenty of traffic over 4 keys, but max_hot caps at the 2 hottest.
+        for _ in 0..40 {
+            t.touch(1, at_ms(12), 1.0);
+        }
+        for _ in 0..30 {
+            t.touch(2, at_ms(12), 1.0);
+        }
+        for _ in 0..20 {
+            t.touch(3, at_ms(12), 1.0);
+        }
+        for _ in 0..10 {
+            t.touch(4, at_ms(12), 1.0);
+        }
+        let d = t.roll_epoch(at_ms(21), 1.0);
+        assert_eq!(d.promoted, vec![1, 2], "hottest two, deterministic order");
+    }
+
+    #[test]
+    fn epoch_boundary_skips_idle_gaps() {
+        let mut t = HotKeyTracker::new(hot_cfg());
+        // Long idle gap: one roll covers it and the boundary lands ahead
+        // of `now`, not repeatedly behind it.
+        let d = t.touch(1, at_ms(95), 1.0);
+        assert!(d.is_some());
+        assert!(t.touch(2, at_ms(96), 1.0).is_none(), "no double roll");
+    }
+
+    #[test]
+    fn tracker_replays_identically() {
+        let run = || {
+            let mut t = HotKeyTracker::new(hot_cfg());
+            let mut log = Vec::new();
+            for step in 0..500u64 {
+                let key = (step % 7) as u128;
+                if let Some(d) = t.touch(key, simnet::SimTime(step * 300_000), 1.0) {
+                    log.push((step, d.promoted.clone(), d.demoted.clone()));
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run());
     }
 }

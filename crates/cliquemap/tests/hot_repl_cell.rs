@@ -1,0 +1,131 @@
+//! Cell-level hot-key replication: a key that dominates a client's op
+//! stream gets promoted (R=3 → R=5), the client starts routing its GETs
+//! across the extended replica set, and the owning backend pushes current
+//! copies to the extra replicas — all without disturbing op outcomes.
+
+use bytes::Bytes;
+use cliquemap::cell::{Cell, CellSpec};
+use cliquemap::client::LookupStrategy;
+use cliquemap::config::ReplicationMode;
+use cliquemap::policy::HotReplCfg;
+use cliquemap::workload::{ClientOp, ScriptWorkload, Workload};
+use simnet::SimDuration;
+
+fn script(ops: Vec<(u64, ClientOp)>) -> Box<dyn Workload> {
+    Box::new(ScriptWorkload::new(
+        ops.into_iter()
+            .map(|(us, op)| (SimDuration::from_micros(us), op))
+            .collect(),
+    ))
+}
+
+fn hot_cfg() -> HotReplCfg {
+    HotReplCfg {
+        epoch: SimDuration::from_millis(5),
+        promote_share_bp: 2_000, // 20% of epoch touches
+        demote_share_bp: 500,
+        cooldown_epochs: 2,
+        min_epoch_touches: 8,
+        extra_copies: 2,
+        occupancy_gate: 0.0, // tests: promote on share alone
+        max_hot: 8,
+    }
+}
+
+fn hot_spec() -> CellSpec {
+    let mut spec = CellSpec {
+        replication: ReplicationMode::R32,
+        num_backends: 6,
+        ..CellSpec::default()
+    };
+    spec.backend.store.num_buckets = 64;
+    spec.backend.store.data_capacity = 1 << 20;
+    spec.backend.store.max_data_capacity = 8 << 20;
+    spec.backend.scan_interval = None;
+    spec.backend.hot_repl = Some(hot_cfg());
+    spec.client.strategy = LookupStrategy::TwoR;
+    spec.client.hot_repl = Some(hot_cfg());
+    spec.client.access_flush = Some(SimDuration::from_millis(2));
+    spec
+}
+
+#[test]
+fn dominant_key_promotes_and_routes_wide() {
+    let mut ops = vec![(
+        0,
+        ClientOp::Set {
+            key: Bytes::from_static(b"hot"),
+            value: Bytes::from_static(b"lava"),
+        },
+    )];
+    for i in 0..400u32 {
+        let key = if i % 8 == 0 {
+            format!("cold{}", i % 16)
+        } else {
+            "hot".to_string()
+        };
+        ops.push((
+            100,
+            ClientOp::Get {
+                key: Bytes::from(key),
+            },
+        ));
+    }
+    let mut cell = Cell::build(hot_spec(), vec![script(ops)]);
+    cell.run_for(SimDuration::from_millis(200));
+    let m = cell.sim.metrics();
+    assert!(
+        m.counter("cm.client.hot_promotions") > 0,
+        "client tracker never promoted the dominant key"
+    );
+    assert!(
+        m.counter("cm.client.hot_routed_gets") > 0,
+        "promotion never widened the client's GET routing"
+    );
+    assert!(
+        m.counter("cm.backend.hot_promotions") > 0,
+        "backend tracker never promoted (records flowed: {})",
+        m.counter("cm.backend.access_records")
+    );
+    assert!(
+        m.counter("cm.backend.hot_pushes") > 0,
+        "promoted key was never pushed to extended replicas"
+    );
+    assert_eq!(cell.op_errors(), 0, "hot routing broke ops");
+    // Cold keys miss (never set), the hot key always hits.
+    assert_eq!(cell.misses(), 50, "hits: {}", cell.hits());
+    assert_eq!(cell.hits(), 350);
+}
+
+#[test]
+fn hot_routing_is_deterministic() {
+    let run = || {
+        let mut ops = vec![(
+            0,
+            ClientOp::Set {
+                key: Bytes::from_static(b"hot"),
+                value: Bytes::from_static(b"x"),
+            },
+        )];
+        for _ in 0..200u32 {
+            ops.push((
+                100,
+                ClientOp::Get {
+                    key: Bytes::from_static(b"hot"),
+                },
+            ));
+        }
+        let mut cell = Cell::build(hot_spec(), vec![script(ops)]);
+        cell.run_for(SimDuration::from_millis(100));
+        let m = cell.sim.metrics();
+        (
+            cell.hits(),
+            m.counter("cm.client.hot_routed_gets"),
+            m.counter("cm.backend.hot_pushes"),
+            m.counter("cm.op_errors"),
+        )
+    };
+    let a = run();
+    assert_eq!(a, run(), "hot replication must replay identically");
+    assert_eq!(a.3, 0);
+}

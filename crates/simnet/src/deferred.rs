@@ -56,6 +56,20 @@ impl<T> Deferred<T> {
     /// Stash a continuation; returns the token to pass to `spawn_cpu` /
     /// `set_timer`.
     pub fn defer(&mut self, value: T) -> u64 {
+        // A full namespace would otherwise spin forever below — every
+        // candidate token is occupied. Fail loudly instead: this is always
+        // a node accepting work faster than it completes it (e.g. a server
+        // queueing one CPU task per request under a retry storm), and the
+        // fix belongs at that call site (coalesce, shed, or bound intake).
+        assert!(
+            (self.pending.len() as u64) < self.span,
+            "Deferred namespace exhausted: {} continuations pending \
+             (base={:#x}, span={}); the owning node is accepting work \
+             unboundedly faster than it completes it",
+            self.pending.len(),
+            self.base,
+            self.span,
+        );
         // Find a free slot; in sane usage the first candidate is free.
         loop {
             let tok = self.base + (self.next % self.span);
@@ -83,6 +97,13 @@ impl<T> Deferred<T> {
     /// Peek without removing.
     pub fn get(&self, token: u64) -> Option<&T> {
         self.pending.get(&token)
+    }
+
+    /// Mutable peek without removing — lets a node replace a queued
+    /// continuation in place (e.g. coalescing a retransmitted request onto
+    /// the CPU task already queued for its sender).
+    pub fn get_mut(&mut self, token: u64) -> Option<&mut T> {
+        self.pending.get_mut(&token)
     }
 
     /// Number of pending continuations.
@@ -122,6 +143,41 @@ mod tests {
         assert!(!d.owns(1010));
         assert_eq!(d.take(5), None); // foreign token untouched
         assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn replace_in_place_via_get_mut() {
+        let mut d: Deferred<&str> = Deferred::new(100, 10);
+        let t = d.defer("stale");
+        *d.get_mut(t).unwrap() = "fresh";
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.take(t), Some("fresh"));
+        assert!(d.get_mut(t).is_none());
+    }
+
+    #[test]
+    fn wraps_over_freed_tokens() {
+        // Fill, free one, refill: the freed slot must be findable again
+        // (the allocator scans past still-live tokens).
+        let mut d: Deferred<u32> = Deferred::new(0, 4);
+        let toks: Vec<u64> = (0..4).map(|i| d.defer(i)).collect();
+        assert_eq!(d.take(toks[2]), Some(2));
+        let t = d.defer(9);
+        assert_eq!(t, toks[2]);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "Deferred namespace exhausted")]
+    fn exhaustion_fails_loudly() {
+        // A full namespace used to spin forever hunting for a free token;
+        // it must panic instead (this is how a 10K-client retry storm
+        // against a one-CPU-task-per-request server used to freeze the
+        // whole simulation).
+        let mut d: Deferred<u32> = Deferred::new(0, 8);
+        for i in 0..9 {
+            d.defer(i);
+        }
     }
 
     #[test]

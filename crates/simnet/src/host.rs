@@ -247,8 +247,7 @@ impl Hosts {
         } else {
             SimDuration((work.nanos() as f64 * scale).round() as u64)
         };
-        let cores =
-            &mut self.cores[c.core_off as usize..(c.core_off + c.core_cnt) as usize];
+        let cores = &mut self.cores[c.core_off as usize..(c.core_off + c.core_cnt) as usize];
         // Earliest-free core (first minimum, matching the pre-SoA layout).
         let (idx, &free_at) = cores
             .iter()

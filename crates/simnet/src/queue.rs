@@ -240,9 +240,10 @@ impl<T> CalendarQueue<T> {
         self.wheel_len -= self.drain.len();
         // Unique (at, seq) keys: unstable sort is deterministic.
         self.drain.sort_unstable_by(|a, b| b.cmp(a));
-        debug_assert!(self.drain.iter().all(|e| {
-            e.at >= window_start && e.at < window_start + BUCKET_NS
-        }));
+        debug_assert!(self
+            .drain
+            .iter()
+            .all(|e| { e.at >= window_start && e.at < window_start + BUCKET_NS }));
         self.drain_end = window_start + BUCKET_NS;
         self.wheel_pos = (idx + 1) & BUCKET_MASK;
         self.wheel_limit = self.drain_end + HORIZON_NS;
@@ -376,7 +377,9 @@ mod tests {
         // Deterministic LCG; no external RNG in unit tests.
         let mut state = 0x9e3779b97f4a7c15u64;
         let mut rand = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         let mut q = CalendarQueue::new();

@@ -692,7 +692,10 @@ impl Sim {
             _ => return false,
         };
         // Half-open window, clipped so nothing past `deadline` runs.
-        let window_end = start.0.saturating_add(look.0).min(deadline.0.saturating_add(1));
+        let window_end = start
+            .0
+            .saturating_add(look.0)
+            .min(deadline.0.saturating_add(1));
         let before = self.events;
         loop {
             if !self.fifo.is_empty() {

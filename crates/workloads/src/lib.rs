@@ -9,15 +9,19 @@
 //! * [`RampWorkload`] — linear load ramps (Figs. 15-17);
 //! * [`ProductionGets`] / [`ProductionSets`] — batched diurnal Ads/Geo
 //!   traffic with steady writers and backfill bursts (Figs. 8-9);
-//! * [`SingleKeyGets`] — the Fig. 11 preferred-backend microbenchmark.
+//! * [`SingleKeyGets`] — the Fig. 11 preferred-backend microbenchmark;
+//! * [`SkewedWorkload`] / [`HotSpotWorkload`] — Zipfian and rotating
+//!   hot-set skew (any exponent s ≥ 0) for the hot-key experiments.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod generators;
 pub mod sizes;
+pub mod skew;
 
 pub use generators::{
     MixWorkload, Prefill, ProductionGets, ProductionSets, RampWorkload, SingleKeyGets, Then,
 };
 pub use sizes::SizeDist;
+pub use skew::{HotSpotWorkload, SkewedWorkload, ZipfRanks};

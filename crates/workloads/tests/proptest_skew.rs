@@ -1,0 +1,84 @@
+//! Property tests for the skewed-traffic generators: rank-frequency
+//! monotonicity, seeded-stream determinism, and the s=0 degeneration to
+//! the uniform generator.
+
+use proptest::prelude::*;
+use simnet::{SimDuration, SimRng};
+use workloads::skew::{stream_signature, ZipfRanks};
+use workloads::{MixWorkload, SizeDist, SkewedWorkload};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rank probabilities are monotone non-increasing for any exponent,
+    /// including the s >= 1 regime the quick sampler cannot represent.
+    #[test]
+    fn rank_masses_monotone(n in 2u64..2000, s in 0.0f64..2.0) {
+        let z = ZipfRanks::new(n, s);
+        let mut prev = f64::INFINITY;
+        let mut total = 0.0;
+        for i in 0..n {
+            let m = z.mass(i);
+            prop_assert!(m <= prev + 1e-15, "mass rose at rank {} (s={})", i, s);
+            prev = m;
+            total += m;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9, "masses sum to {}", total);
+    }
+
+    /// Two generators with identical parameters driven by identically
+    /// seeded RNGs emit byte-identical op streams (keys, kinds, gaps).
+    #[test]
+    fn seeded_streams_are_byte_identical(
+        seed in any::<u64>(),
+        s in 0.0f64..1.8,
+        keys in 10u64..3000,
+        hot in 0u64..64,
+    ) {
+        let build = || SkewedWorkload::new(
+            "k", keys, s, hot,
+            Some(SimDuration::from_millis(7)),
+            0.9, SizeDist::fixed(128), 10_000.0, u64::MAX,
+        );
+        let mut a = build();
+        let mut b = build();
+        let sig_a = stream_signature(&mut a, seed, 300);
+        let sig_b = stream_signature(&mut b, seed, 300);
+        prop_assert!(!sig_a.is_empty());
+        prop_assert_eq!(sig_a, sig_b);
+    }
+
+    /// s = 0 with churn disabled degenerates to the uniform generator:
+    /// the op stream is byte-identical to MixWorkload at theta = 0 (same
+    /// draws in the same order).
+    #[test]
+    fn s_zero_matches_uniform_generator(
+        seed in any::<u64>(),
+        keys in 2u64..5000,
+        get_fraction in 0.0f64..1.0,
+    ) {
+        let mut skewed = SkewedWorkload::new(
+            "k", keys, 0.0, 0, None,
+            get_fraction, SizeDist::fixed(200), 5_000.0, u64::MAX,
+        );
+        let mut uniform = MixWorkload::new(
+            "k", keys, 0.0, get_fraction, SizeDist::fixed(200), 5_000.0, u64::MAX,
+        );
+        let sig_s = stream_signature(&mut skewed, seed, 256);
+        let sig_u = stream_signature(&mut uniform, seed, 256);
+        prop_assert_eq!(sig_s, sig_u);
+    }
+
+    /// Higher exponents concentrate more empirical mass on the top rank.
+    #[test]
+    fn skew_orders_top_rank_mass(seed in any::<u64>()) {
+        let count = |s: f64| -> u64 {
+            let z = ZipfRanks::new(300, s);
+            let mut rng = SimRng::new(seed);
+            (0..20_000).filter(|_| z.sample(&mut rng) == 0).count() as u64
+        };
+        let mild = count(0.4);
+        let hard = count(1.4);
+        prop_assert!(hard > mild, "s=1.4 top-rank count {} <= s=0.4 count {}", hard, mild);
+    }
+}

@@ -621,6 +621,7 @@ proptest! {
     /// `(time, seq)` order: same-timestamp FIFO ties resolve by seq,
     /// bucket-window rotation never reorders, and events migrating back
     /// from the far-future overflow heap land in their correct slots.
+    #[test]
     fn calendar_queue_matches_reference_heap(script in queue_script()) {
         let mut q: CalendarQueue<u64> = CalendarQueue::new();
         let mut h: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
