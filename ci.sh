@@ -71,6 +71,17 @@ cmp "$CHAOS_TMP/trace1/trace_chrome.json" "$CHAOS_TMP/chrome_committed.json"
 # schedules with no recorder installed, and the simperf gates bound the
 # disabled-path cost (a single Option check per hook) at noise.
 
+echo "== batch crossover smoke + determinism gate =="
+# The doorbell-batching crossover figure must replay byte-identically: two
+# seeded runs match each other and the committed CSV. Its unbatched series
+# double as the batching-off zero-impact proof for the dataplane refactor:
+# cells with `doorbell_batching` disabled (every other committed figure,
+# cmp-gated above) regenerate their artifacts byte for byte.
+cargo run --release -p bench --bin figures -- batch --csv "$CHAOS_TMP/batch1" >/dev/null
+cargo run --release -p bench --bin figures -- batch --csv "$CHAOS_TMP/batch2" >/dev/null
+cmp "$CHAOS_TMP/batch1/batch.csv" "$CHAOS_TMP/batch2/batch.csv"
+cmp "$CHAOS_TMP/batch1/batch.csv" results/batch.csv
+
 echo "== deterministic parallel-step gate (SIMNET_PARALLEL) =="
 # The opt-in conservative parallel step must be byte-identical to the
 # serial engine on whole experiments: with SIMNET_PARALLEL set, every cell

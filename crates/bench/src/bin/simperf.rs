@@ -33,7 +33,10 @@ use std::time::Instant;
 
 use simnet::SimDuration;
 
-use bench::simcore::{ads_cell, cell950, pony_ramp_cell, ADS_SPAN, CELL950_SPAN, PONY_SPAN};
+use bench::simcore::{
+    ads_cell, batched_cell, cell950, pony_ramp_cell, ADS_SPAN, BATCHED_SPAN, CELL950_SPAN,
+    PONY_SPAN,
+};
 use cliquemap::cell::Cell;
 
 /// Tolerated events/sec drop (and, with `simperf-alloc`, allocs/op growth)
@@ -297,6 +300,7 @@ fn main() {
     let samples = vec![
         run_workload("ads_week", ads_cell, ADS_SPAN),
         run_workload("pony_ramp", pony_ramp_cell, PONY_SPAN),
+        run_workload("ads_batched", batched_cell, BATCHED_SPAN),
         run_workload("cell950", cell950, CELL950_SPAN),
     ];
     let mut total_events = 0u64;

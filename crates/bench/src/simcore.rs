@@ -16,7 +16,7 @@ use cliquemap::config::ReplicationMode;
 use cliquemap::workload::Workload;
 use rma::PonyCfg;
 use simnet::SimDuration;
-use workloads::{ProductionGets, ProductionSets, RampWorkload, SizeDist};
+use workloads::{ProductionGets, ProductionMultiSets, ProductionSets, RampWorkload, SizeDist};
 
 use crate::experiments::base_spec;
 use crate::populate_cell;
@@ -28,6 +28,9 @@ pub const ADS_SPAN: SimDuration = SimDuration::from_millis(4060);
 
 /// Simulated span `simperf` drives the Pony ramp cell for.
 pub const PONY_SPAN: SimDuration = SimDuration::from_millis(2010);
+
+/// Simulated span `simperf` drives the doorbell-batched Ads cell for.
+pub const BATCHED_SPAN: SimDuration = SimDuration::from_millis(2030);
 
 /// Simulated span `simperf` drives the 950-host macro cell for. Most of
 /// this window is the cold-start herd: 10K clients fetching configs and
@@ -64,6 +67,45 @@ pub fn ads_cell() -> Cell {
         w.backfill_period = SimDuration::from_millis(150);
         w.backfill_len = SimDuration::from_millis(15);
         wls.push(Box::new(w));
+    }
+    let mut cell = Cell::build(spec, wls);
+    populate_cell(&mut cell, "k", keys, &sizes);
+    cell
+}
+
+/// Doorbell-batched Ads cell: the same batched production GET stream as
+/// [`ads_cell`] plus MultiSet update batches, with the coalesced wire path
+/// on. This is the cell that keeps the batching hot paths honest at macro
+/// scale: container expansion, the per-destination coalescing accumulator,
+/// batch frame encode/decode, and vectored backend serves all run millions
+/// of times here, so the simperf alloc gate holds them to the same
+/// near-zero allocations per event as the unbatched cells.
+pub fn batched_cell() -> Cell {
+    let keys = 4_000u64;
+    let day = SimDuration::from_millis(150);
+    let sizes = SizeDist {
+        mu: (700f64).ln(),
+        sigma: 1.0,
+        min: 64,
+        max: 64 << 10,
+    };
+    let mut spec: CellSpec = base_spec(LookupStrategy::Scar, ReplicationMode::R32, 8);
+    spec.seed = 61;
+    spec.clients_per_host = 2;
+    spec.client.max_in_flight = 2048;
+    spec.doorbell_batching = true;
+    let mut wls: Vec<Box<dyn Workload>> = Vec::new();
+    for _ in 0..6 {
+        wls.push(Box::new(ProductionGets::ads("k", keys, 2_500.0, day)));
+    }
+    for _ in 0..2 {
+        wls.push(Box::new(ProductionMultiSets::ads(
+            "k",
+            keys,
+            sizes.clone(),
+            400.0,
+            day,
+        )));
     }
     let mut cell = Cell::build(spec, wls);
     populate_cell(&mut cell, "k", keys, &sizes);

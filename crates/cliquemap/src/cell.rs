@@ -106,6 +106,10 @@ pub struct CellSpec {
     /// cells where the cold-start herd outruns the store's serve rate;
     /// off by default so existing figure schedules are untouched.
     pub config_read_coalescing: bool,
+    /// Doorbell batching (see [`ClientCfg::doorbell_batching`]): coalesce
+    /// each MultiGet/MultiSet's wire traffic into one frame per destination
+    /// host. Off by default so committed figures regenerate byte-identical.
+    pub doorbell_batching: bool,
 }
 
 impl Default for CellSpec {
@@ -122,6 +126,7 @@ impl Default for CellSpec {
             backend: BackendCfg::default(),
             client: ClientCfg::default(),
             config_read_coalescing: false,
+            doorbell_batching: false,
         }
     }
 }
@@ -234,6 +239,7 @@ impl Cell {
             let mut cfg = spec.client.clone();
             cfg.client_id = i as u32 + 1;
             cfg.config_store = config_store;
+            cfg.doorbell_batching |= spec.doorbell_batching;
             if cfg.transport == TransportKind::PonyExpress {
                 cfg.shared_pony = Some(pool_for(&mut pony_pools, host));
             }
@@ -292,9 +298,17 @@ impl Cell {
         self.sim.metrics().counter("cm.get.misses")
     }
 
-    /// Completed mutations.
+    /// Completed mutations (MultiSet containers count once, like their
+    /// GET-side counterpart in [`Cell::gets_completed`]).
     pub fn sets_completed(&self) -> u64 {
         self.sim.metrics().counter("cm.set.completed")
+            + self.sim.metrics().counter("cm.set.batches")
+    }
+
+    /// RMA wire frames issued by all clients (single ops and batched
+    /// doorbells both count one per frame).
+    pub fn client_rma_frames(&self) -> u64 {
+        self.sim.metrics().counter("cm.client.rma_frames")
     }
 
     /// Operations that exhausted their retry budget.
@@ -487,6 +501,174 @@ mod tests {
         assert_eq!(cell.sim.metrics().counter("cm.get.batches"), 1);
         assert_eq!(cell.hits(), 2);
         assert_eq!(cell.misses(), 1);
+    }
+
+    fn multiget(keys: &[&str]) -> ClientOp {
+        ClientOp::MultiGet {
+            keys: keys.iter().map(|k| Bytes::from(k.to_string())).collect(),
+        }
+    }
+
+    fn multiset(entries: &[(&str, &str)]) -> ClientOp {
+        ClientOp::MultiSet {
+            entries: entries
+                .iter()
+                .map(|(k, v)| (Bytes::from(k.to_string()), Bytes::from(v.to_string())))
+                .collect(),
+        }
+    }
+
+    fn run_batched_cell(
+        strategy: LookupStrategy,
+        replication: ReplicationMode,
+        ops: Vec<(u64, ClientOp)>,
+    ) -> (Cell, Vec<(OpOutcome, u64)>) {
+        let mut spec = small_spec(strategy, replication);
+        spec.doorbell_batching = true;
+        let mut cell = Cell::build(spec, vec![script(ops)]);
+        cell.run_for(SimDuration::from_secs(1));
+        let done = completions(&mut cell);
+        (cell, done)
+    }
+
+    /// The doorbell-batched wire path must resolve every sub-op with the
+    /// same per-key outcomes as the unbatched path, on all four lookup
+    /// strategies.
+    #[test]
+    fn doorbell_batched_multiget_and_multiset_all_strategies() {
+        for strategy in [
+            LookupStrategy::TwoR,
+            LookupStrategy::Scar,
+            LookupStrategy::Msg,
+            LookupStrategy::Rpc,
+        ] {
+            let (cell, done) = run_batched_cell(
+                strategy,
+                ReplicationMode::R32,
+                vec![
+                    (0, multiset(&[("d1", "x"), ("d2", "y")])),
+                    (5000, multiget(&["d1", "d2", "d3"])),
+                ],
+            );
+            assert_eq!(done.len(), 2, "{strategy:?}: {done:?}");
+            assert_eq!(done[0].0, OpOutcome::Done, "{strategy:?}: {done:?}");
+            assert_eq!(
+                cell.sim.metrics().counter("cm.set.batches"),
+                1,
+                "{strategy:?}"
+            );
+            assert_eq!(
+                cell.sim.metrics().counter("cm.get.batches"),
+                1,
+                "{strategy:?}"
+            );
+            assert_eq!(cell.hits(), 2, "{strategy:?}");
+            assert_eq!(cell.misses(), 1, "{strategy:?}");
+            assert_eq!(cell.op_errors(), 0, "{strategy:?}");
+        }
+    }
+
+    /// A zero-key batch completes immediately (latency 0, no leaked batch
+    /// state, the client keeps issuing), batched or not.
+    #[test]
+    fn empty_batches_complete_immediately() {
+        for batched in [false, true] {
+            let mut spec = small_spec(LookupStrategy::TwoR, ReplicationMode::R32);
+            spec.doorbell_batching = batched;
+            let mut cell = Cell::build(
+                spec,
+                vec![script(vec![
+                    (0, ClientOp::MultiGet { keys: vec![] }),
+                    (100, ClientOp::MultiSet { entries: vec![] }),
+                    (200, set("after", "1")),
+                    (1000, get("after")),
+                ])],
+            );
+            cell.run_for(SimDuration::from_secs(1));
+            let done = completions(&mut cell);
+            assert_eq!(done.len(), 4, "batched={batched}: {done:?}");
+            assert_eq!(done[0], (OpOutcome::Hit, 0), "batched={batched}");
+            assert_eq!(done[1], (OpOutcome::Done, 0), "batched={batched}");
+            assert_eq!(done[3].0, OpOutcome::Hit, "batched={batched}");
+            assert_eq!(cell.sim.metrics().counter("cm.get.batches"), 1);
+            assert_eq!(cell.sim.metrics().counter("cm.set.batches"), 1);
+            assert_eq!(cell.op_errors(), 0, "batched={batched}");
+        }
+    }
+
+    /// Duplicate keys in one MultiGet are distinct sub-ops: each resolves
+    /// on its own and the container completes exactly once.
+    #[test]
+    fn duplicate_key_multiget_completes() {
+        for batched in [false, true] {
+            let mut spec = small_spec(LookupStrategy::TwoR, ReplicationMode::R32);
+            spec.doorbell_batching = batched;
+            let mut cell = Cell::build(
+                spec,
+                vec![script(vec![
+                    (0, set("dup", "v")),
+                    (1000, multiget(&["dup", "dup", "dup", "gone"])),
+                ])],
+            );
+            cell.run_for(SimDuration::from_secs(1));
+            let done = completions(&mut cell);
+            assert_eq!(done.len(), 2, "batched={batched}: {done:?}");
+            assert_eq!(cell.sim.metrics().counter("cm.get.batches"), 1);
+            assert_eq!(cell.hits(), 3, "batched={batched}");
+            assert_eq!(cell.misses(), 1, "batched={batched}");
+            assert_eq!(cell.op_errors(), 0, "batched={batched}");
+        }
+    }
+
+    /// The acceptance bound for RMA strategies: a warmed-up batched k-key
+    /// MultiGet coalesces to at most `replicas x distinct hosts` frames
+    /// per phase — independent of k — where the unbatched path pays per
+    /// key. The warm-up GETs establish geometry first (a cold first batch
+    /// parks on CONNECT and issues unbatched when released). With 16 keys
+    /// over 4 backends at R=3.2 the batched MultiGet must use at most
+    /// `3 x 4` frames per phase and at least halve the unbatched count.
+    #[test]
+    fn doorbell_batching_coalesces_rma_frames() {
+        let keys: Vec<String> = (0..16).map(|i| format!("fr{i}")).collect();
+        let script_ops = |keys: &[String]| {
+            let mut ops: Vec<(u64, ClientOp)> =
+                keys.iter().map(|k| (100, set(k, "payload"))).collect();
+            ops.extend(keys.iter().map(|k| (100, get(k))));
+            ops.push((
+                100_000,
+                ClientOp::MultiGet {
+                    keys: keys.iter().map(|k| Bytes::from(k.clone())).collect(),
+                },
+            ));
+            ops
+        };
+        for (strategy, phases) in [(LookupStrategy::TwoR, 2), (LookupStrategy::Scar, 1)] {
+            let run = |batched: bool| {
+                let mut spec = small_spec(strategy, ReplicationMode::R32);
+                spec.doorbell_batching = batched;
+                let mut cell = Cell::build(spec, vec![script(script_ops(&keys))]);
+                // Past the warm-up (sets + gets finish within a few ms) but
+                // before the MultiGet fires at ~100ms.
+                cell.run_for(SimDuration::from_millis(50));
+                let warmup = cell.client_rma_frames();
+                cell.run_for(SimDuration::from_secs(1));
+                assert_eq!(cell.op_errors(), 0, "{strategy:?} batched={batched}");
+                assert_eq!(cell.hits(), 32, "{strategy:?} batched={batched}");
+                cell.client_rma_frames() - warmup
+            };
+            let unbatched = run(false);
+            let batched = run(true);
+            let replicas = 3u64; // R=3.2 read quorum fan-out
+            let hosts = 4u64;
+            assert!(
+                batched <= replicas * hosts * phases,
+                "{strategy:?}: {batched} frames exceeds {replicas}x{hosts}x{phases}"
+            );
+            assert!(
+                batched * 2 <= unbatched,
+                "{strategy:?}: batched {batched} vs unbatched {unbatched} is not a 2x cut"
+            );
+        }
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub enum LookupStrategy {
     Scar,
     /// Two-sided messaging (the MSG comparison point / WAN fallback).
     Msg,
+    /// Full-framework RPC lookups (the RPC comparison point of the batch
+    /// crossover figure): same wire shape as MSG but served at full RPC
+    /// cost, so per-op framework overhead dominates until batching
+    /// amortizes it.
+    Rpc,
 }
 
 /// Client configuration.
@@ -77,6 +82,12 @@ pub struct ClientCfg {
     pub set_cpu: SimDuration,
     /// Per-RMA-op client CPU (issue + completion handling).
     pub rma_op_cpu: SimDuration,
+    /// Per-key client CPU for a sub-op inside a coalesced container. A
+    /// standalone GET/SET pays `get_cpu`/`set_cpu` — API entry, pacing,
+    /// and completion arming included — but a doorbell-batched container
+    /// pays that boundary cost once at expansion; each member only
+    /// marshals its key/entry into the shared frame.
+    pub batched_key_cpu: SimDuration,
     /// Access-record flush period (`None` disables recency reporting).
     pub access_flush: Option<SimDuration>,
     /// Open- or closed-loop issue pacing.
@@ -97,6 +108,12 @@ pub struct ClientCfg {
     /// and route promoted keys across an extended replica set (`None`
     /// disables it; see [`HotReplCfg`]).
     pub hot_repl: Option<HotReplCfg>,
+    /// Doorbell batching: coalesce a MultiGet/MultiSet's sub-ops by
+    /// destination host and ship each group as one wire frame with one
+    /// transport issue admission, one SER/FABRIC traversal, and one
+    /// completion admission. Per-sub-op quorum resolution is unchanged;
+    /// only the wire path is batched. Retries always go unbatched.
+    pub doorbell_batching: bool,
     /// Language-shim cost model (`None` = native C++ client).
     pub shim: Option<ShimSpec>,
     /// Host-level Pony engine pool shared with co-located nodes.
@@ -119,11 +136,13 @@ impl Default for ClientCfg {
             get_cpu: SimDuration::from_nanos(900),
             set_cpu: SimDuration::from_micros(2),
             rma_op_cpu: SimDuration::from_nanos(350),
+            batched_key_cpu: SimDuration::from_nanos(350),
             access_flush: Some(SimDuration::from_millis(50)),
             pacing: Pacing::Open,
             max_in_flight: 256,
             rpc_fallback_on_overflow: false,
             prefer_first_responder: true,
+            doorbell_batching: false,
             cache: None,
             hot_repl: None,
             shim: None,
@@ -277,7 +296,60 @@ struct BatchState {
     remaining: usize,
     started: SimTime,
     failed: bool,
+    /// A sub-op write lost to a newer version (mutation batches).
+    superseded: bool,
+    /// A sub-op GET found its key (lookup batches).
+    any_hit: bool,
+    /// True for MultiGet containers, false for MultiSet (selects the
+    /// latency/throughput metric family the finished batch reports to).
+    gets: bool,
 }
+
+/// One destination's pending MULTI_SET frame: member sub tags plus the
+/// (key, value, nominated version) triples travelling in it.
+type SetFrame = (Vec<u64>, Vec<(Bytes, Bytes, VersionNumber)>);
+
+/// Accumulates one MultiGet/MultiSet's wire traffic per destination host
+/// while its sub-ops issue synchronously; flushed as one frame per
+/// `(host, kind)` pair. BTreeMaps keyed by `NodeId.0` make the flush order
+/// deterministic (std HashMap iteration order is not).
+#[derive(Debug, Default)]
+struct BatchAccum {
+    /// Sub-op issue hooks divert into the accumulator while set.
+    active: bool,
+    /// 2xR index/data reads per destination.
+    reads: BTreeMap<u32, Vec<rma::BatchReadEntry>>,
+    /// SCAR scans per destination: frame-level (index window, generation)
+    /// plus per-sub-op entries.
+    scars: BTreeMap<u32, (u32, u32, Vec<rma::BatchScarEntry>)>,
+    /// MSG/RPC lookups per destination: (sub tags, keys).
+    lookups: BTreeMap<u32, (Vec<u64>, Vec<Bytes>)>,
+    /// Mutations per destination: (sub tags, (key, value, version)).
+    sets: BTreeMap<u32, SetFrame>,
+}
+
+impl BatchAccum {
+    fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+            && self.scars.is_empty()
+            && self.lookups.is_empty()
+            && self.sets.is_empty()
+    }
+}
+
+/// One outstanding batched RPC frame (lookup or mutation vector).
+#[derive(Debug)]
+struct RpcBatch {
+    /// Member sub-op tags, for timeout fan-out.
+    subs: Vec<u64>,
+    /// Mutation batch (MULTI_SET) vs lookup batch (MULTI_GET variants).
+    mutation: bool,
+}
+
+/// Distinguishes batch-frame user tags from per-sub-op tags. Control tags
+/// (`CONFIG_TAG` etc.) also carry this bit, so they are always matched
+/// exactly *before* the bit is tested.
+const BATCH_TAG_BIT: u64 = 1 << 63;
 
 /// Client-internal deferred work.
 #[derive(Debug)]
@@ -325,6 +397,15 @@ pub struct ClientNode {
     /// Hot-key detector driving extended-replica routing (`cfg.hot_repl`).
     hot: Option<HotKeyTracker>,
     batches: HashMap<u64, BatchState>,
+    /// Doorbell-batching accumulator (active only inside a MultiGet /
+    /// MultiSet expansion or a batch-completion demux).
+    coalesce: BatchAccum,
+    /// Outstanding batched RMA frames: batch tag -> member sub tags.
+    rma_batches: HashMap<u64, Vec<u64>>,
+    /// Outstanding batched RPC frames: batch tag -> members.
+    rpc_batches: HashMap<u64, RpcBatch>,
+    /// Monotonic batch-frame counter (tag allocator).
+    next_batch_frame: u64,
     next_op_id: u64,
     in_flight: usize,
     workload_done: bool,
@@ -394,7 +475,9 @@ struct ClientMetricIds {
     get_hash_collisions: MetricId,
     get_batches: MetricId,
     get_completed: MetricId,
+    set_batches: MetricId,
     set_completed: MetricId,
+    rma_frames: MetricId,
     set_acked: MetricId,
     set_superseded: MetricId,
     retries: MetricId,
@@ -439,7 +522,9 @@ impl ClientMetricIds {
             get_hash_collisions: m.handle("cm.get.hash_collisions"),
             get_batches: m.handle("cm.get.batches"),
             get_completed: m.handle("cm.get.completed"),
+            set_batches: m.handle("cm.set.batches"),
             set_completed: m.handle("cm.set.completed"),
+            rma_frames: m.handle("cm.client.rma_frames"),
             set_acked: m.handle("cm.set.acked"),
             set_superseded: m.handle("cm.set.superseded"),
             retries: m.handle("cm.retries"),
@@ -500,6 +585,10 @@ impl ClientNode {
             ops: BTreeMap::new(),
             free_gets: Vec::new(),
             batches: HashMap::new(),
+            coalesce: BatchAccum::default(),
+            rma_batches: HashMap::new(),
+            rpc_batches: HashMap::new(),
+            next_batch_frame: 0,
             next_op_id: 1,
             in_flight: 0,
             workload_done: false,
@@ -579,6 +668,11 @@ impl ClientNode {
         };
         if self.in_flight >= self.cfg.max_in_flight {
             ctx.metrics().add_id(self.m().overload_drops, 1);
+            // A dropped batch member must still resolve its container, or
+            // the batch would leak and never complete.
+            if let (_, Some(batch_id)) = parked {
+                self.batch_member_dropped(ctx, batch_id);
+            }
             return;
         }
         let (op, batch) = parked;
@@ -588,23 +682,8 @@ impl ClientNode {
             ctx.metrics().add_id(self.m().cpu_ns, cost.nanos());
         }
         match op {
-            ClientOp::MultiGet { keys } => {
-                // Expand into per-key GETs sharing a batch.
-                self.batches.insert(
-                    op_id,
-                    BatchState {
-                        remaining: keys.len(),
-                        started: ctx.now(),
-                        failed: false,
-                    },
-                );
-                for key in keys {
-                    let sub = self.next_op_id;
-                    self.next_op_id += 1;
-                    self.ops
-                        .insert(sub, OpState::Parked(ClientOp::Get { key }, Some(op_id)));
-                    self.start_op(ctx, sub);
-                }
+            op @ (ClientOp::MultiGet { .. } | ClientOp::MultiSet { .. }) => {
+                self.expand_batch(ctx, op_id, op);
             }
             other => {
                 self.in_flight += 1;
@@ -614,9 +693,100 @@ impl ClientNode {
         }
     }
 
+    /// Expand a MultiGet/MultiSet container into per-key sub-ops sharing a
+    /// [`BatchState`]. With doorbell batching on, the sub-ops' wire traffic
+    /// coalesces into one frame per destination host, flushed at the end of
+    /// the expansion. A zero-key batch completes immediately (no
+    /// `BatchState` is ever inserted for it).
+    fn expand_batch(&mut self, ctx: &mut Ctx<'_>, op_id: u64, op: ClientOp) {
+        let (subs, gets): (Vec<ClientOp>, bool) = match op {
+            ClientOp::MultiGet { keys } => (
+                keys.into_iter().map(|key| ClientOp::Get { key }).collect(),
+                true,
+            ),
+            ClientOp::MultiSet { entries } => (
+                entries
+                    .into_iter()
+                    .map(|(key, value)| ClientOp::Set { key, value })
+                    .collect(),
+                false,
+            ),
+            other => {
+                // Not a batch container; issue it as a plain op.
+                self.in_flight += 1;
+                self.ops.insert(op_id, OpState::Parked(other, None));
+                self.try_issue(ctx, op_id);
+                return;
+            }
+        };
+        if subs.is_empty() {
+            self.complete_empty_batch(ctx, gets);
+            return;
+        }
+        self.batches.insert(
+            op_id,
+            BatchState {
+                remaining: subs.len(),
+                started: ctx.now(),
+                failed: false,
+                superseded: false,
+                any_hit: false,
+                gets,
+            },
+        );
+        let coalescing = self.cfg.doorbell_batching && !self.coalesce.active;
+        if coalescing {
+            self.coalesce.active = true;
+            // The API boundary (entry, pacing, completion arming) is paid
+            // once per container; members then pay `batched_key_cpu` each.
+            let api = if gets {
+                self.cfg.get_cpu
+            } else {
+                self.cfg.set_cpu
+            };
+            ctx.charge_cpu(api);
+            ctx.metrics().add_id(self.m().cpu_ns, api.nanos());
+        }
+        for sub_op in subs {
+            let sub = self.next_op_id;
+            self.next_op_id += 1;
+            self.ops.insert(sub, OpState::Parked(sub_op, Some(op_id)));
+            self.start_op(ctx, sub);
+        }
+        if coalescing {
+            self.coalesce_flush(ctx);
+        }
+    }
+
+    /// A zero-key batch resolves vacuously: it still reports a batch
+    /// completion (latency 0) so callers and pacing see it finish, but it
+    /// never touches `self.batches`.
+    fn complete_empty_batch(&mut self, ctx: &mut Ctx<'_>, gets: bool) {
+        let m = *self.m();
+        let (lat, batches) = if gets {
+            (m.get_latency_ns, m.get_batches)
+        } else {
+            (m.set_latency_ns, m.set_batches)
+        };
+        ctx.metrics().record_id(lat, 0);
+        ctx.metrics().add_id(batches, 1);
+        self.log_completion(
+            if gets {
+                OpOutcome::Hit
+            } else {
+                OpOutcome::Done
+            },
+            0,
+        );
+        self.on_op_finished(ctx);
+    }
+
     fn op_bytes(op: &ClientOp) -> usize {
         match op {
             ClientOp::Set { value, .. } | ClientOp::Cas { value, .. } => value.len(),
+            ClientOp::MultiSet { entries } => {
+                entries.iter().map(|(_, v)| v.len()).sum::<usize>().max(64)
+            }
             _ => 64,
         }
     }
@@ -634,7 +804,14 @@ impl ClientNode {
             | ClientOp::Set { key, .. }
             | ClientOp::Erase { key }
             | ClientOp::Cas { key, .. } => key.clone(),
-            ClientOp::MultiGet { .. } => unreachable!("expanded in start_op"),
+            ClientOp::MultiGet { .. } | ClientOp::MultiSet { .. } => {
+                // Containers expand at start; one that lands here anyway
+                // (defensive) expands now instead of crashing the client.
+                self.ops.remove(&op_id);
+                self.in_flight = self.in_flight.saturating_sub(1);
+                self.expand_batch(ctx, op_id, op);
+                return;
+            }
         };
         let hash = self.cfg.hasher.hash(&key);
         let is_get = matches!(op, ClientOp::Get { .. });
@@ -682,7 +859,8 @@ impl ClientNode {
         let replicas = &replica_buf[..nreplicas];
         // GETs need geometry for every replica (RMA addressing); mutations
         // are plain RPCs and can go immediately.
-        let needs_geometry = is_get && self.cfg.strategy != LookupStrategy::Msg;
+        let needs_geometry =
+            is_get && !matches!(self.cfg.strategy, LookupStrategy::Msg | LookupStrategy::Rpc);
         if needs_geometry {
             let mut missing = [NodeId(0); 8];
             let mut nmissing = 0;
@@ -794,7 +972,11 @@ impl ClientNode {
                     n_base,
                 );
             }
-            ClientOp::MultiGet { .. } => unreachable!(),
+            ClientOp::MultiGet { .. } | ClientOp::MultiSet { .. } => {
+                // Unreachable in practice (handled above), but degrade
+                // gracefully rather than crashing the whole client.
+                self.complete_op(ctx, op_id, OpOutcome::Error, ctx.now());
+            }
         }
     }
 
@@ -851,10 +1033,25 @@ impl ClientNode {
     /// rate is CPU-bound at saturation and idle hosts pay C-state exits —
     /// the Fig. 16/17 low-load latency hump), then issues its sub-ops.
     fn issue_get_attempt(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let trace = self.trace_of(ctx, op_id);
+        if self.coalesce.active {
+            // Doorbell batching: the sub-op must issue inside the expansion
+            // event so its wire traffic lands in the accumulator before the
+            // flush. It pays only the per-key marshal cost — the container
+            // paid the API-boundary `get_cpu` once at expansion.
+            ctx.metrics()
+                .add_id(self.m().cpu_ns, self.cfg.batched_key_cpu.nanos());
+            ctx.charge_cpu_traced(
+                self.cfg.batched_key_cpu,
+                trace,
+                simnet::obs::stage::CLIENT_CPU,
+            );
+            self.do_issue_attempt(ctx, op_id);
+            return;
+        }
         ctx.metrics()
             .add_id(self.m().cpu_ns, self.cfg.get_cpu.nanos());
         let tok = self.work.defer(Work::IssueAttempt(op_id));
-        let trace = self.trace_of(ctx, op_id);
         ctx.spawn_cpu_traced(self.cfg.get_cpu, tok, trace, simnet::obs::stage::CLIENT_CPU);
     }
 
@@ -864,7 +1061,8 @@ impl ClientNode {
         // A retry whose geometry was invalidated (reshape, growth, restart)
         // must re-learn it before burning another attempt — "failed RMA
         // operations may retry on new connections" (§3).
-        let needs_geometry = self.cfg.strategy != LookupStrategy::Msg;
+        let needs_geometry =
+            !matches!(self.cfg.strategy, LookupStrategy::Msg | LookupStrategy::Rpc);
         if needs_geometry {
             let (missing, nmissing, have) = match self.ops.get(&op_id) {
                 Some(OpState::Get(get)) => {
@@ -968,20 +1166,35 @@ impl ClientNode {
                     self.issue_scar(ctx, op_id, attempt, r, hash);
                 }
             }
-            LookupStrategy::Msg => {
+            LookupStrategy::Msg | LookupStrategy::Rpc => {
                 let primary = replicas[0];
                 #[cfg(feature = "dbg")]
                 eprintln!("[{}] msg_get key={:?} -> {:?}", ctx.now(), key, primary);
+                if self.coalesce.active {
+                    // Per-op send cost is replaced by one per-frame send
+                    // charge at flush — that amortization IS the batching
+                    // win on the MSG/RPC path.
+                    let slot = self.coalesce.lookups.entry(primary.0).or_default();
+                    slot.0.push(sub_tag(op_id, attempt, 0));
+                    slot.1.push(key);
+                    return;
+                }
+                let rpcish = self.cfg.strategy == LookupStrategy::Rpc;
                 let body = messages::GetReq { key }.encode_in(&self.pool);
                 let trace = self.trace_of(ctx, op_id);
-                ctx.charge_cpu_traced(
-                    self.cfg.msg_cost.client_send,
-                    trace,
-                    simnet::obs::stage::CLIENT_CPU,
-                );
-                ctx.metrics()
-                    .add_id(self.m().cpu_ns, self.cfg.msg_cost.client_send.nanos());
-                self.rpc_call(ctx, primary, method::MSG_GET, body, op_id, attempt, 0);
+                let send_cost = if rpcish {
+                    self.cfg.rpc_cost.client_send
+                } else {
+                    self.cfg.msg_cost.client_send
+                };
+                ctx.charge_cpu_traced(send_cost, trace, simnet::obs::stage::CLIENT_CPU);
+                ctx.metrics().add_id(self.m().cpu_ns, send_cost.nanos());
+                let method_id = if rpcish {
+                    method::GET_RPC
+                } else {
+                    method::MSG_GET
+                };
+                self.rpc_call(ctx, primary, method_id, body, op_id, attempt, 0);
             }
         }
         let _ = now;
@@ -1006,6 +1219,22 @@ impl ClientNode {
         let bb = bucket_size(geom.assoc as usize) as u64;
         let bucket = (hash as u64) % geom.num_buckets;
         let tag = sub_tag(op_id, attempt, 0);
+        let trace = self.trace_of(ctx, op_id);
+        if self.coalesce.active {
+            self.charge_rma_op(ctx, trace);
+            self.coalesce
+                .reads
+                .entry(replica.0)
+                .or_default()
+                .push(rma::BatchReadEntry {
+                    sub: tag,
+                    window: geom.index_window,
+                    generation: geom.index_generation,
+                    offset: bucket * bb,
+                    len: bb as u32,
+                });
+            return;
+        }
         let (rma_id, wire) = self.rma.begin_read(
             replica,
             WindowId(geom.index_window),
@@ -1015,7 +1244,6 @@ impl ClientNode {
             ctx.now(),
             tag,
         );
-        let trace = self.trace_of(ctx, op_id);
         self.charge_rma_op(ctx, trace);
         self.send_rma(ctx, replica, wire, rma_id, trace);
     }
@@ -1029,6 +1257,24 @@ impl ClientNode {
         ptr: Pointer,
     ) {
         let tag = sub_tag(op_id, attempt, 1);
+        let trace = self.trace_of(ctx, op_id);
+        if self.coalesce.active {
+            // Data fetches triggered while demuxing a batched index
+            // response re-coalesce into the next flush.
+            self.charge_rma_op(ctx, trace);
+            self.coalesce
+                .reads
+                .entry(replica.0)
+                .or_default()
+                .push(rma::BatchReadEntry {
+                    sub: tag,
+                    window: ptr.window,
+                    generation: ptr.generation,
+                    offset: ptr.offset,
+                    len: ptr.len,
+                });
+            return;
+        }
         let (rma_id, wire) = self.rma.begin_read(
             replica,
             WindowId(ptr.window),
@@ -1038,7 +1284,6 @@ impl ClientNode {
             ctx.now(),
             tag,
         );
-        let trace = self.trace_of(ctx, op_id);
         self.charge_rma_op(ctx, trace);
         self.send_rma(ctx, replica, wire, rma_id, trace);
     }
@@ -1058,6 +1303,24 @@ impl ClientNode {
         let bb = bucket_size(geom.assoc as usize) as u64;
         let bucket = (hash as u64) % geom.num_buckets;
         let tag = sub_tag(op_id, attempt, 0);
+        let trace = self.trace_of(ctx, op_id);
+        if self.coalesce.active {
+            self.charge_rma_op(ctx, trace);
+            // All sub-ops aimed at one replica share its geometry entry, so
+            // the frame-level (window, generation) pair is consistent.
+            let slot = self
+                .coalesce
+                .scars
+                .entry(replica.0)
+                .or_insert_with(|| (geom.index_window, geom.index_generation, Vec::new()));
+            slot.2.push(rma::BatchScarEntry {
+                sub: tag,
+                bucket_offset: bucket * bb,
+                bucket_len: bb as u32,
+                key_hash: hash,
+            });
+            return;
+        }
         let (rma_id, wire) = self.rma.begin_scar(
             replica,
             WindowId(geom.index_window),
@@ -1068,7 +1331,6 @@ impl ClientNode {
             ctx.now(),
             tag,
         );
-        let trace = self.trace_of(ctx, op_id);
         self.charge_rma_op(ctx, trace);
         self.send_rma(ctx, replica, wire, rma_id, trace);
     }
@@ -1080,6 +1342,9 @@ impl ClientNode {
     }
 
     fn send_rma(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, wire: Bytes, rma_id: u64, trace: u64) {
+        // Every RMA wire frame (single or batched) counts once — the
+        // frames-per-batch economics of doorbell batching read from here.
+        ctx.metrics().add_id(self.m().rma_frames, 1);
         // Annotate (don't alter) traced sub-ops aimed at a CPU-dead
         // replica: the postmortem uses this to name the gray failure.
         if trace != 0 && ctx.peer_cpu_dead(dst) {
@@ -1426,9 +1691,20 @@ impl ClientNode {
 
     fn issue_mutation_attempt(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
         let trace = self.trace_of(ctx, op_id);
-        ctx.charge_cpu_traced(self.cfg.set_cpu, trace, simnet::obs::stage::CLIENT_CPU);
-        ctx.metrics()
-            .add_id(self.m().cpu_ns, self.cfg.set_cpu.nanos());
+        // A coalesced MultiSet member pays only per-entry marshal; the
+        // container paid the `set_cpu` API boundary once at expansion.
+        let coalesced = self.coalesce.active
+            && matches!(
+                self.ops.get(&op_id),
+                Some(OpState::Mutation(m)) if m.kind == MutationKind::Set
+            );
+        let issue_cpu = if coalesced {
+            self.cfg.batched_key_cpu
+        } else {
+            self.cfg.set_cpu
+        };
+        ctx.charge_cpu_traced(issue_cpu, trace, simnet::obs::stage::CLIENT_CPU);
+        ctx.metrics().add_id(self.m().cpu_ns, issue_cpu.nanos());
         let tt = ctx.truetime();
         let Some(OpState::Mutation(m)) = self.ops.get_mut(&op_id) else {
             return;
@@ -1445,6 +1721,28 @@ impl ClientNode {
         let attempt = m.attempt;
         let kind = m.kind;
         let replicas = m.replicas.clone();
+        if self.coalesce.active && kind == MutationKind::Set {
+            // MultiSet expansion under doorbell batching: enqueue the
+            // (key, value, version) triple for each replica's frame. The
+            // nominated version is identical to the unbatched path (same
+            // event, same truetime, same nomination order).
+            let Some(OpState::Mutation(m)) = self.ops.get(&op_id) else {
+                return;
+            };
+            let key = m.key.clone();
+            let value = m.value.clone();
+            let version = m.version;
+            let tag = sub_tag(op_id, attempt, 0);
+            for r in replicas {
+                let slot = self.coalesce.sets.entry(r.0).or_default();
+                slot.0.push(tag);
+                slot.1.push((key.clone(), value.clone(), version));
+            }
+            return;
+        }
+        let Some(OpState::Mutation(m)) = self.ops.get_mut(&op_id) else {
+            return;
+        };
         #[cfg(feature = "dbg")]
         let (m_key_dbg, m_version_dbg) = (m.key.clone(), m.version);
         let body = match kind {
@@ -1585,11 +1883,25 @@ impl ClientNode {
         attempt: u64,
         phase: u8,
     ) {
-        let deadline = ctx.now().nanos() + self.cfg.attempt_timeout.nanos();
         let tag = sub_tag(op_id, attempt, phase);
+        let trace = self.trace_of(ctx, op_id);
+        self.rpc_call_tagged(ctx, dst, m, body, tag, trace);
+    }
+
+    /// The raw call path: a pre-computed user tag (sub-op or batch frame)
+    /// and trace id. Single-op calls go through [`Self::rpc_call`].
+    fn rpc_call_tagged(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: NodeId,
+        m: u16,
+        body: Bytes,
+        tag: u64,
+        trace: u64,
+    ) {
+        let deadline = ctx.now().nanos() + self.cfg.attempt_timeout.nanos();
         let (id, wire) = self.calls.begin(dst, m, body, ctx.now(), deadline, tag);
         ctx.metrics().add_id(self.m().rpc_bytes, wire.len() as u64);
-        let trace = self.trace_of(ctx, op_id);
         if trace != 0 && ctx.peer_cpu_dead(dst) {
             ctx.trace_mark(
                 trace,
@@ -1599,6 +1911,109 @@ impl ClientNode {
         }
         ctx.send_traced(dst, wire, trace);
         ctx.set_timer(self.cfg.attempt_timeout, CallTable::timer_token(id));
+    }
+
+    /// Flush the doorbell-batching accumulator: one wire frame, one
+    /// transport issue admission, and one timer per `(host, kind)` group.
+    /// Flush order is deterministic (BTreeMap keyed by node id).
+    fn coalesce_flush(&mut self, ctx: &mut Ctx<'_>) {
+        self.coalesce.active = false;
+        if self.coalesce.is_empty() {
+            return;
+        }
+        let reads = std::mem::take(&mut self.coalesce.reads);
+        let scars = std::mem::take(&mut self.coalesce.scars);
+        let lookups = std::mem::take(&mut self.coalesce.lookups);
+        let sets = std::mem::take(&mut self.coalesce.sets);
+        for (dst, entries) in reads {
+            let dst = NodeId(dst);
+            let subs: Vec<u64> = entries.iter().map(|e| e.sub).collect();
+            // The frame is traced under its first member's op (a batch is
+            // one doorbell; per-sub attribution happens at demux).
+            let trace = self.trace_of(ctx, subs[0] >> 10);
+            let btag = BATCH_TAG_BIT | self.next_batch_frame;
+            self.next_batch_frame += 1;
+            let (rma_id, wire) = self.rma.begin_batch_read(dst, entries, ctx.now(), btag);
+            self.rma_batches.insert(btag, subs);
+            self.send_rma(ctx, dst, wire, rma_id, trace);
+        }
+        for (dst, (window, generation, entries)) in scars {
+            let dst = NodeId(dst);
+            let subs: Vec<u64> = entries.iter().map(|e| e.sub).collect();
+            let trace = self.trace_of(ctx, subs[0] >> 10);
+            let btag = BATCH_TAG_BIT | self.next_batch_frame;
+            self.next_batch_frame += 1;
+            let (rma_id, wire) = self.rma.begin_batch_scar(
+                dst,
+                WindowId(window),
+                generation,
+                entries,
+                ctx.now(),
+                btag,
+            );
+            self.rma_batches.insert(btag, subs);
+            self.send_rma(ctx, dst, wire, rma_id, trace);
+        }
+        for (dst, (subs, keys)) in lookups {
+            let dst = NodeId(dst);
+            let trace = self.trace_of(ctx, subs[0] >> 10);
+            let rpcish = self.cfg.strategy == LookupStrategy::Rpc;
+            let send_cost = if rpcish {
+                self.cfg.rpc_cost.client_send
+            } else {
+                self.cfg.msg_cost.client_send
+            };
+            // One send-side charge per frame — the amortization measured by
+            // the batch crossover figure.
+            ctx.charge_cpu_traced(send_cost, trace, simnet::obs::stage::CLIENT_CPU);
+            ctx.metrics().add_id(self.m().cpu_ns, send_cost.nanos());
+            let body = messages::MultiGetReq {
+                subs: subs.clone(),
+                keys,
+            }
+            .encode_in(&self.pool);
+            let method_id = if rpcish {
+                method::MULTI_GET_RPC
+            } else {
+                method::MSG_MULTI_GET
+            };
+            let btag = BATCH_TAG_BIT | self.next_batch_frame;
+            self.next_batch_frame += 1;
+            self.rpc_batches.insert(
+                btag,
+                RpcBatch {
+                    subs,
+                    mutation: false,
+                },
+            );
+            self.rpc_call_tagged(ctx, dst, method_id, body, btag, trace);
+        }
+        for (dst, (subs, entries)) in sets {
+            let dst = NodeId(dst);
+            let trace = self.trace_of(ctx, subs[0] >> 10);
+            ctx.charge_cpu_traced(
+                self.cfg.rpc_cost.client_send,
+                trace,
+                simnet::obs::stage::CLIENT_CPU,
+            );
+            ctx.metrics()
+                .add_id(self.m().cpu_ns, self.cfg.rpc_cost.client_send.nanos());
+            let body = messages::MultiSetReq {
+                subs: subs.clone(),
+                entries,
+            }
+            .encode_in(&self.pool);
+            let btag = BATCH_TAG_BIT | self.next_batch_frame;
+            self.next_batch_frame += 1;
+            self.rpc_batches.insert(
+                btag,
+                RpcBatch {
+                    subs,
+                    mutation: true,
+                },
+            );
+            self.rpc_call_tagged(ctx, dst, method::MULTI_SET, body, btag, trace);
+        }
     }
 
     fn ensure_connect(&mut self, ctx: &mut Ctx<'_>, backend: NodeId) {
@@ -1703,6 +2118,9 @@ impl ClientNode {
                 }
                 self.release_parked(ctx);
             }
+            tag if tag & BATCH_TAG_BIT != 0 && tag < IGNORE_TAG => {
+                self.on_rpc_batch_completion(ctx, done);
+            }
             tag => {
                 let (op_id, attempt, phase) = split_tag(tag);
                 let trace = self.trace_of(ctx, op_id);
@@ -1749,28 +2167,64 @@ impl ClientNode {
         if get.attempt != attempt {
             return;
         }
-        let hash = get.hash;
         let trace = self.trace_of(ctx, op_id);
-        ctx.charge_cpu_traced(
-            self.cfg.msg_cost.client_recv,
-            trace,
-            simnet::obs::stage::CLIENT_CPU,
-        );
-        ctx.metrics()
-            .add_id(self.m().cpu_ns, self.cfg.msg_cost.client_recv.nanos());
+        let recv_cost = if self.cfg.strategy == LookupStrategy::Rpc {
+            self.cfg.rpc_cost.client_recv
+        } else {
+            self.cfg.msg_cost.client_recv
+        };
+        ctx.charge_cpu_traced(recv_cost, trace, simnet::obs::stage::CLIENT_CPU);
+        ctx.metrics().add_id(self.m().cpu_ns, recv_cost.nanos());
         match done.status {
+            Status::Ok => match messages::GetResp::decode(done.body) {
+                Some(resp) => self.apply_lookup_entry(
+                    ctx,
+                    op_id,
+                    attempt,
+                    Status::Ok,
+                    resp.version,
+                    resp.value,
+                ),
+                None => self.fail_attempt(ctx, op_id, RetryReason::MsgDecode),
+            },
+            other => self.apply_lookup_entry(
+                ctx,
+                op_id,
+                attempt,
+                other,
+                VersionNumber::ZERO,
+                Bytes::new(),
+            ),
+        }
+    }
+
+    /// Resolve one server-side lookup verdict against its GET — the shared
+    /// tail of the single MSG/RPC response and every batched sub-op.
+    fn apply_lookup_entry(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        attempt: u64,
+        status: Status,
+        version: VersionNumber,
+        value: Bytes,
+    ) {
+        let Some(OpState::Get(get)) = self.ops.get(&op_id) else {
+            return;
+        };
+        if get.attempt != attempt {
+            return;
+        }
+        let hash = get.hash;
+        let key = get.key.clone();
+        match status {
             Status::Ok => {
-                if let Some(resp) = messages::GetResp::decode(done.body) {
-                    let key = resp.key.clone();
-                    self.memo.remember(&key, resp.version);
-                    if let Some(cache) = self.ccache.as_mut() {
-                        cache.insert(hash, resp.version, resp.value.clone(), ctx.now());
-                    }
-                    ctx.metrics().add_id(self.m().get_hits, 1);
-                    self.complete_op(ctx, op_id, OpOutcome::Hit, ctx.now());
-                } else {
-                    self.fail_attempt(ctx, op_id, RetryReason::MsgDecode);
+                self.memo.remember(&key, version);
+                if let Some(cache) = self.ccache.as_mut() {
+                    cache.insert(hash, version, value, ctx.now());
                 }
+                ctx.metrics().add_id(self.m().get_hits, 1);
+                self.complete_op(ctx, op_id, OpOutcome::Hit, ctx.now());
             }
             Status::NotFound => {
                 if let Some(cache) = self.ccache.as_mut() {
@@ -1780,6 +2234,81 @@ impl ClientNode {
                 self.complete_op(ctx, op_id, OpOutcome::Miss, ctx.now());
             }
             _ => self.fail_attempt(ctx, op_id, RetryReason::MsgError),
+        }
+    }
+
+    /// Demux a batched MULTI_GET/MULTI_SET response frame: one receive-side
+    /// charge for the whole frame, then per-sub-op resolution identical to
+    /// the unbatched path.
+    fn on_rpc_batch_completion(&mut self, ctx: &mut Ctx<'_>, done: rpc::Completion) {
+        let Some(batch) = self.rpc_batches.remove(&done.call.user_tag) else {
+            return;
+        };
+        let from = done.call.dst;
+        let rep_trace = self.trace_of(ctx, batch.subs.first().map(|t| t >> 10).unwrap_or(0));
+        let recv_cost = if batch.mutation || self.cfg.strategy == LookupStrategy::Rpc {
+            self.cfg.rpc_cost.client_recv
+        } else {
+            self.cfg.msg_cost.client_recv
+        };
+        ctx.charge_cpu_traced(recv_cost, rep_trace, simnet::obs::stage::CLIENT_CPU);
+        ctx.metrics().add_id(self.m().cpu_ns, recv_cost.nanos());
+        if batch.mutation {
+            let decoded = if done.status == Status::Ok {
+                messages::MultiSetResp::decode(done.body)
+            } else {
+                None
+            };
+            match decoded {
+                Some(resp) => {
+                    for (sub, s) in resp.statuses {
+                        let (op_id, attempt, _) = split_tag(sub);
+                        self.on_mutation_response(ctx, op_id, attempt, Status::from_u8(s), from);
+                    }
+                }
+                None => {
+                    // Whole-frame failure: every member sees an Internal
+                    // verdict from this replica (same as a lost single RPC).
+                    for &sub in &batch.subs {
+                        let (op_id, attempt, _) = split_tag(sub);
+                        self.on_mutation_response(ctx, op_id, attempt, Status::Internal, from);
+                    }
+                }
+            }
+        } else {
+            let decoded = if done.status == Status::Ok {
+                messages::MultiGetResp::decode(done.body)
+            } else {
+                None
+            };
+            match decoded {
+                Some(resp) => {
+                    for e in resp.entries {
+                        let (op_id, attempt, _) = split_tag(e.sub);
+                        self.apply_lookup_entry(
+                            ctx,
+                            op_id,
+                            attempt,
+                            Status::from_u8(e.status),
+                            e.version,
+                            e.value,
+                        );
+                    }
+                }
+                None => {
+                    for &sub in &batch.subs {
+                        let (op_id, attempt, _) = split_tag(sub);
+                        self.apply_lookup_entry(
+                            ctx,
+                            op_id,
+                            attempt,
+                            Status::Internal,
+                            VersionNumber::ZERO,
+                            Bytes::new(),
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -1835,7 +2364,11 @@ impl ClientNode {
     // ---- RMA completions ---------------------------------------------------
 
     fn on_rma_completion(&mut self, ctx: &mut Ctx<'_>, done: rma::OpCompletion) {
-        let (op_id, attempt, phase) = split_tag(done.op.user_tag);
+        if done.op.user_tag & BATCH_TAG_BIT != 0 {
+            self.on_rma_batch_completion(ctx, done);
+            return;
+        }
+        let (op_id, _, _) = split_tag(done.op.user_tag);
         let trace = self.trace_of(ctx, op_id);
         // Client-side transport completion processing cost.
         let ready = self
@@ -1849,7 +2382,70 @@ impl ClientNode {
         // the NIC would report it (the Fig. 16 quantity).
         ctx.metrics().record_id(self.m().rma_rtt_ns, done.rtt_ns);
         let replica = done.op.dst;
-        match done.status {
+        self.route_rma_result(
+            ctx,
+            replica,
+            done.op.user_tag,
+            done.status,
+            done.bucket,
+            done.data,
+        );
+    }
+
+    /// Demux a batched RMA response: one completion admission for the whole
+    /// frame, then per-sub-op routing identical to the single path. Data
+    /// fetches the demux triggers (2×R) re-coalesce into a follow-up frame.
+    fn on_rma_batch_completion(&mut self, ctx: &mut Ctx<'_>, done: rma::OpCompletion) {
+        let Some(subs) = self.rma_batches.remove(&done.op.user_tag) else {
+            return;
+        };
+        let rep_trace = self.trace_of(ctx, subs.first().map(|t| t >> 10).unwrap_or(0));
+        let total: usize = done
+            .subs
+            .iter()
+            .map(|d| d.data.len() + d.bucket.len())
+            .sum();
+        let ready = self.transport.admit_completion(ctx.now(), total);
+        ctx.trace_interval(rep_trace, simnet::obs::stage::ENGINE, ctx.now(), ready);
+        let _ = ready;
+        ctx.metrics().record_id(self.m().rma_rtt_ns, done.rtt_ns);
+        let replica = done.op.dst;
+        if done.subs.is_empty() {
+            // Defensive: a frame-level failure with no per-entry verdicts
+            // fails every member's vote from this replica.
+            for tag in subs {
+                let (op_id, attempt, _) = split_tag(tag);
+                self.record_vote(ctx, op_id, attempt, replica, Vote::Failed);
+            }
+            return;
+        }
+        let reactivate = self.cfg.doorbell_batching && !self.coalesce.active;
+        if reactivate {
+            self.coalesce.active = true;
+        }
+        for d in done.subs {
+            let trace = self.trace_of(ctx, d.sub >> 10);
+            self.charge_rma_op(ctx, trace);
+            self.route_rma_result(ctx, replica, d.sub, d.status, d.bucket, d.data);
+        }
+        if reactivate {
+            self.coalesce_flush(ctx);
+        }
+    }
+
+    /// Route one RMA result (a single op's completion or one batch entry)
+    /// to its per-strategy handler, applying the shared status policy.
+    fn route_rma_result(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        replica: NodeId,
+        tag: u64,
+        status: RmaStatus,
+        bucket: Bytes,
+        data: Bytes,
+    ) {
+        let (op_id, attempt, phase) = split_tag(tag);
+        match status {
             RmaStatus::Ok | RmaStatus::NoMatch => {}
             RmaStatus::WindowRevoked | RmaStatus::BadGeneration | RmaStatus::OutOfBounds => {
                 // Stale geometry (reshape, growth, restart): drop it and
@@ -1865,9 +2461,13 @@ impl ClientNode {
             }
         }
         match (self.cfg.strategy, phase) {
-            (LookupStrategy::TwoR, 0) => self.on_index_response(ctx, op_id, attempt, replica, done),
-            (LookupStrategy::TwoR, 1) => self.on_data_response(ctx, op_id, attempt, replica, done),
-            (LookupStrategy::Scar, 0) => self.on_scar_response(ctx, op_id, attempt, replica, done),
+            (LookupStrategy::TwoR, 0) => {
+                self.on_index_response(ctx, op_id, attempt, replica, &data)
+            }
+            (LookupStrategy::TwoR, 1) => self.on_data_response(ctx, op_id, attempt, replica, data),
+            (LookupStrategy::Scar, 0) => {
+                self.on_scar_response(ctx, op_id, attempt, replica, status, bucket, data)
+            }
             _ => {}
         }
     }
@@ -1912,9 +2512,9 @@ impl ClientNode {
         op_id: u64,
         attempt: u64,
         replica: NodeId,
-        done: rma::OpCompletion,
+        data: &Bytes,
     ) {
-        match self.parse_bucket_vote(ctx, op_id, &done.data) {
+        match self.parse_bucket_vote(ctx, op_id, data) {
             Some(vote) => self.record_vote(ctx, op_id, attempt, replica, vote),
             None => self.fail_attempt(ctx, op_id, RetryReason::ConfigMismatch),
         }
@@ -1926,7 +2526,7 @@ impl ClientNode {
         op_id: u64,
         attempt: u64,
         replica: NodeId,
-        done: rma::OpCompletion,
+        data: Bytes,
     ) {
         let Some(OpState::Get(get)) = self.ops.get_mut(&op_id) else {
             return;
@@ -1935,7 +2535,7 @@ impl ClientNode {
             return;
         }
         // End-to-end self-validation (§3 step 5): checksum, then full key.
-        match parse_data_entry(&done.data) {
+        match parse_data_entry(&data) {
             Err(_) => {
                 // Torn read — rare, but normal (§3).
                 ctx.metrics().add_id(self.m().get_torn_reads, 1);
@@ -1952,34 +2552,39 @@ impl ClientNode {
                 // Zero-copy: the value is served as a slice of the inbound
                 // frame (shares its pooled storage, no allocation).
                 let at = layout::DATA_ENTRY_HEADER_BYTES + entry.key.len();
-                let value = done.data.slice(at..at + entry.data.len());
+                let len = entry.data.len();
+                let value = data.slice(at..at + len);
                 get.data = Some((replica, entry.version, value));
                 self.evaluate_get(ctx, op_id);
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_scar_response(
         &mut self,
         ctx: &mut Ctx<'_>,
         op_id: u64,
         attempt: u64,
         replica: NodeId,
-        done: rma::OpCompletion,
+        status: RmaStatus,
+        bucket: Bytes,
+        data: Bytes,
     ) {
-        let Some(vote) = self.parse_bucket_vote(ctx, op_id, &done.bucket) else {
+        let Some(vote) = self.parse_bucket_vote(ctx, op_id, &bucket) else {
             self.fail_attempt(ctx, op_id, RetryReason::ConfigMismatch);
             return;
         };
         // Inline data: first valid response becomes the preferred copy.
-        if done.status == RmaStatus::Ok && !done.data.is_empty() {
+        if status == RmaStatus::Ok && !data.is_empty() {
             if let Some(OpState::Get(get)) = self.ops.get_mut(&op_id) {
                 if get.attempt == attempt && get.data.is_none() {
-                    match parse_data_entry(&done.data) {
+                    match parse_data_entry(&data) {
                         Ok(entry) if entry.key == &get.key[..] => {
                             // Zero-copy slice of the inbound frame.
                             let at = layout::DATA_ENTRY_HEADER_BYTES + entry.key.len();
-                            let value = done.data.slice(at..at + entry.data.len());
+                            let len = entry.data.len();
+                            let value = data.slice(at..at + len);
                             get.data = Some((replica, entry.version, value));
                         }
                         Ok(_) => {
@@ -2046,6 +2651,8 @@ impl ClientNode {
                     if !outcome.ok() {
                         b.failed = true;
                     }
+                    b.superseded |= outcome == OpOutcome::Superseded;
+                    b.any_hit |= outcome == OpOutcome::Hit;
                     b.remaining == 0
                 };
                 if is_get {
@@ -2053,16 +2660,7 @@ impl ClientNode {
                         .record_id(self.m().getkey_latency_ns, observed.nanos());
                 }
                 if finished {
-                    let b = self.batches.remove(&batch_id).expect("batch exists");
-                    let batch_latency = at.since(b.started) + shim_overhead;
-                    ctx.metrics()
-                        .record_id(self.m().get_latency_ns, batch_latency.nanos());
-                    ctx.metrics().add_id(self.m().get_batches, 1);
-                    self.log_completion(
-                        if b.failed { OpOutcome::Error } else { outcome },
-                        batch_latency.nanos(),
-                    );
-                    self.on_op_finished(ctx);
+                    self.finish_batch(ctx, batch_id, at, shim_overhead);
                 }
             }
             None => {
@@ -2077,6 +2675,62 @@ impl ClientNode {
                 self.log_completion(outcome, observed.nanos());
                 self.on_op_finished(ctx);
             }
+        }
+    }
+
+    fn finish_batch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        batch_id: u64,
+        at: SimTime,
+        shim_overhead: SimDuration,
+    ) {
+        let b = self.batches.remove(&batch_id).expect("batch exists");
+        let batch_latency = at.since(b.started) + shim_overhead;
+        let m = *self.m();
+        let (lat, batches) = if b.gets {
+            (m.get_latency_ns, m.get_batches)
+        } else {
+            (m.set_latency_ns, m.set_batches)
+        };
+        ctx.metrics().record_id(lat, batch_latency.nanos());
+        ctx.metrics().add_id(batches, 1);
+        // The container outcome is an order-independent aggregate of its
+        // sub-ops: sub-op completion order differs between the batched and
+        // unbatched wire paths (frame demux vs per-op responses) and must
+        // not leak into observable results. Any failure dominates; a GET
+        // batch is a Hit when any key resolved; a mutation batch reports
+        // Superseded when any write lost to a newer version.
+        let outcome = if b.failed {
+            OpOutcome::Error
+        } else if b.gets {
+            if b.any_hit {
+                OpOutcome::Hit
+            } else {
+                OpOutcome::Miss
+            }
+        } else if b.superseded {
+            OpOutcome::Superseded
+        } else {
+            OpOutcome::Done
+        };
+        self.log_completion(outcome, batch_latency.nanos());
+        self.on_op_finished(ctx);
+    }
+
+    /// A batch member that never issued (overload drop) still resolves its
+    /// container.
+    fn batch_member_dropped(&mut self, ctx: &mut Ctx<'_>, batch_id: u64) {
+        let finished = {
+            let Some(b) = self.batches.get_mut(&batch_id) else {
+                return;
+            };
+            b.remaining -= 1;
+            b.failed = true;
+            b.remaining == 0
+        };
+        if finished {
+            self.finish_batch(ctx, batch_id, ctx.now(), SimDuration::ZERO);
         }
     }
 
@@ -2209,6 +2863,26 @@ impl Node for ClientNode {
                 } else if let Some(rma_id) = RmaOpTable::op_of_timer(token) {
                     if let Some(op) = self.rma.expire(rma_id) {
                         ctx.metrics().add_id(self.m().rma_timeouts, 1);
+                        if op.user_tag & BATCH_TAG_BIT != 0 {
+                            // A lost batch frame fails every member's vote
+                            // from this replica; retries go unbatched.
+                            if let Some(subs) = self.rma_batches.remove(&op.user_tag) {
+                                for tag in subs {
+                                    let (op_id, attempt, _) = split_tag(tag);
+                                    if self.ops.contains_key(&op_id) {
+                                        let trace = self.trace_of(ctx, op_id);
+                                        ctx.trace_interval(
+                                            trace,
+                                            simnet::obs::stage::RETRY,
+                                            op.issued_at,
+                                            ctx.now(),
+                                        );
+                                    }
+                                    self.record_vote(ctx, op_id, attempt, op.dst, Vote::Failed);
+                                }
+                            }
+                            return;
+                        }
                         let (op_id, attempt, _) = split_tag(op.user_tag);
                         // The op stalled from issue to expiry on this
                         // sub-op; charge it to the retry tier (only if the
@@ -2240,6 +2914,43 @@ impl Node for ClientNode {
                                 self.refresh_config(ctx);
                             }
                             IGNORE_TAG => {}
+                            tag if tag & BATCH_TAG_BIT != 0 => {
+                                // A lost batched RPC frame: every member
+                                // gets the same verdict a lost single call
+                                // would have produced.
+                                if let Some(batch) = self.rpc_batches.remove(&tag) {
+                                    let mutation = batch.mutation;
+                                    for sub in batch.subs {
+                                        let (op_id, attempt, _) = split_tag(sub);
+                                        if self.ops.contains_key(&op_id) {
+                                            let trace = self.trace_of(ctx, op_id);
+                                            ctx.trace_interval(
+                                                trace,
+                                                simnet::obs::stage::RETRY,
+                                                call.issued_at,
+                                                ctx.now(),
+                                            );
+                                        }
+                                        if mutation {
+                                            self.on_mutation_response(
+                                                ctx,
+                                                op_id,
+                                                attempt,
+                                                Status::Internal,
+                                                call.dst,
+                                            );
+                                        } else if let Some(OpState::Get(g)) = self.ops.get(&op_id) {
+                                            if g.attempt == attempt {
+                                                self.fail_attempt(
+                                                    ctx,
+                                                    op_id,
+                                                    RetryReason::MsgTimeout,
+                                                );
+                                            }
+                                        }
+                                    }
+                                }
+                            }
                             tag => {
                                 let (op_id, attempt, phase) = split_tag(tag);
                                 if self.ops.contains_key(&op_id) {

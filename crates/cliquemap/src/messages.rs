@@ -45,6 +45,16 @@ pub mod method {
     /// as GET_RPC but served on the lean messaging path, waking a server
     /// thread instead of running the full RPC framework.
     pub const MSG_GET: u16 = 14;
+    /// Doorbell-batched lookup on the full RPC path: one request frame
+    /// carries every key destined for this host, one response frame a
+    /// per-sub-op status vector.
+    pub const MULTI_GET_RPC: u16 = 15;
+    /// Doorbell-batched lookup on the lean messaging path (MSG strategy):
+    /// same body as MULTI_GET_RPC, served at messaging cost.
+    pub const MSG_MULTI_GET: u16 = 16;
+    /// Doorbell-batched mutation: one frame of (key, value, version)
+    /// triples, one response frame of per-sub-op statuses.
+    pub const MULTI_SET: u16 = 17;
 }
 
 fn put_bytes(b: &mut BytesMut, v: &[u8]) {
@@ -538,6 +548,271 @@ impl MigrateChunk {
     }
 }
 
+/// MULTI_GET_RPC / MSG_MULTI_GET request body: every key of one batch
+/// destined for one replica host, in sub-op order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MultiGetReq {
+    /// Per-sub-op tags, echoed verbatim in the response so the client can
+    /// demux without positional bookkeeping surviving reordering.
+    pub subs: Vec<u64>,
+    /// The keys, parallel to `subs`.
+    pub keys: Vec<Bytes>,
+}
+
+impl MultiGetReq {
+    fn write(&self, b: &mut BytesMut) {
+        b.put_u32_le(self.keys.len() as u32);
+        for (sub, k) in self.subs.iter().zip(&self.keys) {
+            b.put_u64_le(*sub);
+            put_bytes(b, k);
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + self.keys.iter().map(|k| 12 + k.len()).sum::<usize>()
+    }
+
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.encoded_len());
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(self.encoded_len());
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<MultiGetReq> {
+        if body.len() < 4 {
+            return None;
+        }
+        let n = body.get_u32_le() as usize;
+        // Each entry needs at least sub(8) + length prefix(4).
+        if body.len() < n.saturating_mul(12) {
+            return None;
+        }
+        let mut subs = Vec::with_capacity(n);
+        let mut keys = Vec::with_capacity(n);
+        for _ in 0..n {
+            if body.len() < 8 {
+                return None;
+            }
+            subs.push(body.get_u64_le());
+            keys.push(get_bytes(&mut body)?);
+        }
+        Some(MultiGetReq { subs, keys })
+    }
+}
+
+/// One sub-op's result inside a [`MultiGetResp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiGetEntry {
+    /// Echoed sub-op tag.
+    pub sub: u64,
+    /// Per-sub-op status (`rpc::Status` as u8): Ok or NotFound.
+    pub status: u8,
+    /// The stored version (zero on NotFound).
+    pub version: VersionNumber,
+    /// The value (empty on NotFound).
+    pub value: Bytes,
+}
+
+/// MULTI_GET_RPC / MSG_MULTI_GET response body: one status vector for the
+/// whole batch in one pooled frame.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MultiGetResp {
+    /// Per-sub-op results, in request order.
+    pub entries: Vec<MultiGetEntry>,
+}
+
+impl MultiGetResp {
+    fn write(&self, b: &mut BytesMut) {
+        b.put_u32_le(self.entries.len() as u32);
+        for e in &self.entries {
+            b.put_u64_le(e.sub);
+            b.put_u8(e.status);
+            b.put_u128_le(e.version.0);
+            put_bytes(b, &e.value);
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + self
+            .entries
+            .iter()
+            .map(|e| 29 + e.value.len())
+            .sum::<usize>()
+    }
+
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.encoded_len());
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(self.encoded_len());
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<MultiGetResp> {
+        if body.len() < 4 {
+            return None;
+        }
+        let n = body.get_u32_le() as usize;
+        // Each entry needs at least sub(8) + status(1) + version(16) +
+        // length prefix(4).
+        if body.len() < n.saturating_mul(29) {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            if body.len() < 25 {
+                return None;
+            }
+            let sub = body.get_u64_le();
+            let status = body.get_u8();
+            let version = VersionNumber(body.get_u128_le());
+            let value = get_bytes(&mut body)?;
+            entries.push(MultiGetEntry {
+                sub,
+                status,
+                version,
+                value,
+            });
+        }
+        Some(MultiGetResp { entries })
+    }
+}
+
+/// MULTI_SET request body: every (key, value, version) of one batch
+/// destined for one replica, in sub-op order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MultiSetReq {
+    /// Per-sub-op tags, echoed in the response status vector's order.
+    pub subs: Vec<u64>,
+    /// (key, value, client-nominated version) triples, parallel to `subs`.
+    pub entries: Vec<(Bytes, Bytes, VersionNumber)>,
+}
+
+impl MultiSetReq {
+    fn write(&self, b: &mut BytesMut) {
+        b.put_u32_le(self.entries.len() as u32);
+        for (sub, (k, v, ver)) in self.subs.iter().zip(&self.entries) {
+            b.put_u64_le(*sub);
+            b.put_u128_le(ver.0);
+            put_bytes(b, k);
+            put_bytes(b, v);
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + self
+            .entries
+            .iter()
+            .map(|(k, v, _)| 32 + k.len() + v.len())
+            .sum::<usize>()
+    }
+
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.encoded_len());
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(self.encoded_len());
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<MultiSetReq> {
+        if body.len() < 4 {
+            return None;
+        }
+        let n = body.get_u32_le() as usize;
+        // Each entry needs at least sub(8) + version(16) + two length
+        // prefixes(8).
+        if body.len() < n.saturating_mul(32) {
+            return None;
+        }
+        let mut subs = Vec::with_capacity(n);
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            if body.len() < 24 {
+                return None;
+            }
+            subs.push(body.get_u64_le());
+            let ver = VersionNumber(body.get_u128_le());
+            let k = get_bytes(&mut body)?;
+            let v = get_bytes(&mut body)?;
+            entries.push((k, v, ver));
+        }
+        Some(MultiSetReq { subs, entries })
+    }
+}
+
+/// MULTI_SET response body: one `rpc::Status` byte per sub-op, tagged.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MultiSetResp {
+    /// (echoed sub tag, `rpc::Status` as u8) per sub-op, request order.
+    pub statuses: Vec<(u64, u8)>,
+}
+
+impl MultiSetResp {
+    fn write(&self, b: &mut BytesMut) {
+        b.put_u32_le(self.statuses.len() as u32);
+        for (sub, s) in &self.statuses {
+            b.put_u64_le(*sub);
+            b.put_u8(*s);
+        }
+    }
+
+    /// Encode to a body.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(4 + 9 * self.statuses.len());
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Encode to a body in a pooled buffer.
+    pub fn encode_in(&self, pool: &Pool) -> Bytes {
+        let mut b = pool.get(4 + 9 * self.statuses.len());
+        self.write(&mut b);
+        b.freeze()
+    }
+
+    /// Decode from a body.
+    pub fn decode(mut body: Bytes) -> Option<MultiSetResp> {
+        if body.len() < 4 {
+            return None;
+        }
+        let n = body.get_u32_le() as usize;
+        if body.len() < n.saturating_mul(9) {
+            return None;
+        }
+        let mut statuses = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sub = body.get_u64_le();
+            let s = body.get_u8();
+            statuses.push((sub, s));
+        }
+        Some(MultiSetResp { statuses })
+    }
+}
+
 /// PREPARE_MAINTENANCE body: where to migrate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrepareMaintenance {
@@ -813,5 +1088,82 @@ mod tests {
     fn prepare_maintenance_roundtrip() {
         let m = PrepareMaintenance { spare_node: 42 };
         assert_eq!(PrepareMaintenance::decode(m.encode()), Some(m));
+    }
+
+    #[test]
+    fn multi_get_roundtrips() {
+        let req = MultiGetReq {
+            subs: vec![100, 101],
+            keys: vec![Bytes::from_static(b"a"), Bytes::from_static(b"bb")],
+        };
+        assert_eq!(MultiGetReq::decode(req.encode()), Some(req));
+        let resp = MultiGetResp {
+            entries: vec![
+                MultiGetEntry {
+                    sub: 100,
+                    status: 0,
+                    version: VersionNumber::new(1, 2, 3),
+                    value: Bytes::from_static(b"v1"),
+                },
+                MultiGetEntry {
+                    sub: 101,
+                    status: 1, // NotFound
+                    version: VersionNumber::ZERO,
+                    value: Bytes::new(),
+                },
+            ],
+        };
+        assert_eq!(MultiGetResp::decode(resp.encode()), Some(resp));
+        // Empty batch roundtrips.
+        let empty = MultiGetReq::default();
+        assert_eq!(MultiGetReq::decode(empty.encode()), Some(empty));
+    }
+
+    #[test]
+    fn multi_set_roundtrips() {
+        let req = MultiSetReq {
+            subs: vec![7, 8],
+            entries: vec![
+                (
+                    Bytes::from_static(b"k1"),
+                    Bytes::from_static(b"v1"),
+                    VersionNumber::new(1, 1, 1),
+                ),
+                (
+                    Bytes::from_static(b"k2"),
+                    Bytes::from_static(b"v2"),
+                    VersionNumber::new(2, 2, 2),
+                ),
+            ],
+        };
+        assert_eq!(MultiSetReq::decode(req.encode()), Some(req));
+        let resp = MultiSetResp {
+            statuses: vec![(7, 0), (8, 2)],
+        };
+        assert_eq!(MultiSetResp::decode(resp.encode()), Some(resp));
+    }
+
+    #[test]
+    fn batch_bodies_reject_adversarial_counts() {
+        // Count lies larger than the body can hold fail before allocating.
+        let mut b = BytesMut::new();
+        b.put_u32_le(u32::MAX);
+        b.extend_from_slice(&[0u8; 24]);
+        let wire = b.freeze();
+        assert_eq!(MultiGetReq::decode(wire.clone()), None);
+        assert_eq!(MultiGetResp::decode(wire.clone()), None);
+        assert_eq!(MultiSetReq::decode(wire.clone()), None);
+        assert_eq!(MultiSetResp::decode(wire), None);
+        // Truncated frames fail cleanly.
+        let good = MultiSetReq {
+            subs: vec![1],
+            entries: vec![(
+                Bytes::from_static(b"k"),
+                Bytes::from_static(b"v"),
+                VersionNumber::ZERO,
+            )],
+        }
+        .encode();
+        assert_eq!(MultiSetReq::decode(good.slice(0..good.len() - 1)), None);
     }
 }

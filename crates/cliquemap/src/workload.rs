@@ -37,6 +37,11 @@ pub enum ClientOp {
         /// Key to erase.
         key: Bytes,
     },
+    /// Batched mutation: installs every pair, completes when all resolve.
+    MultiSet {
+        /// (key, value) pairs to install concurrently.
+        entries: Vec<(Bytes, Bytes)>,
+    },
     /// Conditional update using the client's memoized version for the key.
     Cas {
         /// Key to update.

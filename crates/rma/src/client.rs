@@ -11,7 +11,9 @@ use bytes::{Bytes, Pool};
 use simnet::{NodeId, SimTime};
 
 use crate::codec::{
-    encode_read_req_in, encode_scar_req_in, ReadReq, RmaEnvelope, RmaStatus, ScarReq,
+    encode_batch_read_req_in, encode_batch_scar_req_in, encode_read_req_in, encode_scar_req_in,
+    BatchDone, BatchReadEntry, BatchReadReq, BatchScarEntry, BatchScarReq, ReadReq, RmaEnvelope,
+    RmaStatus, ScarReq,
 };
 use crate::region::WindowId;
 
@@ -25,6 +27,10 @@ pub enum OpKind {
     Read,
     /// Scan-and-Read.
     Scar,
+    /// Doorbell-batched reads (one frame, many sub-reads).
+    BatchRead,
+    /// Doorbell-batched SCARs.
+    BatchScar,
 }
 
 /// Metadata for one in-flight RMA op.
@@ -55,6 +61,10 @@ pub struct OpCompletion {
     pub op: OutstandingOp,
     /// Round-trip time in nanoseconds.
     pub rtt_ns: u64,
+    /// Per-sub-op results for batched ops (empty for single ops). The
+    /// frame-level `status`/`data`/`bucket` fields are `Ok`/empty — every
+    /// sub-op resolves through its own [`BatchDone`].
+    pub subs: Vec<BatchDone>,
 }
 
 /// Tracks in-flight RMA ops for one client node.
@@ -138,6 +148,44 @@ impl RmaOpTable {
         (op_id, wire)
     }
 
+    /// Begin a doorbell-batched read: every sub-read in `entries` travels in
+    /// one frame under one op id. Returns (op id, encoded request).
+    pub fn begin_batch_read(
+        &mut self,
+        dst: NodeId,
+        entries: Vec<BatchReadEntry>,
+        now: SimTime,
+        user_tag: u64,
+    ) -> (u64, Bytes) {
+        let op_id = self.alloc(dst, OpKind::BatchRead, now, user_tag);
+        let wire = encode_batch_read_req_in(&BatchReadReq { op_id, entries }, &self.pool);
+        (op_id, wire)
+    }
+
+    /// Begin a doorbell-batched SCAR against one host geometry; returns
+    /// (op id, encoded request).
+    pub fn begin_batch_scar(
+        &mut self,
+        dst: NodeId,
+        index_window: WindowId,
+        index_generation: u32,
+        entries: Vec<BatchScarEntry>,
+        now: SimTime,
+        user_tag: u64,
+    ) -> (u64, Bytes) {
+        let op_id = self.alloc(dst, OpKind::BatchScar, now, user_tag);
+        let wire = encode_batch_scar_req_in(
+            &BatchScarReq {
+                op_id,
+                index_window: index_window.0,
+                index_generation,
+                entries,
+            },
+            &self.pool,
+        );
+        (op_id, wire)
+    }
+
     fn alloc(&mut self, dst: NodeId, kind: OpKind, now: SimTime, user_tag: u64) -> u64 {
         let op_id = self.next_id;
         self.next_id += 1;
@@ -166,6 +214,7 @@ impl RmaOpTable {
                     data: r.data,
                     bucket: Bytes::new(),
                     op,
+                    subs: Vec::new(),
                 })
             }
             RmaEnvelope::ScarResp(r) => {
@@ -177,9 +226,37 @@ impl RmaOpTable {
                     data: r.data,
                     bucket: r.bucket,
                     op,
+                    subs: Vec::new(),
                 })
             }
-            RmaEnvelope::ReadReq(_) | RmaEnvelope::ScarReq(_) => None,
+            RmaEnvelope::BatchReadResp(r) => {
+                let op = self.outstanding.remove(&r.op_id)?;
+                Some(OpCompletion {
+                    op_id: r.op_id,
+                    status: RmaStatus::Ok,
+                    rtt_ns: now.since(op.issued_at).nanos(),
+                    data: Bytes::new(),
+                    bucket: Bytes::new(),
+                    op,
+                    subs: r.entries,
+                })
+            }
+            RmaEnvelope::BatchScarResp(r) => {
+                let op = self.outstanding.remove(&r.op_id)?;
+                Some(OpCompletion {
+                    op_id: r.op_id,
+                    status: RmaStatus::Ok,
+                    rtt_ns: now.since(op.issued_at).nanos(),
+                    data: Bytes::new(),
+                    bucket: Bytes::new(),
+                    op,
+                    subs: r.entries,
+                })
+            }
+            RmaEnvelope::ReadReq(_)
+            | RmaEnvelope::ScarReq(_)
+            | RmaEnvelope::BatchReadReq(_)
+            | RmaEnvelope::BatchScarReq(_) => None,
         }
     }
 
@@ -255,6 +332,88 @@ mod tests {
         assert_eq!(done.status, RmaStatus::NoMatch);
         assert_eq!(done.bucket.len(), 448);
         assert_eq!(done.op.kind, OpKind::Scar);
+    }
+
+    #[test]
+    fn batch_read_issue_and_complete() {
+        use crate::codec::encode_batch_read_resp;
+        let mut t = RmaOpTable::new();
+        let entries = vec![
+            BatchReadEntry {
+                sub: 100,
+                window: 1,
+                generation: 3,
+                offset: 0,
+                len: 448,
+            },
+            BatchReadEntry {
+                sub: 200,
+                window: 1,
+                generation: 3,
+                offset: 896,
+                len: 448,
+            },
+        ];
+        let (op_id, wire) = t.begin_batch_read(NodeId(5), entries, SimTime(0), 77);
+        assert_eq!(t.in_flight(), 1);
+        let req = match decode(wire).unwrap() {
+            RmaEnvelope::BatchReadReq(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(req.op_id, op_id);
+        assert_eq!(req.entries.len(), 2);
+        let resp = decode(encode_batch_read_resp(&crate::codec::BatchReadResp {
+            op_id,
+            entries: vec![
+                BatchDone {
+                    sub: 100,
+                    status: RmaStatus::Ok,
+                    bucket: Bytes::new(),
+                    data: Bytes::from_static(b"a"),
+                },
+                BatchDone {
+                    sub: 200,
+                    status: RmaStatus::OutOfBounds,
+                    bucket: Bytes::new(),
+                    data: Bytes::new(),
+                },
+            ],
+        }))
+        .unwrap();
+        let done = t.complete(resp, SimTime(3_000)).unwrap();
+        assert_eq!(done.op.kind, OpKind::BatchRead);
+        assert_eq!(done.op.user_tag, 77);
+        assert_eq!(done.subs.len(), 2);
+        assert_eq!(done.subs[0].sub, 100);
+        assert_eq!(done.subs[1].status, RmaStatus::OutOfBounds);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn batch_scar_issue_and_complete() {
+        use crate::codec::encode_batch_scar_resp;
+        let mut t = RmaOpTable::new();
+        let entries = vec![BatchScarEntry {
+            sub: 9,
+            bucket_offset: 64,
+            bucket_len: 448,
+            key_hash: 0xABCD,
+        }];
+        let (op_id, _wire) = t.begin_batch_scar(NodeId(2), WindowId(0), 1, entries, SimTime(0), 8);
+        let resp = decode(encode_batch_scar_resp(&crate::codec::BatchScarResp {
+            op_id,
+            entries: vec![BatchDone {
+                sub: 9,
+                status: RmaStatus::NoMatch,
+                bucket: Bytes::from_static(&[0; 448]),
+                data: Bytes::new(),
+            }],
+        }))
+        .unwrap();
+        let done = t.complete(resp, SimTime(100)).unwrap();
+        assert_eq!(done.op.kind, OpKind::BatchScar);
+        assert_eq!(done.subs.len(), 1);
+        assert_eq!(done.subs[0].bucket.len(), 448);
     }
 
     #[test]

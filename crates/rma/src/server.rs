@@ -18,7 +18,8 @@ use bytes::{Bytes, Pool};
 use simnet::SimTime;
 
 use crate::codec::{
-    encode_read_resp_parts, encode_scar_resp_parts, ReadReq, RmaEnvelope, RmaStatus, ScarReq,
+    encode_read_resp_parts, encode_scar_resp_parts, BatchReadReq, BatchRespWriter, BatchScarReq,
+    ReadReq, RmaEnvelope, RmaStatus, ScarReq,
 };
 use crate::region::{RegionTable, WindowId};
 use crate::transport::Transport;
@@ -80,7 +81,123 @@ pub fn serve(
     match env {
         RmaEnvelope::ReadReq(req) => Some(serve_read(req, regions, transport, pool, now)),
         RmaEnvelope::ScarReq(req) => Some(serve_scar(req, regions, resolver, transport, pool, now)),
-        RmaEnvelope::ReadResp(_) | RmaEnvelope::ScarResp(_) => None,
+        RmaEnvelope::BatchReadReq(req) => {
+            Some(serve_batch_read(req, regions, transport, pool, now))
+        }
+        RmaEnvelope::BatchScarReq(req) => Some(serve_batch_scar(
+            req, regions, resolver, transport, pool, now,
+        )),
+        RmaEnvelope::ReadResp(_)
+        | RmaEnvelope::ScarResp(_)
+        | RmaEnvelope::BatchReadResp(_)
+        | RmaEnvelope::BatchScarResp(_) => None,
+    }
+}
+
+/// Vectored serve for a doorbell-batched read frame: every sub-read
+/// executes against region memory, the transport is charged **once** for
+/// the aggregate payload, and the per-sub-op status vector travels back in
+/// one pooled response frame.
+fn serve_batch_read(
+    req: &BatchReadReq,
+    regions: &RegionTable,
+    transport: &mut Transport,
+    pool: &Pool,
+    now: SimTime,
+) -> Served {
+    let mut parts: Vec<(u64, RmaStatus, &[u8])> = Vec::with_capacity(req.entries.len());
+    let mut total = 0usize;
+    for e in &req.entries {
+        match regions.read_window_slice(WindowId(e.window), e.generation, e.offset, e.len) {
+            Ok(data) => {
+                total += data.len();
+                parts.push((e.sub, RmaStatus::Ok, data));
+            }
+            Err(s) => parts.push((e.sub, s, &[][..])),
+        }
+    }
+    let ready_at = transport.admit_serve(now, total, 0);
+    let mut w = BatchRespWriter::read_resp(req.op_id, parts.len(), total, pool);
+    for (sub, status, data) in parts {
+        w.push(sub, status, &[], data);
+    }
+    Served {
+        ready_at,
+        response: w.finish(),
+    }
+}
+
+/// Vectored serve for a doorbell-batched SCAR frame: one engine admission
+/// covers every bucket fetch + scan + pointer chase in the batch.
+fn serve_batch_scar(
+    req: &BatchScarReq,
+    regions: &RegionTable,
+    resolver: &dyn ScarResolver,
+    transport: &mut Transport,
+    pool: &Pool,
+    now: SimTime,
+) -> Served {
+    if !transport.supports_scar() {
+        let ready_at = transport.admit_serve(now, 0, 0);
+        let mut w = BatchRespWriter::scar_resp(req.op_id, req.entries.len(), 0, pool);
+        for e in &req.entries {
+            w.push(e.sub, RmaStatus::Unsupported, &[], &[]);
+        }
+        return Served {
+            ready_at,
+            response: w.finish(),
+        };
+    }
+    // (status, bucket, data) per sub-op, resolved before the single
+    // aggregate transport admission.
+    let mut parts: Vec<(u64, RmaStatus, &[u8], &[u8])> = Vec::with_capacity(req.entries.len());
+    let mut total = 0usize;
+    let mut scanned = 0usize;
+    for e in &req.entries {
+        let bucket = match regions.read_window_slice(
+            WindowId(req.index_window),
+            req.index_generation,
+            e.bucket_offset,
+            e.bucket_len,
+        ) {
+            Ok(b) => b,
+            Err(s) => {
+                parts.push((e.sub, s, &[], &[]));
+                continue;
+            }
+        };
+        match resolver.resolve(bucket, e.key_hash) {
+            ScarOutcome::Miss { entries_scanned } => {
+                scanned += entries_scanned;
+                total += bucket.len();
+                parts.push((e.sub, RmaStatus::NoMatch, bucket, &[]));
+            }
+            ScarOutcome::Hit {
+                window,
+                generation,
+                offset,
+                len,
+                entries_scanned,
+            } => {
+                scanned += entries_scanned;
+                let (status, data) =
+                    match regions.read_window_slice(window, generation, offset, len) {
+                        Ok(d) => (RmaStatus::Ok, d),
+                        Err(s) => (s, &[][..]),
+                    };
+                total += bucket.len() + data.len();
+                parts.push((e.sub, status, bucket, data));
+            }
+        }
+    }
+    let ready_at = transport.admit_serve(now, total, scanned.max(1));
+    let mut w = BatchRespWriter::scar_resp(req.op_id, parts.len(), total, pool);
+    for (sub, status, bucket, data) in parts {
+        w.push(sub, status, bucket, data);
+    }
+    Served {
+        ready_at,
+        response: w.finish(),
     }
 }
 
@@ -372,6 +489,134 @@ mod tests {
         .unwrap();
         match decode(served.response).unwrap() {
             RmaEnvelope::ScarResp(r) => assert_eq!(r.status, RmaStatus::WindowRevoked),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_read_served_with_one_admission() {
+        use crate::codec::{BatchReadEntry, BatchReadReq};
+        let (regions, resolver, mut transport) = setup();
+        let generation = regions.window_generation(WindowId(1));
+        let req = RmaEnvelope::BatchReadReq(BatchReadReq {
+            op_id: 10,
+            entries: vec![
+                BatchReadEntry {
+                    sub: 1,
+                    window: 1,
+                    generation,
+                    offset: 32,
+                    len: 5,
+                },
+                BatchReadEntry {
+                    sub: 2,
+                    window: 1,
+                    generation: generation + 99, // stale
+                    offset: 0,
+                    len: 4,
+                },
+            ],
+        });
+        let served = serve(
+            &req,
+            &regions,
+            &resolver,
+            &mut transport,
+            &Pool::new(),
+            SimTime(0),
+        )
+        .unwrap();
+        // One frame in, one engine admission for the whole batch.
+        assert_eq!(transport.sw_ops(), 1);
+        match decode(served.response).unwrap() {
+            RmaEnvelope::BatchReadResp(r) => {
+                assert_eq!(r.op_id, 10);
+                assert_eq!(r.entries.len(), 2);
+                assert_eq!(r.entries[0].status, RmaStatus::Ok);
+                assert_eq!(&r.entries[0].data[..], b"hello");
+                assert_eq!(r.entries[1].status, RmaStatus::BadGeneration);
+                assert!(r.entries[1].data.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_scar_served_with_one_admission() {
+        use crate::codec::{BatchScarEntry, BatchScarReq};
+        let (regions, resolver, mut transport) = setup();
+        let req = RmaEnvelope::BatchScarReq(BatchScarReq {
+            op_id: 11,
+            index_window: 0,
+            index_generation: regions.window_generation(WindowId(0)),
+            entries: vec![
+                BatchScarEntry {
+                    sub: 1,
+                    bucket_offset: 0,
+                    bucket_len: 28,
+                    key_hash: 7, // hit
+                },
+                BatchScarEntry {
+                    sub: 2,
+                    bucket_offset: 0,
+                    bucket_len: 28,
+                    key_hash: 12345, // miss
+                },
+            ],
+        });
+        let served = serve(
+            &req,
+            &regions,
+            &resolver,
+            &mut transport,
+            &Pool::new(),
+            SimTime(0),
+        )
+        .unwrap();
+        assert_eq!(transport.sw_ops(), 1);
+        match decode(served.response).unwrap() {
+            RmaEnvelope::BatchScarResp(r) => {
+                assert_eq!(r.entries.len(), 2);
+                assert_eq!(r.entries[0].status, RmaStatus::Ok);
+                assert_eq!(&r.entries[0].data[..], b"hello");
+                assert_eq!(r.entries[0].bucket.len(), 28);
+                assert_eq!(r.entries[1].status, RmaStatus::NoMatch);
+                assert!(r.entries[1].data.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_scar_rejected_per_entry_on_hardware() {
+        use crate::codec::{BatchScarEntry, BatchScarReq};
+        let (regions, resolver, _) = setup();
+        let mut transport = Transport::one_rma();
+        let req = RmaEnvelope::BatchScarReq(BatchScarReq {
+            op_id: 12,
+            index_window: 0,
+            index_generation: 0,
+            entries: vec![BatchScarEntry {
+                sub: 4,
+                bucket_offset: 0,
+                bucket_len: 28,
+                key_hash: 7,
+            }],
+        });
+        let served = serve(
+            &req,
+            &regions,
+            &resolver,
+            &mut transport,
+            &Pool::new(),
+            SimTime(0),
+        )
+        .unwrap();
+        match decode(served.response).unwrap() {
+            RmaEnvelope::BatchScarResp(r) => {
+                assert_eq!(r.entries[0].status, RmaStatus::Unsupported);
+                assert_eq!(r.entries[0].sub, 4);
+            }
             other => panic!("{other:?}"),
         }
     }

@@ -302,6 +302,93 @@ impl Workload for ProductionGets {
     }
 }
 
+/// Batched corpus-update traffic: MultiSet batches whose sizes are
+/// log-normal with a heavy tail, arriving at a sinusoidally-varying rate —
+/// the write-side twin of [`ProductionGets`], built to drive the
+/// doorbell-batched mutation path at production batch shapes.
+pub struct ProductionMultiSets {
+    /// Key namespace prefix.
+    pub prefix: String,
+    /// Population size.
+    pub keys: u64,
+    /// Zipfian sampler.
+    pub zipf: Zipf,
+    /// Value sizes.
+    pub sizes: SizeDist,
+    /// Mean batch size (log-normal location).
+    pub batch_mu: f64,
+    /// Batch size spread.
+    pub batch_sigma: f64,
+    /// Maximum batch size.
+    pub batch_cap: usize,
+    /// Mean arrival rate of *batches* per second.
+    pub base_rate: f64,
+    /// Diurnal amplitude in [0, 1): rate swings ±amplitude around base.
+    pub diurnal_amplitude: f64,
+    /// Length of one simulated "day".
+    pub day: SimDuration,
+    /// Stop after this instant (u64::MAX ns = never).
+    pub until: SimTime,
+}
+
+impl ProductionMultiSets {
+    /// The Ads update stream: same Zipf skew and log-normal batch shape as
+    /// [`ProductionGets::ads`].
+    pub fn ads(
+        prefix: &str,
+        keys: u64,
+        sizes: SizeDist,
+        base_rate: f64,
+        day: SimDuration,
+    ) -> ProductionMultiSets {
+        ProductionMultiSets {
+            prefix: prefix.to_string(),
+            keys,
+            zipf: Zipf::new(keys, 0.9),
+            sizes,
+            batch_mu: (6f64).ln(),
+            batch_sigma: 1.1,
+            batch_cap: 300,
+            base_rate,
+            diurnal_amplitude: 0.35,
+            day,
+            until: SimTime::MAX,
+        }
+    }
+
+    fn rate_at(&self, now: SimTime) -> f64 {
+        let phase =
+            2.0 * std::f64::consts::PI * (now.nanos() as f64) / (self.day.nanos().max(1) as f64);
+        self.base_rate * (1.0 + self.diurnal_amplitude * phase.sin())
+    }
+}
+
+impl Workload for ProductionMultiSets {
+    fn next(&mut self, now: SimTime, rng: &mut SimRng) -> Option<(SimDuration, ClientOp)> {
+        if now >= self.until {
+            return None;
+        }
+        let rate = self.rate_at(now).max(1.0);
+        let gap = SimDuration::from_secs_f64(rng.exponential(1.0 / rate));
+        let batch =
+            (rng.log_normal(self.batch_mu, self.batch_sigma) as usize).clamp(1, self.batch_cap);
+        let mut entries: Vec<(Bytes, Bytes)> = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let key = Prefill::key_name(&self.prefix, self.zipf.sample(rng));
+            let len = self.sizes.size_for_key(&key);
+            let value = UniformWorkload::value_for(&key, len);
+            entries.push((key, value));
+        }
+        let op = if batch == 1 {
+            let (key, value) = entries.pop().expect("batch >= 1");
+            ClientOp::Set { key, value }
+        } else {
+            ClientOp::MultiSet { entries }
+        };
+        Some((gap, op))
+    }
+}
+
 /// Steady corpus-update SET stream plus optional periodic backfill bursts
 /// (the Fig. 8 "SET Rate (Writes)" and "SET Rate (Backfill)" series).
 pub struct ProductionSets {
@@ -524,6 +611,44 @@ mod tests {
         let peak = w.rate_at(SimTime(1_000_000_000));
         let trough = w.rate_at(SimTime(3_000_000_000));
         assert!((peak / trough - 3.0).abs() < 0.2, "swing {}", peak / trough);
+    }
+
+    #[test]
+    fn production_multisets_batches_and_parity() {
+        let mut w = ProductionMultiSets::ads(
+            "k",
+            1000,
+            SizeDist::fixed(64),
+            1_000.0,
+            SimDuration::from_secs(1),
+        );
+        let mut rng = SimRng::new(3);
+        let mut sizes = Vec::new();
+        for _ in 0..2_000 {
+            if let Some((_, op)) = w.next(SimTime(0), &mut rng) {
+                match op {
+                    ClientOp::MultiSet { entries } => {
+                        assert!(entries.iter().all(|(_, v)| v.len() == 64));
+                        sizes.push(entries.len());
+                    }
+                    ClientOp::Set { value, .. } => {
+                        assert_eq!(value.len(), 64);
+                        sizes.push(1);
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
+        let max = *sizes.iter().max().unwrap();
+        assert!(max > 20, "no tail batches: max {max}");
+        assert!(max <= 300);
+        // Parity with the Ads GET stream: same diurnal swing.
+        let peak = w.rate_at(SimTime(250_000_000));
+        let trough = w.rate_at(SimTime(750_000_000));
+        assert!(peak / trough > 1.8, "peak {peak} trough {trough}");
+        // Terminates at `until`.
+        w.until = SimTime(1);
+        assert!(w.next(SimTime(2), &mut rng).is_none());
     }
 
     #[test]

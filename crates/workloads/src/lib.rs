@@ -9,6 +9,8 @@
 //! * [`RampWorkload`] — linear load ramps (Figs. 15-17);
 //! * [`ProductionGets`] / [`ProductionSets`] — batched diurnal Ads/Geo
 //!   traffic with steady writers and backfill bursts (Figs. 8-9);
+//! * [`ProductionMultiSets`] — the write-side twin of [`ProductionGets`]:
+//!   log-normal MultiSet batches for the doorbell-batched mutation path;
 //! * [`SingleKeyGets`] — the Fig. 11 preferred-backend microbenchmark;
 //! * [`SkewedWorkload`] / [`HotSpotWorkload`] — Zipfian and rotating
 //!   hot-set skew (any exponent s ≥ 0) for the hot-key experiments.
@@ -21,7 +23,8 @@ pub mod sizes;
 pub mod skew;
 
 pub use generators::{
-    MixWorkload, Prefill, ProductionGets, ProductionSets, RampWorkload, SingleKeyGets, Then,
+    MixWorkload, Prefill, ProductionGets, ProductionMultiSets, ProductionSets, RampWorkload,
+    SingleKeyGets, Then,
 };
 pub use sizes::SizeDist;
 pub use skew::{HotSpotWorkload, SkewedWorkload, ZipfRanks};

@@ -287,6 +287,10 @@ pub fn stream_signature(w: &mut dyn Workload, seed: u64, ops: usize) -> String {
             ClientOp::Erase { key } => ("E", key.clone()),
             ClientOp::Cas { key, .. } => ("C", key.clone()),
             ClientOp::MultiGet { .. } => ("M", Bytes::new()),
+            ClientOp::MultiSet { entries } => (
+                "W",
+                entries.first().map(|(k, _)| k.clone()).unwrap_or_default(),
+            ),
         };
         out.push_str(&format!(
             "{} {} {}\n",

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use simnet::{SimDuration, SimRng};
 use workloads::skew::{stream_signature, ZipfRanks};
-use workloads::{MixWorkload, SizeDist, SkewedWorkload};
+use workloads::{MixWorkload, ProductionMultiSets, SizeDist, SkewedWorkload};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -44,6 +44,25 @@ proptest! {
         let mut b = build();
         let sig_a = stream_signature(&mut a, seed, 300);
         let sig_b = stream_signature(&mut b, seed, 300);
+        prop_assert!(!sig_a.is_empty());
+        prop_assert_eq!(sig_a, sig_b);
+    }
+
+    /// Two [`ProductionMultiSets`] generators with identical parameters
+    /// driven by identically seeded RNGs emit byte-identical batched op
+    /// streams (keys, batch sizes, gaps) — the doorbell-batching
+    /// experiments rely on replayable MultiSet traffic.
+    #[test]
+    fn multiset_seeded_streams_are_byte_identical(
+        seed in any::<u64>(),
+        keys in 10u64..3000,
+        rate in 100.0f64..50_000.0,
+    ) {
+        let build = || ProductionMultiSets::ads(
+            "w", keys, SizeDist::fixed(96), rate, SimDuration::from_secs(1),
+        );
+        let sig_a = stream_signature(&mut build(), seed, 200);
+        let sig_b = stream_signature(&mut build(), seed, 200);
         prop_assert!(!sig_a.is_empty());
         prop_assert_eq!(sig_a, sig_b);
     }

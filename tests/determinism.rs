@@ -53,9 +53,9 @@ const GOLDENS: &[(&str, u64, u64)] = &[
     ("pony_ramp", PONY_GOLDEN_EVENTS, PONY_GOLDEN_HASH),
 ];
 const ADS_GOLDEN_EVENTS: u64 = 252_133;
-const ADS_GOLDEN_HASH: u64 = 0xfde1_c10f_27a6_934f;
+const ADS_GOLDEN_HASH: u64 = 0x7b81_2761_8072_52f6;
 const PONY_GOLDEN_EVENTS: u64 = 87_646;
-const PONY_GOLDEN_HASH: u64 = 0x96e1_369d_cad4_07a9;
+const PONY_GOLDEN_HASH: u64 = 0xf7c1_d2f0_43ae_826d;
 
 #[test]
 fn simperf_workloads_match_goldens() {
