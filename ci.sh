@@ -82,6 +82,18 @@ cargo run --release -p bench --bin figures -- batch --csv "$CHAOS_TMP/batch2" >/
 cmp "$CHAOS_TMP/batch1/batch.csv" "$CHAOS_TMP/batch2/batch.csv"
 cmp "$CHAOS_TMP/batch1/batch.csv" results/batch.csv
 
+echo "== restart smoke + durability-off zero-impact gate =="
+# The warm-vs-cold restart figure must replay byte-identically: two seeded
+# runs match each other and the committed CSV. The chaos/f3/f13/f14/skew/
+# trace/batch cmp gates above double as the durability-off zero-impact
+# proof: every one of those cells runs with `CellSpec::durability = None`
+# (no device model enabled, no WAL constructed) and regenerates its
+# committed artifact byte for byte.
+cargo run --release -p bench --bin figures -- restart --csv "$CHAOS_TMP/restart1" >/dev/null
+cargo run --release -p bench --bin figures -- restart --csv "$CHAOS_TMP/restart2" >/dev/null
+cmp "$CHAOS_TMP/restart1/restart.csv" "$CHAOS_TMP/restart2/restart.csv"
+cmp "$CHAOS_TMP/restart1/restart.csv" results/restart.csv
+
 echo "== deterministic parallel-step gate (SIMNET_PARALLEL) =="
 # The opt-in conservative parallel step must be byte-identical to the
 # serial engine on whole experiments: with SIMNET_PARALLEL set, every cell

@@ -355,8 +355,14 @@ fn main() {
                 failed = true;
                 continue;
             };
+            // The committed events/s baseline is measured *without* the
+            // counting allocator (see the `simperf-alloc` feature docs);
+            // the counter atomics and the extra RSS skew wall time — on
+            // alloc-heavy cells like cell950 by several x — so the
+            // alloc-counting build gates allocs/op only and reports
+            // events/s informationally.
             let ratio = s.events_per_sec / row.events_per_sec;
-            if ratio < 1.0 - REGRESSION_TOLERANCE {
+            if ratio < 1.0 - REGRESSION_TOLERANCE && !ALLOC_COUNTING {
                 eprintln!(
                     "[simperf] REGRESSION {}: {:.0} events/s vs baseline {:.0} ({:.1}%)",
                     row.name,
@@ -367,7 +373,8 @@ fn main() {
                 failed = true;
             } else {
                 eprintln!(
-                    "[simperf] ok {}: {:.0} events/s vs baseline {:.0} ({:+.1}%)",
+                    "[simperf] {} {}: {:.0} events/s vs baseline {:.0} ({:+.1}%)",
+                    if ALLOC_COUNTING { "info" } else { "ok" },
                     row.name,
                     s.events_per_sec,
                     row.events_per_sec,

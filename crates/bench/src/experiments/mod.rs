@@ -24,6 +24,7 @@ pub mod f6;
 pub mod f7;
 pub mod f8;
 pub mod f9;
+pub mod restart;
 pub mod skew;
 pub mod trace;
 pub mod xa;

@@ -75,4 +75,5 @@ pub mod slab;
 pub mod store;
 pub mod tombstone;
 pub mod version;
+pub mod wal;
 pub mod workload;

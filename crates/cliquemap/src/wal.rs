@@ -1,0 +1,81 @@
+//! Backend glue for the RAM-first durability engine (`durable` crate).
+//!
+//! CliqueMap proper is cache-semantics RAM-only: a backend crash loses the
+//! shard and recovery is en-masse peer repair (§5.4). This module bolts the
+//! ClawStore-style alternative onto a backend: every committed mutation is
+//! appended to a per-backend WAL whose fsyncs ride the host's timed storage
+//! device ([`simnet::DeviceCfg`]) under group commit, a trickle flusher
+//! checkpoints the log prefix in device-idle gaps, and a revived backend
+//! replays its [`durable::Media`] locally before running the usual Pull
+//! recovery scan — which then only *delta*-repairs the un-fsynced tail
+//! instead of re-fetching the whole shard over the fabric.
+//!
+//! Wholly opt-in: [`crate::backend::BackendCfg::durable`] is `None` by
+//! default, and with it off no WAL type is ever constructed, no device op
+//! issued, and every schedule is byte-identical to a build without the
+//! subsystem.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use durable::{GroupCommit, Media};
+use simnet::SimDuration;
+
+/// Per-backend durability configuration.
+#[derive(Clone)]
+pub struct DurableCfg {
+    /// The crash-surviving media (fsynced WAL + checkpoint snapshot). The
+    /// cell builder keeps a handle to each backend's media so a reviver
+    /// can hand the *same* media to the replacement node — that sharing is
+    /// what makes a restart warm.
+    pub media: Rc<RefCell<Media>>,
+    /// How often the trickle flusher looks for an idle device slot.
+    pub trickle_interval: SimDuration,
+    /// Max WAL records checkpointed per trickle flush (bounds both the
+    /// checkpoint device write and the log-truncation step).
+    pub trickle_records: u64,
+    /// Replay CPU cost per recovered record at warm restart.
+    pub replay_ns_per_record: u64,
+}
+
+impl DurableCfg {
+    /// Durability against `media` with default trickle/replay parameters.
+    pub fn new(media: Rc<RefCell<Media>>) -> DurableCfg {
+        DurableCfg {
+            media,
+            trickle_interval: SimDuration::from_millis(5),
+            trickle_records: 256,
+            replay_ns_per_record: 300,
+        }
+    }
+}
+
+impl std::fmt::Debug for DurableCfg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableCfg")
+            .field("trickle_interval", &self.trickle_interval)
+            .field("trickle_records", &self.trickle_records)
+            .finish()
+    }
+}
+
+/// Live WAL state owned by one backend process. The [`GroupCommit`]
+/// buffers are process RAM — a crash loses whatever hadn't fsynced, which
+/// is exactly the delta the post-restart Pull scan repairs from peers.
+#[derive(Debug)]
+pub(crate) struct WalEngine {
+    pub cfg: DurableCfg,
+    pub gc: GroupCommit,
+    /// Records covered by the checkpoint device write in flight, if any.
+    pub trickle_inflight: Option<u64>,
+}
+
+impl WalEngine {
+    pub(crate) fn new(cfg: DurableCfg) -> WalEngine {
+        WalEngine {
+            cfg,
+            gc: GroupCommit::default(),
+            trickle_inflight: None,
+        }
+    }
+}

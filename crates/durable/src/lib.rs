@@ -1,0 +1,549 @@
+//! # durable — RAM-first durability engine
+//!
+//! CliqueMap proper treats a backend's RAM as the only copy and recovers a
+//! crashed backend by en-masse peer repair over the fabric (§ unplanned
+//! maintenance). This crate supplies the RAM-first *alternative* in the
+//! ClawStore mold: reads never touch storage, every mutation is appended to
+//! a per-backend write-ahead log whose fsyncs are amortized by **group
+//! commit**, a background **trickle flush** checkpoints the log prefix into
+//! a snapshot (bounding log length), and a restart **replays** snapshot +
+//! log locally so only the un-fsynced tail has to be delta-repaired from
+//! peers.
+//!
+//! The crate is deliberately engine-only and dependency-free: it knows
+//! nothing about simulated time, devices, or RPC. The simulation glue
+//! (when fsyncs complete, what they cost) lives in `simnet`'s device model
+//! and `cliquemap`'s backend; tests drive the engine directly.
+//!
+//! ## Crash model
+//!
+//! Durability state is split in two:
+//!
+//! * [`Media`] — what survives a crash: fsynced WAL bytes plus the
+//!   checkpoint snapshot. The owning process holds it behind
+//!   `Rc<RefCell<Media>>` so a revived node reattaches to the same media.
+//! * [`GroupCommit`] — what dies with the process: the in-RAM pending
+//!   batch and the batch whose fsync is in flight. A crash loses both,
+//!   which is exactly the un-fsynced tail the warm restart must fetch back
+//!   from peers.
+//!
+//! Torn tails are first-class: [`decode_stream`] drops a truncated or
+//! corrupt final record instead of failing, because a crash mid-device-
+//! write legitimately leaves one.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+/// WAL record kind: a key/value set (or repair-set, CAS — anything that
+/// installs a value at a version).
+pub const KIND_SET: u8 = 0;
+/// WAL record kind: an erase tombstone at a version.
+pub const KIND_ERASE: u8 = 1;
+
+/// Fixed per-record framing bytes: `len` + `crc` + `kind` + `version` +
+/// `key_len`.
+pub const RECORD_HEADER: usize = 4 + 4 + 1 + 16 + 4;
+
+/// One logical WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// [`KIND_SET`] or [`KIND_ERASE`].
+    pub kind: u8,
+    /// The store's version number for this mutation (128-bit, TrueTime
+    /// derived upstream). Replay is version-gated on this.
+    pub version: u128,
+    /// Key bytes.
+    pub key: Vec<u8>,
+    /// Value bytes (empty for [`KIND_ERASE`]).
+    pub value: Vec<u8>,
+}
+
+impl Record {
+    /// Encoded on-log size of this record in bytes.
+    pub fn encoded_len(&self) -> usize {
+        RECORD_HEADER + self.key.len() + self.value.len()
+    }
+}
+
+/// FNV-1a over `bytes` (the checksum guarding each record's body).
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Append `rec`'s wire form to `buf`; returns the encoded length.
+///
+/// Layout (all integers little-endian):
+/// `[total_len u32][crc u32][kind u8][version u128][key_len u32][key][value]`
+/// where `total_len` counts everything including itself and `crc` is
+/// FNV-1a over the body (everything after the `crc` field).
+pub fn append_record(buf: &mut Vec<u8>, rec: &Record) -> usize {
+    let total = rec.encoded_len();
+    buf.reserve(total);
+    buf.extend_from_slice(&(total as u32).to_le_bytes());
+    let crc_at = buf.len();
+    buf.extend_from_slice(&[0u8; 4]);
+    let body_at = buf.len();
+    buf.push(rec.kind);
+    buf.extend_from_slice(&rec.version.to_le_bytes());
+    buf.extend_from_slice(&(rec.key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&rec.key);
+    buf.extend_from_slice(&rec.value);
+    let crc = fnv1a32(&buf[body_at..]);
+    buf[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+    total
+}
+
+/// Outcome of decoding a WAL byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecodeTail {
+    /// Bytes consumed by fully valid records.
+    pub consumed: usize,
+    /// Whether a torn tail (truncated or checksum-failing final record)
+    /// was dropped. Anything *after* a torn record is unreachable — the
+    /// log is append-only, so a tear can only be last.
+    pub torn: bool,
+}
+
+/// Decode every intact record from `bytes`, dropping a torn tail. Never
+/// panics on corrupt input: a truncated header, a truncated body, or a
+/// checksum mismatch ends the decode at the last good record.
+pub fn decode_stream(bytes: &[u8]) -> (Vec<Record>, DecodeTail) {
+    let mut recs = Vec::new();
+    let mut at = 0usize;
+    while bytes.len() - at >= 4 {
+        let total = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        if total < RECORD_HEADER || bytes.len() - at < total {
+            return (
+                recs,
+                DecodeTail {
+                    consumed: at,
+                    torn: true,
+                },
+            );
+        }
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+        let body = &bytes[at + 8..at + total];
+        if fnv1a32(body) != crc {
+            return (
+                recs,
+                DecodeTail {
+                    consumed: at,
+                    torn: true,
+                },
+            );
+        }
+        let kind = body[0];
+        let version = u128::from_le_bytes(body[1..17].try_into().unwrap());
+        let key_len = u32::from_le_bytes(body[17..21].try_into().unwrap()) as usize;
+        if 21 + key_len > body.len() {
+            return (
+                recs,
+                DecodeTail {
+                    consumed: at,
+                    torn: true,
+                },
+            );
+        }
+        recs.push(Record {
+            kind,
+            version,
+            key: body[21..21 + key_len].to_vec(),
+            value: body[21 + key_len..].to_vec(),
+        });
+        at += total;
+    }
+    let torn = at != bytes.len();
+    (recs, DecodeTail { consumed: at, torn })
+}
+
+/// Version-gated apply of one record onto a plain map — the reference
+/// semantics replay tests compare the store against. An entry only moves
+/// forward in version; erases leave a tombstone version so a slower SET
+/// can't resurrect the key.
+pub fn apply_record(map: &mut BTreeMap<Vec<u8>, (u8, u128, Vec<u8>)>, rec: &Record) {
+    match map.get_mut(&rec.key) {
+        Some(slot) => {
+            if rec.version > slot.1 {
+                *slot = (rec.kind, rec.version, rec.value.clone());
+            }
+        }
+        None => {
+            map.insert(rec.key.clone(), (rec.kind, rec.version, rec.value.clone()));
+        }
+    }
+}
+
+/// What a process recovers from its [`Media`] at warm restart.
+#[derive(Debug, Clone, Default)]
+pub struct Recovery {
+    /// Records to replay, snapshot entries first (oldest state), then WAL
+    /// records in log order. Replay through a version-gated store is
+    /// idempotent, so replaying twice yields an identical store.
+    pub records: Vec<Record>,
+    /// Entries recovered from the checkpoint snapshot.
+    pub from_snapshot: u64,
+    /// Records recovered from the WAL proper.
+    pub from_wal: u64,
+    /// Whether a torn WAL tail was dropped.
+    pub torn_tail: bool,
+}
+
+/// The crash-surviving half of durability: fsynced WAL bytes plus the
+/// checkpoint snapshot trickle flush maintains. Only
+/// [`Media::commit`] (a completed fsync) and [`Media::flush_prefix`] (a
+/// completed checkpoint write) mutate it, mirroring the device protocol.
+#[derive(Debug, Clone, Default)]
+pub struct Media {
+    /// Durable WAL bytes (only ever appended by completed fsyncs,
+    /// truncated from the front by completed trickle flushes).
+    wal: Vec<u8>,
+    /// Records currently in `wal`.
+    wal_records: u64,
+    /// Checkpoint: key → (kind, version, value). Tombstones are kept so a
+    /// replayed erase still fences slower sets.
+    snapshot: BTreeMap<Vec<u8>, (u8, u128, Vec<u8>)>,
+    /// Cumulative WAL bytes retired into the snapshot (log truncation).
+    truncated_bytes: u64,
+}
+
+impl Media {
+    /// Whether nothing has ever been made durable (a cold, first-boot
+    /// media).
+    pub fn is_empty(&self) -> bool {
+        self.wal.is_empty() && self.snapshot.is_empty()
+    }
+
+    /// Apply a completed fsync: `encoded` (one or more records of wire
+    /// form, `records` of them) is now durable.
+    pub fn commit(&mut self, encoded: &[u8], records: u64) {
+        self.wal.extend_from_slice(encoded);
+        self.wal_records += records;
+    }
+
+    /// Crash-model variant of [`Media::commit`]: only the first `keep`
+    /// bytes of the batch reached the platter (the device lost power mid
+    /// transfer). Produces exactly the torn tail [`decode_stream`] drops.
+    pub fn commit_partial(&mut self, encoded: &[u8], keep: usize) {
+        let keep = keep.min(encoded.len());
+        self.wal.extend_from_slice(&encoded[..keep]);
+        // Record count is unknowable mid-tear; recompute at recovery.
+        let (recs, _) = decode_stream(&self.wal);
+        self.wal_records = recs.len() as u64;
+    }
+
+    /// Durable WAL length in bytes.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.len() as u64
+    }
+
+    /// Records in the durable WAL.
+    pub fn wal_records(&self) -> u64 {
+        self.wal_records
+    }
+
+    /// Entries in the checkpoint snapshot.
+    pub fn snapshot_entries(&self) -> u64 {
+        self.snapshot.len() as u64
+    }
+
+    /// Cumulative bytes truncated off the WAL by trickle flushes.
+    pub fn truncated_bytes(&self) -> u64 {
+        self.truncated_bytes
+    }
+
+    /// Peek the oldest WAL prefix of at most `max_records` records:
+    /// returns `(records, bytes)` without mutating anything. The trickle
+    /// flusher sizes its checkpoint device write from this.
+    pub fn prefix(&self, max_records: u64) -> (u64, u64) {
+        let (recs, _) = decode_stream(&self.wal);
+        let take = (recs.len() as u64).min(max_records);
+        let bytes: usize = recs[..take as usize].iter().map(|r| r.encoded_len()).sum();
+        (take, bytes as u64)
+    }
+
+    /// Apply a completed trickle flush: fold the oldest `max_records` WAL
+    /// records into the snapshot (version-gated) and truncate them off the
+    /// log front. Returns `(records, bytes)` retired.
+    pub fn flush_prefix(&mut self, max_records: u64) -> (u64, u64) {
+        let (recs, _) = decode_stream(&self.wal);
+        let take = (recs.len() as u64).min(max_records) as usize;
+        let bytes: usize = recs[..take].iter().map(|r| r.encoded_len()).sum();
+        for rec in &recs[..take] {
+            apply_record(&mut self.snapshot, rec);
+        }
+        self.wal.drain(..bytes);
+        self.wal_records -= take as u64;
+        self.truncated_bytes += bytes as u64;
+        (take as u64, bytes as u64)
+    }
+
+    /// Directly install a snapshot entry, as if an earlier trickle flush
+    /// had checkpointed it. Harness/test seeding only — models a process
+    /// that had been up (and flushing) long before the experiment window.
+    pub fn install_snapshot(&mut self, kind: u8, version: u128, key: &[u8], value: &[u8]) {
+        apply_record(
+            &mut self.snapshot,
+            &Record {
+                kind,
+                version,
+                key: key.to_vec(),
+                value: value.to_vec(),
+            },
+        );
+    }
+
+    /// Everything a warm restart replays: snapshot entries (in key order —
+    /// order is irrelevant, versions gate), then WAL records in log order,
+    /// with any torn tail dropped.
+    pub fn recover(&self) -> Recovery {
+        let mut records: Vec<Record> = self
+            .snapshot
+            .iter()
+            .map(|(k, (kind, version, value))| Record {
+                kind: *kind,
+                version: *version,
+                key: k.clone(),
+                value: value.clone(),
+            })
+            .collect();
+        let from_snapshot = records.len() as u64;
+        let (wal_recs, tail) = decode_stream(&self.wal);
+        let from_wal = wal_recs.len() as u64;
+        records.extend(wal_recs);
+        Recovery {
+            records,
+            from_snapshot,
+            from_wal,
+            torn_tail: tail.torn,
+        }
+    }
+}
+
+/// Counters a [`GroupCommit`] maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCommitStats {
+    /// Records appended.
+    pub appends: u64,
+    /// Commit (fsync) transactions completed.
+    pub commits: u64,
+    /// Records made durable across all completed commits.
+    pub committed_records: u64,
+    /// Bytes made durable across all completed commits.
+    pub committed_bytes: u64,
+    /// Largest single committed batch, in records.
+    pub max_batch: u64,
+}
+
+/// The in-RAM half of durability: a double-buffered group-commit batcher.
+///
+/// Appends land in the *pending* buffer. [`GroupCommit::start_commit`]
+/// moves pending to *committing* — but only when no commit is in flight,
+/// so while the device chews on one fsync every new append coalesces into
+/// the next batch. That queueing is the whole amortization story: under
+/// load the batch grows to whatever arrived during one fsync, and the
+/// per-record cost collapses by the batch factor.
+///
+/// Both buffers are process RAM: a crash loses them (the un-fsynced tail).
+#[derive(Debug, Default)]
+pub struct GroupCommit {
+    pending: Vec<u8>,
+    pending_records: u64,
+    committing: Vec<u8>,
+    committing_records: u64,
+    in_flight: bool,
+    stats: GroupCommitStats,
+}
+
+impl GroupCommit {
+    /// Append one record to the pending batch; returns the batch's new
+    /// record count (how many appends the next fsync will cover).
+    pub fn append(&mut self, rec: &Record) -> u64 {
+        append_record(&mut self.pending, rec);
+        self.pending_records += 1;
+        self.stats.appends += 1;
+        self.pending_records
+    }
+
+    /// Records waiting in the pending batch.
+    pub fn pending_records(&self) -> u64 {
+        self.pending_records
+    }
+
+    /// Whether a commit transaction is in flight on the device.
+    pub fn in_flight(&self) -> bool {
+        self.in_flight
+    }
+
+    /// Whether any appended record is not yet durable (pending or in
+    /// flight).
+    pub fn dirty(&self) -> bool {
+        self.in_flight || self.pending_records > 0
+    }
+
+    /// Try to start a commit: if none is in flight and the pending batch
+    /// is non-empty, seal it and return `(bytes, records)` for the caller
+    /// to issue as one device write+fsync transaction. Returns `None` if
+    /// there's nothing to do or a commit is already in flight.
+    pub fn start_commit(&mut self) -> Option<(u64, u64)> {
+        if self.in_flight || self.pending_records == 0 {
+            return None;
+        }
+        std::mem::swap(&mut self.pending, &mut self.committing);
+        self.committing_records = self.pending_records;
+        self.pending_records = 0;
+        self.pending.clear();
+        self.in_flight = true;
+        Some((self.committing.len() as u64, self.committing_records))
+    }
+
+    /// The device transaction completed: the committing batch is durable.
+    /// Appends it to `media` and returns the number of records committed.
+    pub fn finish_commit(&mut self, media: &mut Media) -> u64 {
+        debug_assert!(self.in_flight, "finish_commit without start_commit");
+        let records = self.committing_records;
+        media.commit(&self.committing, records);
+        self.stats.commits += 1;
+        self.stats.committed_records += records;
+        self.stats.committed_bytes += self.committing.len() as u64;
+        self.stats.max_batch = self.stats.max_batch.max(records);
+        self.committing.clear();
+        self.committing_records = 0;
+        self.in_flight = false;
+        records
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> GroupCommitStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: u8, version: u128, key: &[u8], value: &[u8]) -> Record {
+        Record {
+            kind,
+            version,
+            key: key.to_vec(),
+            value: value.to_vec(),
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut buf = Vec::new();
+        let a = rec(KIND_SET, 7, b"k1", b"hello");
+        let b = rec(KIND_ERASE, 9, b"k2", b"");
+        append_record(&mut buf, &a);
+        append_record(&mut buf, &b);
+        let (recs, tail) = decode_stream(&buf);
+        assert_eq!(recs, vec![a, b]);
+        assert!(!tail.torn);
+        assert_eq!(tail.consumed, buf.len());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_at_every_cut() {
+        let mut buf = Vec::new();
+        let a = rec(KIND_SET, 1, b"key-a", b"value-a");
+        let b = rec(KIND_SET, 2, b"key-b", b"value-b");
+        append_record(&mut buf, &a);
+        let a_len = buf.len();
+        append_record(&mut buf, &b);
+        // Every possible tear point inside the second record keeps exactly
+        // the first record and flags a torn tail.
+        for cut in a_len + 1..buf.len() {
+            let (recs, tail) = decode_stream(&buf[..cut]);
+            assert_eq!(recs, vec![a.clone()], "cut={cut}");
+            assert!(tail.torn, "cut={cut}");
+            assert_eq!(tail.consumed, a_len);
+        }
+        // A flipped body byte fails the checksum the same way.
+        let mut corrupt = buf.clone();
+        let n = corrupt.len();
+        corrupt[n - 1] ^= 0xff;
+        let (recs, tail) = decode_stream(&corrupt);
+        assert_eq!(recs, vec![a]);
+        assert!(tail.torn);
+    }
+
+    #[test]
+    fn group_commit_batches_while_in_flight() {
+        let mut gc = GroupCommit::default();
+        let mut media = Media::default();
+        gc.append(&rec(KIND_SET, 1, b"a", b"1"));
+        let (bytes, records) = gc.start_commit().expect("first commit starts");
+        assert_eq!(records, 1);
+        assert!(bytes > 0);
+        // While that fsync is in flight, appends coalesce.
+        for v in 2..=5u128 {
+            gc.append(&rec(KIND_SET, v, b"a", b"x"));
+        }
+        assert!(gc.start_commit().is_none(), "no overlap while in flight");
+        assert_eq!(gc.finish_commit(&mut media), 1);
+        assert_eq!(media.wal_records(), 1);
+        let (_, records) = gc.start_commit().expect("batched commit starts");
+        assert_eq!(records, 4, "all four appends share one fsync");
+        gc.finish_commit(&mut media);
+        assert_eq!(media.wal_records(), 5);
+        let s = gc.stats();
+        assert_eq!((s.appends, s.commits, s.max_batch), (5, 2, 4));
+    }
+
+    #[test]
+    fn flush_prefix_checkpoints_and_truncates() {
+        let mut media = Media::default();
+        let mut buf = Vec::new();
+        for v in 1..=10u128 {
+            append_record(
+                &mut buf,
+                &rec(KIND_SET, v, format!("k{v}").as_bytes(), b"v"),
+            );
+        }
+        media.commit(&buf, 10);
+        let (peek_recs, peek_bytes) = media.prefix(4);
+        assert_eq!(peek_recs, 4);
+        let (recs, bytes) = media.flush_prefix(4);
+        assert_eq!((recs, bytes), (peek_recs, peek_bytes));
+        assert_eq!(media.wal_records(), 6);
+        assert_eq!(media.snapshot_entries(), 4);
+        assert_eq!(media.truncated_bytes(), bytes);
+        // Recovery sees the same 10 logical records either way.
+        let r = media.recover();
+        assert_eq!(r.records.len(), 10);
+        assert_eq!((r.from_snapshot, r.from_wal), (4, 6));
+        assert!(!r.torn_tail);
+    }
+
+    #[test]
+    fn erase_tombstone_survives_flush_and_fences_older_set() {
+        let mut media = Media::default();
+        let mut buf = Vec::new();
+        append_record(&mut buf, &rec(KIND_SET, 5, b"k", b"v5"));
+        append_record(&mut buf, &rec(KIND_ERASE, 8, b"k", b""));
+        media.commit(&buf, 2);
+        media.flush_prefix(2);
+        assert_eq!(media.wal_records(), 0);
+        // The tombstone is retained in the snapshot at version 8.
+        let r = media.recover();
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.records[0].kind, KIND_ERASE);
+        assert_eq!(r.records[0].version, 8);
+        // A slower SET (version 6) replayed through apply_record loses.
+        let mut map = BTreeMap::new();
+        for rr in &r.records {
+            apply_record(&mut map, rr);
+        }
+        apply_record(&mut map, &rec(KIND_SET, 6, b"k", b"v6"));
+        assert_eq!(map[&b"k".to_vec()].0, KIND_ERASE);
+    }
+}

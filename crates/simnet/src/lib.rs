@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 
 pub mod deferred;
+pub mod device;
 pub mod fault;
 pub mod host;
 pub mod node;
@@ -66,6 +67,7 @@ pub mod util;
 pub use obs;
 
 pub use deferred::Deferred;
+pub use device::{DeviceCfg, DeviceStats};
 pub use fault::{Fault, FaultEvent, FaultPlan, HostSet, LinkImpairment};
 pub use host::{CpuAdmission, HostCfg, HostId, HostStats, Hosts, NodeId};
 pub use node::{Event, Frame, Node};

@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 
 use bytes::{Bytes, Pool};
 
+use crate::device::{DeviceCfg, DeviceStats, Devices};
 use crate::fault::{Fault, FaultPlan, FaultState};
 use crate::host::{HostCfg, HostId, HostStats, Hosts, NodeId};
 use crate::node::{Event, Frame, Node};
@@ -174,6 +175,11 @@ pub struct Sim {
     /// without a recorder is byte-identical to one built before the obs
     /// subsystem existed.
     obs: Option<Box<obs::Recorder>>,
+    /// Per-host timed storage devices, if durability is enabled. Same
+    /// contract as the fault/obs layers: `None` (the default) means device
+    /// ops are unreachable, no branch on any hot path, no RNG draws, and
+    /// the schedule is byte-identical to a build without the layer.
+    devices: Option<Box<Devices>>,
     /// Builds the replacement node when a scheduled `Restart` fires.
     #[allow(clippy::type_complexity)]
     fault_reviver: Option<Box<dyn FnMut(NodeId) -> Option<Box<dyn Node>>>>,
@@ -240,6 +246,29 @@ impl Sim {
             fault: None,
             fault_reviver: None,
             obs: None,
+            devices: None,
+        }
+    }
+
+    /// Give every host a timed storage device following `cfg`. Device ops
+    /// ([`Ctx::device_write`], [`Ctx::device_fsync`], [`Ctx::device_commit`])
+    /// panic unless this has been called — durability is opt-in per cell,
+    /// and an unconfigured device op is a wiring bug, not a soft error.
+    pub fn enable_devices(&mut self, cfg: DeviceCfg) {
+        self.devices = Some(Box::new(Devices::new(cfg)));
+    }
+
+    /// Whether storage devices are enabled.
+    pub fn devices_enabled(&self) -> bool {
+        self.devices.is_some()
+    }
+
+    /// Device counters for `host` (zeros when devices are disabled or the
+    /// host never touched its device).
+    pub fn device_stats(&self, host: HostId) -> DeviceStats {
+        match self.devices.as_deref() {
+            Some(d) => d.stats(host.0 as usize),
+            None => DeviceStats::default(),
         }
     }
 
@@ -973,6 +1002,80 @@ impl<'a> Ctx<'a> {
         let inc = self.sim.node_meta[self.id.0 as usize].incarnation;
         self.sim.schedule(
             at,
+            Pending::Deliver {
+                dst: self.id,
+                incarnation: inc,
+                ev: Event::Timer(token),
+            },
+        );
+    }
+
+    /// Whether this simulation has storage devices enabled
+    /// ([`Sim::enable_devices`]). Nodes configured for durability may
+    /// assert on this at start instead of panicking mid-run.
+    pub fn device_enabled(&self) -> bool {
+        self.sim.devices.is_some()
+    }
+
+    /// Queue a write of `bytes` payload bytes on this node's host device;
+    /// [`Event::Timer`] with `token` fires at completion. Returns the
+    /// completion time. Like timers, the completion captures the current
+    /// incarnation, so a crash between issue and completion fences the
+    /// event out — in-flight device ops die with the process.
+    ///
+    /// Panics if devices are not enabled: durability is opt-in per cell
+    /// and calling a device op without the layer is a wiring bug.
+    pub fn device_write(&mut self, bytes: u64, token: u64) -> SimTime {
+        let host = self.self_host().0 as usize;
+        let now = self.sim.now;
+        let d = self
+            .sim
+            .devices
+            .as_deref_mut()
+            .expect("devices not enabled");
+        let done = d.admit_write(host, now, bytes);
+        self.complete_device_op(done, token);
+        done
+    }
+
+    /// Queue an fsync on this node's host device; [`Event::Timer`] with
+    /// `token` fires at completion. See [`Ctx::device_write`] for the
+    /// fencing and panic contract.
+    pub fn device_fsync(&mut self, token: u64) -> SimTime {
+        let host = self.self_host().0 as usize;
+        let now = self.sim.now;
+        let d = self
+            .sim
+            .devices
+            .as_deref_mut()
+            .expect("devices not enabled");
+        let done = d.admit_fsync(host, now);
+        self.complete_device_op(done, token);
+        done
+    }
+
+    /// Queue a combined write-then-fsync commit of `bytes` payload bytes —
+    /// the group-commit primitive: one device transaction, one fsync, the
+    /// whole batch durable at completion. [`Event::Timer`] with `token`
+    /// fires at completion. See [`Ctx::device_write`] for the fencing and
+    /// panic contract.
+    pub fn device_commit(&mut self, bytes: u64, token: u64) -> SimTime {
+        let host = self.self_host().0 as usize;
+        let now = self.sim.now;
+        let d = self
+            .sim
+            .devices
+            .as_deref_mut()
+            .expect("devices not enabled");
+        let done = d.admit_commit(host, now, bytes);
+        self.complete_device_op(done, token);
+        done
+    }
+
+    fn complete_device_op(&mut self, done: SimTime, token: u64) {
+        let inc = self.sim.node_meta[self.id.0 as usize].incarnation;
+        self.sim.schedule(
+            done,
             Pending::Deliver {
                 dst: self.id,
                 incarnation: inc,
