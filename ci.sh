@@ -94,6 +94,18 @@ cargo run --release -p bench --bin figures -- restart --csv "$CHAOS_TMP/restart2
 cmp "$CHAOS_TMP/restart1/restart.csv" "$CHAOS_TMP/restart2/restart.csv"
 cmp "$CHAOS_TMP/restart1/restart.csv" results/restart.csv
 
+echo "== adaptive smoke + adaptive-off zero-impact gate =="
+# The adaptive dataplane figure (load ramp x chaos schedule, controller vs
+# each static strategy) must replay byte-identically: two seeded runs match
+# each other and the committed CSV. With `CellSpec::adaptive = None` (every
+# other committed figure) the controller must be invisible — no RNG fork
+# consumed, no per-op branch taken — which the chaos/f3/f13/f14/skew/
+# trace/batch/restart cmp gates above prove byte for byte.
+cargo run --release -p bench --bin figures -- adaptive --csv "$CHAOS_TMP/adaptive1" >/dev/null
+cargo run --release -p bench --bin figures -- adaptive --csv "$CHAOS_TMP/adaptive2" >/dev/null
+cmp "$CHAOS_TMP/adaptive1/adaptive.csv" "$CHAOS_TMP/adaptive2/adaptive.csv"
+cmp "$CHAOS_TMP/adaptive1/adaptive.csv" results/adaptive.csv
+
 echo "== deterministic parallel-step gate (SIMNET_PARALLEL) =="
 # The opt-in conservative parallel step must be byte-identical to the
 # serial engine on whole experiments: with SIMNET_PARALLEL set, every cell

@@ -1,0 +1,78 @@
+//! Property tests for the routing-demotion safety floor: no schedule of
+//! verdicts, timeouts, and probes may ever shrink the candidate set below
+//! quorum.
+
+use adaptive::{Controller, ControllerCfg, Path};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum HealthEvent {
+    Timeout(u32, bool),
+    Success(u32, bool),
+    Hint(u32),
+    Route { floor: usize, rpc: bool },
+}
+
+fn path(rpc: bool) -> Path {
+    if rpc {
+        Path::Rpc
+    } else {
+        Path::Rma
+    }
+}
+
+fn health_event() -> impl Strategy<Value = HealthEvent> {
+    prop_oneof![
+        (0u32..8, any::<bool>()).prop_map(|(r, p)| HealthEvent::Timeout(r, p)),
+        (0u32..8, any::<bool>()).prop_map(|(r, p)| HealthEvent::Success(r, p)),
+        (0u32..8).prop_map(HealthEvent::Hint),
+        (0usize..6, any::<bool>()).prop_map(|(floor, rpc)| HealthEvent::Route { floor, rpc }),
+    ]
+}
+
+proptest! {
+    /// Under arbitrary verdict/timeout schedules on either wire path,
+    /// every routing decision leaves at least `min(floor, candidates)`
+    /// replicas in the set, and only replicas demoted on the routed path
+    /// are ever skipped.
+    #[test]
+    fn skip_mask_never_breaks_quorum(
+        seed in any::<u64>(),
+        demote_after in 1u32..5,
+        probe_period in 0u64..8,
+        events in proptest::collection::vec(health_event(), 1..200),
+    ) {
+        let cfg = ControllerCfg {
+            demote_after,
+            probe_period,
+            ..ControllerCfg::default()
+        };
+        let mut c = Controller::new(cfg, seed);
+        let candidates: Vec<u32> = (0..5).collect();
+        for ev in events {
+            match ev {
+                HealthEvent::Timeout(r, p) => c.record_timeout(r, path(p)),
+                HealthEvent::Success(r, p) => c.record_success(r, path(p)),
+                HealthEvent::Hint(r) => c.hint_unhealthy(r),
+                HealthEvent::Route { floor, rpc } => {
+                    let mask = c.skip_mask(&candidates, floor, path(rpc));
+                    let skipped = (mask as u32).count_ones() as usize;
+                    let survivors = candidates.len() - skipped;
+                    prop_assert!(
+                        survivors >= floor.min(candidates.len()),
+                        "floor {floor} broken: {survivors} survivors"
+                    );
+                    // Only replicas demoted on this path may be skipped.
+                    for (i, &r) in candidates.iter().enumerate() {
+                        if mask & (1 << i) != 0 {
+                            prop_assert!(
+                                c.is_demoted_on(r, path(rpc)),
+                                "skipped replica {r} healthy on routed path"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! is seeded so reports are bit-identical across invocations.
 
 pub mod ablations;
+pub mod adaptive;
 pub mod batch;
 pub mod chaos;
 pub mod f10;

@@ -179,7 +179,15 @@ pub fn render(tr: &TraceRun) -> Report {
             report.line(l.clone());
         }
     }
-    for (s, sk) in tr.stage_sketch.iter().enumerate() {
+    // Only stages that actually absorbed time get a line — keeps the
+    // committed CSV stable as the taxonomy grows (e.g. WAL stays silent in
+    // this durability-off cell).
+    for (s, sk) in tr
+        .stage_sketch
+        .iter()
+        .enumerate()
+        .filter(|(_, sk)| sk.count() > 0)
+    {
         report.line(format!(
             "stage={} ops={} p50_us={:.1} p99_us={:.1}",
             stage::name(s as u8),

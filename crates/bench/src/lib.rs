@@ -25,7 +25,7 @@ pub use harness::{populate_cell, Report, WindowSampler};
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "f3", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13", "f14", "f15", "f16", "f17", "f18",
     "f19", "f20", "xa", "xb", "a1", "a2", "a3", "a4", "a5", "chaos", "trace", "skew", "batch",
-    "restart",
+    "restart", "adaptive",
 ];
 
 /// Run one experiment by id.
@@ -59,6 +59,7 @@ pub fn run_experiment(id: &str) -> Report {
         "skew" => experiments::skew::run(),
         "batch" => experiments::batch::run(),
         "restart" => experiments::restart::run(),
+        "adaptive" => experiments::adaptive::run(),
         other => panic!("unknown experiment {other:?}; known: {ALL_EXPERIMENTS:?}"),
     }
 }

@@ -19,7 +19,7 @@ use bytes::{Bytes, Pool};
 
 use rma::{PonyCfg, PonyHost, RmaEnvelope, Transport, TransportKind};
 use rpc::{CallTable, Completion, RpcCostModel, Status};
-use simnet::{Ctx, Deferred, Event, MetricId, Metrics, Node, NodeId, SimDuration};
+use simnet::{Ctx, Deferred, Event, MetricId, Metrics, Node, NodeId, SimDuration, SimTime};
 
 use crate::config::CellConfig;
 use crate::hash::{DefaultHasher, KeyHash, KeyHasher};
@@ -798,20 +798,28 @@ impl BackendNode {
         // appends its fsync will cover (ENGINE marks are ignored by the
         // postmortem verdict, which keys on SERVER_CPU marks only).
         ctx.trace_mark(self.cur_trace, simnet::obs::stage::ENGINE, batch);
-        self.wal_kick(ctx);
+        if let Some(done) = self.wal_kick(ctx) {
+            // The append sealed a batch and its fsync rides this op's
+            // wall-clock shadow: attribute the device transaction as WAL
+            // time so durable slow-op postmortems name the log, not the
+            // server CPU. Coalesced appends (commit already in flight)
+            // record nothing — their wait is genuine group-commit overlap.
+            ctx.trace_interval(self.cur_trace, simnet::obs::stage::WAL, ctx.now(), done);
+        }
     }
 
     /// Start a group-commit device transaction if one isn't in flight and
-    /// appends are pending.
-    fn wal_kick(&mut self, ctx: &mut Ctx<'_>) {
+    /// appends are pending. Returns the device completion time when a
+    /// commit was actually issued.
+    fn wal_kick(&mut self, ctx: &mut Ctx<'_>) -> Option<SimTime> {
         let started = match self.wal.as_mut() {
             Some(w) => w.gc.start_commit(),
             None => None,
         };
-        if let Some((bytes, _records)) = started {
+        started.map(|(bytes, _records)| {
             let tok = self.work.defer(Work::WalCommitDone);
-            ctx.device_commit(bytes, tok);
-        }
+            ctx.device_commit(bytes, tok)
+        })
     }
 
     /// The sealed batch's write+fsync completed: publish it to media and
@@ -823,7 +831,7 @@ impl BackendNode {
             ctx.metrics().add_id(mids.wal_fsyncs, 1);
             ctx.metrics().add_id(mids.wal_committed, records);
         }
-        self.wal_kick(ctx);
+        let _ = self.wal_kick(ctx);
     }
 
     /// Periodic trickle flush: when the device has an idle slot (no group

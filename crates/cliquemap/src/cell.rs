@@ -144,6 +144,11 @@ pub struct CellSpec {
     /// (the default) builds the cell without the subsystem entirely:
     /// committed figures regenerate byte-identical.
     pub durability: Option<DurabilitySpec>,
+    /// Per-client adaptive dataplane controller (online strategy selection
+    /// and gray-failure evasion). `None` (the default) keeps clients on the
+    /// fixed `client.strategy` with zero extra RNG draws: committed
+    /// figures regenerate byte-identical.
+    pub adaptive: Option<adaptive::ControllerCfg>,
 }
 
 impl Default for CellSpec {
@@ -162,6 +167,7 @@ impl Default for CellSpec {
             config_read_coalescing: false,
             doorbell_batching: false,
             durability: None,
+            adaptive: None,
         }
     }
 }
@@ -294,6 +300,13 @@ impl Cell {
             cfg.client_id = i as u32 + 1;
             cfg.config_store = config_store;
             cfg.doorbell_batching |= spec.doorbell_batching;
+            // Seed inside the gate: with adaptive off the builder draws
+            // nothing from the sim RNG, so existing schedules are
+            // bit-for-bit untouched.
+            if let Some(a) = &spec.adaptive {
+                cfg.adaptive = Some(a.clone());
+                cfg.adaptive_seed = sim.fork_rng().next_u64() ^ cfg.client_id as u64;
+            }
             if cfg.transport == TransportKind::PonyExpress {
                 cfg.shared_pony = Some(pool_for(&mut pony_pools, host));
             }
@@ -1058,6 +1071,77 @@ mod tests {
         // path (fsyncs are asynchronous), so client-visible timing is
         // unchanged even with durability on.
         assert_eq!(off, on);
+    }
+
+    /// Adaptive off is the do-nothing default: no controller exists on any
+    /// client (`adaptive_choice_hash` is `None`) and identically-seeded
+    /// builds replay the same completion stream — the builder draws zero
+    /// extra RNG values. Byte-identity of committed figures with adaptive
+    /// off is enforced end-to-end by ci.sh.
+    #[test]
+    fn adaptive_off_is_inert() {
+        let run = || {
+            let mut cell = Cell::build(
+                small_spec(LookupStrategy::TwoR, ReplicationMode::R32),
+                vec![script(vec![(0, set("k", "v")), (500, get("k"))])],
+            );
+            cell.run_for(SimDuration::from_secs(1));
+            let hashes: Vec<Option<u64>> = cell
+                .clients
+                .clone()
+                .into_iter()
+                .map(|c| {
+                    cell.sim
+                        .with_node::<ClientNode, _>(c, |n| n.adaptive_choice_hash())
+                        .expect("client alive")
+                })
+                .collect();
+            (completions(&mut cell), hashes)
+        };
+        let (a, ha) = run();
+        let (b, hb) = run();
+        assert_eq!(a, b);
+        assert!(ha.iter().all(|h| h.is_none()), "controller built while off");
+        assert_eq!(ha, hb);
+    }
+
+    /// An adaptive cell makes per-op choices (decisions advance, the choice
+    /// hash exists) and stays deterministic: same seed, same
+    /// strategy-choice stream, same completions.
+    #[test]
+    fn adaptive_cell_is_deterministic() {
+        let run = || {
+            let mut spec = small_spec(LookupStrategy::TwoR, ReplicationMode::R32);
+            spec.adaptive = Some(adaptive::ControllerCfg::default());
+            let ops: Vec<(u64, ClientOp)> = (0..40)
+                .map(|i| {
+                    let k = format!("k{}", i % 8);
+                    if i % 4 == 0 {
+                        (i * 100, set(&k, "v"))
+                    } else {
+                        (i * 100, get(&k))
+                    }
+                })
+                .collect();
+            let mut cell = Cell::build(spec, vec![script(ops)]);
+            cell.run_for(SimDuration::from_secs(1));
+            let (hash, decisions) = cell
+                .sim
+                .with_node::<ClientNode, _>(cell.clients[0], |n| {
+                    (
+                        n.adaptive_choice_hash().expect("controller on"),
+                        n.adaptive_stats().expect("controller on").0,
+                    )
+                })
+                .expect("client alive");
+            (completions(&mut cell), hash, decisions)
+        };
+        let (c1, h1, d1) = run();
+        let (c2, h2, d2) = run();
+        assert!(d1 > 0, "no adaptive decisions were made");
+        assert_eq!(h1, h2, "strategy-choice stream diverged");
+        assert_eq!(d1, d2);
+        assert_eq!(c1, c2);
     }
 
     #[test]

@@ -27,6 +27,8 @@ use rma::{PonyCfg, RmaOpTable, RmaStatus, Transport, TransportKind, WindowId};
 use rpc::{CallTable, RetryPolicy, RetryState, RpcCostModel, Status};
 use simnet::{Ctx, Deferred, Event, MetricId, Metrics, Node, NodeId, SimDuration, SimTime};
 
+use adaptive::{Controller, ControllerCfg};
+
 use crate::client_cache::{ClientCache, ClientCacheCfg, Lookup};
 use crate::config::{CellConfig, ReplicationMode};
 use crate::hash::{place, DefaultHasher, KeyHash, KeyHasher};
@@ -51,6 +53,35 @@ pub enum LookupStrategy {
     /// cost, so per-op framework overhead dominates until batching
     /// amortizes it.
     Rpc,
+}
+
+/// Controller arm -> client wire strategy.
+fn arm_to_lookup(s: adaptive::Strategy) -> LookupStrategy {
+    match s {
+        adaptive::Strategy::TwoR => LookupStrategy::TwoR,
+        adaptive::Strategy::Scar => LookupStrategy::Scar,
+        adaptive::Strategy::Msg => LookupStrategy::Msg,
+        adaptive::Strategy::Rpc => LookupStrategy::Rpc,
+    }
+}
+
+/// Client wire strategy -> controller arm.
+fn lookup_to_arm(s: LookupStrategy) -> adaptive::Strategy {
+    match s {
+        LookupStrategy::TwoR => adaptive::Strategy::TwoR,
+        LookupStrategy::Scar => adaptive::Strategy::Scar,
+        LookupStrategy::Msg => adaptive::Strategy::Msg,
+        LookupStrategy::Rpc => adaptive::Strategy::Rpc,
+    }
+}
+
+/// Which health path a GET strategy's responses travel: one-sided RMA ops
+/// are served by the remote NIC, MSG/RPC lookups by the remote CPU.
+fn strategy_path(s: LookupStrategy) -> adaptive::Path {
+    match s {
+        LookupStrategy::TwoR | LookupStrategy::Scar => adaptive::Path::Rma,
+        LookupStrategy::Msg | LookupStrategy::Rpc => adaptive::Path::Rpc,
+    }
 }
 
 /// Client configuration.
@@ -118,6 +149,12 @@ pub struct ClientCfg {
     pub shim: Option<ShimSpec>,
     /// Host-level Pony engine pool shared with co-located nodes.
     pub shared_pony: Option<std::rc::Rc<std::cell::RefCell<rma::PonyHost>>>,
+    /// Adaptive dataplane controller (`None` = fixed `strategy`, no
+    /// demotion — the pre-controller client, byte for byte).
+    pub adaptive: Option<ControllerCfg>,
+    /// Seed for the controller's explorer; the cell forks it off the sim
+    /// RNG only when `adaptive` is set.
+    pub adaptive_seed: u64,
 }
 
 impl Default for ClientCfg {
@@ -147,6 +184,8 @@ impl Default for ClientCfg {
             hot_repl: None,
             shim: None,
             shared_pony: None,
+            adaptive: None,
+            adaptive_seed: 0,
         }
     }
 }
@@ -201,6 +240,9 @@ struct GetState {
     /// Replicas actually consulted this attempt (hot-routed GETs consult
     /// a subset of the extended set).
     consulted: u8,
+    /// The wire strategy resolved for this op at issue (fixed
+    /// `cfg.strategy` without the adaptive controller).
+    strategy: LookupStrategy,
 }
 
 impl GetState {
@@ -227,6 +269,7 @@ impl GetState {
             cached_version: None,
             n_base: 0,
             consulted: 0,
+            strategy: LookupStrategy::TwoR,
         }
     }
 
@@ -246,6 +289,7 @@ impl GetState {
         self.cached_version = None;
         self.n_base = 0;
         self.consulted = 0;
+        self.strategy = LookupStrategy::TwoR;
     }
 }
 
@@ -303,6 +347,9 @@ struct BatchState {
     /// True for MultiGet containers, false for MultiSet (selects the
     /// latency/throughput metric family the finished batch reports to).
     gets: bool,
+    /// Strategy chosen once per container (adaptive mode decides at
+    /// expansion; members inherit so a coalesced frame is never mixed).
+    strategy: LookupStrategy,
 }
 
 /// One destination's pending MULTI_SET frame: member sub tags plus the
@@ -322,8 +369,10 @@ struct BatchAccum {
     /// SCAR scans per destination: frame-level (index window, generation)
     /// plus per-sub-op entries.
     scars: BTreeMap<u32, (u32, u32, Vec<rma::BatchScarEntry>)>,
-    /// MSG/RPC lookups per destination: (sub tags, keys).
-    lookups: BTreeMap<u32, (Vec<u64>, Vec<Bytes>)>,
+    /// MSG/RPC lookups per `(destination, rpcish)` — split by cost model
+    /// so an adaptive client can never mix MSG and RPC sub-ops into one
+    /// mislabelled frame.
+    lookups: BTreeMap<(u32, bool), (Vec<u64>, Vec<Bytes>)>,
     /// Mutations per destination: (sub tags, (key, value, version)).
     sets: BTreeMap<u32, SetFrame>,
 }
@@ -344,6 +393,8 @@ struct RpcBatch {
     subs: Vec<u64>,
     /// Mutation batch (MULTI_SET) vs lookup batch (MULTI_GET variants).
     mutation: bool,
+    /// Lookup frames only: served at full RPC cost (vs lean MSG cost).
+    rpcish: bool,
 }
 
 /// Distinguishes batch-frame user tags from per-sub-op tags. Control tags
@@ -396,6 +447,8 @@ pub struct ClientNode {
     ccache: Option<ClientCache>,
     /// Hot-key detector driving extended-replica routing (`cfg.hot_repl`).
     hot: Option<HotKeyTracker>,
+    /// Adaptive dataplane controller (`cfg.adaptive`).
+    adaptive: Option<Controller>,
     batches: HashMap<u64, BatchState>,
     /// Doorbell-batching accumulator (active only inside a MultiGet /
     /// MultiSet expansion or a batch-completion demux).
@@ -571,6 +624,17 @@ impl ClientNode {
             calls: CallTable::new(cfg.client_id as u64),
             ccache: cfg.cache.clone().map(ClientCache::new),
             hot: cfg.hot_repl.clone().map(HotKeyTracker::new),
+            adaptive: cfg.adaptive.clone().map(|a| {
+                let mut ctl = Controller::new(a, cfg.adaptive_seed);
+                // SCAR needs the programmable Pony Express NIC; on the
+                // hardware transports the server bounces every scan with
+                // Unsupported. Mask the arm rather than learn that from a
+                // stream of doomed ops.
+                if cfg.transport != TransportKind::PonyExpress {
+                    ctl.set_arm_enabled(adaptive::Strategy::Scar, false);
+                }
+                ctl
+            }),
             cfg,
             workload,
             transport,
@@ -615,6 +679,71 @@ impl ClientNode {
             ((ctx.self_id().0 as u64 + 1) << 40) | op_id
         } else {
             0
+        }
+    }
+
+    // ---- adaptive controller bridge --------------------------------------
+
+    /// Resolve the wire strategy for a GET about to issue. Fixed clients
+    /// return `cfg.strategy`; adaptive clients let the controller decide —
+    /// batch members inherit their container's choice (made once at
+    /// expansion) so one coalesced frame never mixes strategies. Re-parked
+    /// singles re-choose on release, which is deterministic.
+    fn resolve_strategy(&mut self, batch: Option<u64>) -> LookupStrategy {
+        let Some(ctl) = self.adaptive.as_mut() else {
+            return self.cfg.strategy;
+        };
+        if let Some(bid) = batch {
+            if let Some(bs) = self.batches.get(&bid) {
+                return bs.strategy;
+            }
+        }
+        arm_to_lookup(ctl.choose(batch.is_some()))
+    }
+
+    /// The controller's CPU/op signal: the op's actual fan-out times the
+    /// calibrated per-op costs this client charges — the same constants
+    /// the simulator bills, so no per-charge-site bookkeeping is needed.
+    fn strategy_cpu_ns(&self, strategy: LookupStrategy, consulted: u64) -> u64 {
+        let base = self.cfg.get_cpu.nanos();
+        match strategy {
+            // Index read per consulted replica plus one data fetch.
+            LookupStrategy::TwoR => base + self.cfg.rma_op_cpu.nanos() * (consulted + 1),
+            LookupStrategy::Scar => base + self.cfg.rma_op_cpu.nanos() * consulted,
+            LookupStrategy::Msg => {
+                base + self.cfg.msg_cost.client_send.nanos() + self.cfg.msg_cost.client_recv.nanos()
+            }
+            LookupStrategy::Rpc => {
+                base + self.cfg.rpc_cost.client_send.nanos() + self.cfg.rpc_cost.client_recv.nanos()
+            }
+        }
+    }
+
+    /// Running FNV-1a fingerprint of this client's strategy-choice stream
+    /// (`None` without the controller) — the determinism-suite hook.
+    pub fn adaptive_choice_hash(&self) -> Option<u64> {
+        self.adaptive.as_ref().map(|c| c.choice_hash())
+    }
+
+    /// Controller counters: (decisions, per-strategy counts, explored,
+    /// demotions, probes). `None` without the controller.
+    pub fn adaptive_stats(&self) -> Option<(u64, [u64; 4], u64, u64, u64)> {
+        self.adaptive.as_ref().map(|c| {
+            (
+                c.decisions(),
+                c.choice_counts(),
+                c.explored(),
+                c.demotions(),
+                c.probes(),
+            )
+        })
+    }
+
+    /// Feed an external health hint (e.g. a postmortem verdict naming a
+    /// backend node) into the controller. No-op without it.
+    pub fn adaptive_hint_unhealthy(&mut self, replica: u32) {
+        if let Some(ctl) = self.adaptive.as_mut() {
+            ctl.hint_unhealthy(replica);
         }
     }
 
@@ -723,6 +852,14 @@ impl ClientNode {
             self.complete_empty_batch(ctx, gets);
             return;
         }
+        // Adaptive GET containers choose their strategy once here (as the
+        // batched arm class); every member inherits it (mutation
+        // containers keep the fixed default — mutations are
+        // strategy-independent RPCs).
+        let strategy = match self.adaptive.as_mut() {
+            Some(ctl) if gets => arm_to_lookup(ctl.choose(true)),
+            _ => self.cfg.strategy,
+        };
         self.batches.insert(
             op_id,
             BatchState {
@@ -732,6 +869,7 @@ impl ClientNode {
                 superseded: false,
                 any_hit: false,
                 gets,
+                strategy,
             },
         );
         let coalescing = self.cfg.doorbell_batching && !self.coalesce.active;
@@ -857,10 +995,18 @@ impl ClientNode {
         let nreplicas = config.replicas_n_buf(shard, want as u32, &mut replica_buf);
         let n_base = base_copies.min(nreplicas);
         let replicas = &replica_buf[..nreplicas];
+        // Per-op strategy: fixed clients use `cfg.strategy`; adaptive
+        // clients consult the controller (batch members inherit their
+        // container's choice).
+        let strategy = if is_get {
+            self.resolve_strategy(batch)
+        } else {
+            self.cfg.strategy
+        };
         // GETs need geometry for every replica (RMA addressing); mutations
         // are plain RPCs and can go immediately.
         let needs_geometry =
-            is_get && !matches!(self.cfg.strategy, LookupStrategy::Msg | LookupStrategy::Rpc);
+            is_get && !matches!(strategy, LookupStrategy::Msg | LookupStrategy::Rpc);
         if needs_geometry {
             let mut missing = [NodeId(0); 8];
             let mut nmissing = 0;
@@ -922,6 +1068,7 @@ impl ClientNode {
                 state.replicas.extend_from_slice(replicas);
                 state.cached_version = cached_version;
                 state.n_base = n_base as u8;
+                state.strategy = strategy;
                 self.ops.insert(op_id, OpState::Get(state));
                 ctx.trace_open(self.trace_of(ctx, op_id), trace_aux::GET);
                 self.issue_get_attempt(ctx, op_id);
@@ -1058,11 +1205,16 @@ impl ClientNode {
     fn do_issue_attempt(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
         let now = ctx.now();
         let policy = self.cfg.retry;
+        // The strategy was resolved at issue and rides the op state, so
+        // retries keep the arm that will be credited at completion.
+        let strategy = match self.ops.get(&op_id) {
+            Some(OpState::Get(get)) => get.strategy,
+            _ => return,
+        };
         // A retry whose geometry was invalidated (reshape, growth, restart)
         // must re-learn it before burning another attempt — "failed RMA
         // operations may retry on new connections" (§3).
-        let needs_geometry =
-            !matches!(self.cfg.strategy, LookupStrategy::Msg | LookupStrategy::Rpc);
+        let needs_geometry = !matches!(strategy, LookupStrategy::Msg | LookupStrategy::Rpc);
         if needs_geometry {
             let (missing, nmissing, have) = match self.ops.get(&op_id) {
                 Some(OpState::Get(get)) => {
@@ -1150,12 +1302,43 @@ impl ClientNode {
             _ => {
                 let n = get.replicas.len().min(replica_buf.len());
                 replica_buf[..n].copy_from_slice(&get.replicas[..n]);
-                n
+                // Gray-failure evasion: drop demoted replicas from the
+                // consult set, floored at a read quorum (probe
+                // pass-throughs are the controller's business). Only this
+                // full-set branch filters — the immutable and hot-routed
+                // branches already consult curated subsets.
+                match self.adaptive.as_mut() {
+                    Some(ctl) if n > 1 => {
+                        let mut ids = [0u32; 8];
+                        for (slot, r) in ids.iter_mut().zip(&replica_buf[..n]) {
+                            *slot = r.0;
+                        }
+                        let floor = self
+                            .config
+                            .as_ref()
+                            .map(|c| c.replication.read_quorum() as usize)
+                            .unwrap_or(1);
+                        let mask = ctl.skip_mask(&ids[..n], floor, strategy_path(strategy));
+                        if mask == 0 {
+                            n
+                        } else {
+                            let mut kept = 0;
+                            for i in 0..n {
+                                if mask & (1 << i) == 0 {
+                                    replica_buf[kept] = replica_buf[i];
+                                    kept += 1;
+                                }
+                            }
+                            kept
+                        }
+                    }
+                    _ => n,
+                }
             }
         };
         get.consulted = nreps as u8;
         let replicas = &replica_buf[..nreps];
-        match self.cfg.strategy {
+        match strategy {
             LookupStrategy::TwoR => {
                 for &r in replicas {
                     self.issue_index_read(ctx, op_id, attempt, r, hash);
@@ -1170,16 +1353,20 @@ impl ClientNode {
                 let primary = replicas[0];
                 #[cfg(feature = "dbg")]
                 eprintln!("[{}] msg_get key={:?} -> {:?}", ctx.now(), key, primary);
+                let rpcish = strategy == LookupStrategy::Rpc;
                 if self.coalesce.active {
                     // Per-op send cost is replaced by one per-frame send
                     // charge at flush — that amortization IS the batching
                     // win on the MSG/RPC path.
-                    let slot = self.coalesce.lookups.entry(primary.0).or_default();
+                    let slot = self
+                        .coalesce
+                        .lookups
+                        .entry((primary.0, rpcish))
+                        .or_default();
                     slot.0.push(sub_tag(op_id, attempt, 0));
                     slot.1.push(key);
                     return;
                 }
-                let rpcish = self.cfg.strategy == LookupStrategy::Rpc;
                 let body = messages::GetReq { key }.encode_in(&self.pool);
                 let trace = self.trace_of(ctx, op_id);
                 let send_cost = if rpcish {
@@ -1382,6 +1569,15 @@ impl ClientNode {
         if get.attempt != attempt {
             return; // stale sub-op from an earlier attempt
         }
+        // Any substantive answer (even NotFound) proves the path that
+        // carried it — the NIC for RMA votes, the CPU for MSG/RPC votes —
+        // and resets that path's demotion streak.
+        if !matches!(vote, Vote::Failed) {
+            let path = strategy_path(get.strategy);
+            if let Some(ctl) = self.adaptive.as_mut() {
+                ctl.record_success(replica.0, path);
+            }
+        }
         if let Some(slot) = get.votes.iter_mut().find(|(n, _)| *n == replica) {
             slot.1 = vote;
         } else {
@@ -1528,7 +1724,7 @@ impl ClientNode {
         };
         // 3. Preferred-backend selection: fetch data from the first entry
         // vote (2xR only; SCAR responses carry data inline).
-        if self.cfg.strategy == LookupStrategy::TwoR && !get.data_requested && !validation_open {
+        if get.strategy == LookupStrategy::TwoR && !get.data_requested && !validation_open {
             let avoid = get.avoid;
             let primary = get.replicas.first().copied();
             let prefer_first = self.cfg.prefer_first_responder;
@@ -1689,6 +1885,49 @@ impl ClientNode {
         self.issue_mutation_attempt(ctx, op_id);
     }
 
+    /// Drop demoted replicas from a mutation's fan-out. Base-prefix sends
+    /// never fall below the write quorum; extended (hot) copies are skipped
+    /// whenever demoted, since they carry no quorum weight. Every skip is
+    /// charged to the caller as an up-front failure so the completion
+    /// arithmetic (`acks + rejects + failures >= copies`) still closes —
+    /// a skipped replica will never respond. `m.replicas` itself is left
+    /// untouched, so base-prefix membership checks stay correct.
+    fn filter_mutation_targets(
+        &mut self,
+        replicas: Vec<NodeId>,
+        n_base: usize,
+    ) -> (Vec<NodeId>, u32) {
+        let Some(ctl) = self.adaptive.as_mut() else {
+            return (replicas, 0);
+        };
+        if replicas.len() <= 1 || replicas.len() > 64 {
+            return (replicas, 0);
+        }
+        let wq = self
+            .config
+            .as_ref()
+            .map(|c| c.replication.write_quorum() as usize)
+            .unwrap_or(replicas.len());
+        let n_base = n_base.clamp(1, replicas.len());
+        let ids: Vec<u32> = replicas[..n_base].iter().map(|r| r.0).collect();
+        let mask = ctl.skip_mask(&ids, wq, adaptive::Path::Rpc);
+        let mut kept = Vec::with_capacity(replicas.len());
+        let mut skipped = 0u32;
+        for (i, r) in replicas.into_iter().enumerate() {
+            let skip = if i < n_base {
+                mask & (1 << i) != 0
+            } else {
+                ctl.is_demoted_on(r.0, adaptive::Path::Rpc)
+            };
+            if skip {
+                skipped += 1;
+            } else {
+                kept.push(r);
+            }
+        }
+        (kept, skipped)
+    }
+
     fn issue_mutation_attempt(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
         let trace = self.trace_of(ctx, op_id);
         // A coalesced MultiSet member pays only per-entry marshal; the
@@ -1732,8 +1971,15 @@ impl ClientNode {
             let key = m.key.clone();
             let value = m.value.clone();
             let version = m.version;
+            let n_base = m.n_base as usize;
             let tag = sub_tag(op_id, attempt, 0);
-            for r in replicas {
+            let (targets, skipped) = self.filter_mutation_targets(replicas, n_base);
+            if skipped > 0 {
+                if let Some(OpState::Mutation(m)) = self.ops.get_mut(&op_id) {
+                    m.failures += skipped;
+                }
+            }
+            for r in targets {
                 let slot = self.coalesce.sets.entry(r.0).or_default();
                 slot.0.push(tag);
                 slot.1.push((key.clone(), value.clone(), version));
@@ -1743,6 +1989,7 @@ impl ClientNode {
         let Some(OpState::Mutation(m)) = self.ops.get_mut(&op_id) else {
             return;
         };
+        let n_base = m.n_base as usize;
         #[cfg(feature = "dbg")]
         let (m_key_dbg, m_version_dbg) = (m.key.clone(), m.version);
         let body = match kind {
@@ -1770,7 +2017,13 @@ impl ClientNode {
             MutationKind::Erase => method::ERASE,
             MutationKind::Cas => method::CAS,
         };
-        for r in replicas {
+        let (targets, skipped) = self.filter_mutation_targets(replicas, n_base);
+        if skipped > 0 {
+            if let Some(OpState::Mutation(m)) = self.ops.get_mut(&op_id) {
+                m.failures += skipped;
+            }
+        }
+        for r in targets {
             #[cfg(feature = "dbg")]
             eprintln!(
                 "[{}] mutation {:?} key={:?} -> {:?} v={}",
@@ -1814,6 +2067,16 @@ impl ClientNode {
         // write quorum nor veto one.
         let n_base = (m.n_base as usize).clamp(1, m.replicas.len());
         let is_base = m.replicas[..n_base].contains(&from);
+        // Any substantive verdict (even a version rejection) proves the
+        // replica answered its RPC — reset its demotion streak.
+        if matches!(
+            status,
+            Status::Ok | Status::VersionRejected | Status::NotFound
+        ) {
+            if let Some(ctl) = self.adaptive.as_mut() {
+                ctl.record_success(from.0, adaptive::Path::Rpc);
+            }
+        }
         match status {
             Status::Ok => {
                 m.acks += 1;
@@ -1954,10 +2217,9 @@ impl ClientNode {
             self.rma_batches.insert(btag, subs);
             self.send_rma(ctx, dst, wire, rma_id, trace);
         }
-        for (dst, (subs, keys)) in lookups {
+        for ((dst, rpcish), (subs, keys)) in lookups {
             let dst = NodeId(dst);
             let trace = self.trace_of(ctx, subs[0] >> 10);
-            let rpcish = self.cfg.strategy == LookupStrategy::Rpc;
             let send_cost = if rpcish {
                 self.cfg.rpc_cost.client_send
             } else {
@@ -1984,6 +2246,7 @@ impl ClientNode {
                 RpcBatch {
                     subs,
                     mutation: false,
+                    rpcish,
                 },
             );
             self.rpc_call_tagged(ctx, dst, method_id, body, btag, trace);
@@ -2010,6 +2273,7 @@ impl ClientNode {
                 RpcBatch {
                     subs,
                     mutation: true,
+                    rpcish: true,
                 },
             );
             self.rpc_call_tagged(ctx, dst, method::MULTI_SET, body, btag, trace);
@@ -2168,7 +2432,7 @@ impl ClientNode {
             return;
         }
         let trace = self.trace_of(ctx, op_id);
-        let recv_cost = if self.cfg.strategy == LookupStrategy::Rpc {
+        let recv_cost = if get.strategy == LookupStrategy::Rpc {
             self.cfg.rpc_cost.client_recv
         } else {
             self.cfg.msg_cost.client_recv
@@ -2246,7 +2510,7 @@ impl ClientNode {
         };
         let from = done.call.dst;
         let rep_trace = self.trace_of(ctx, batch.subs.first().map(|t| t >> 10).unwrap_or(0));
-        let recv_cost = if batch.mutation || self.cfg.strategy == LookupStrategy::Rpc {
+        let recv_cost = if batch.mutation || batch.rpcish {
             self.cfg.rpc_cost.client_recv
         } else {
             self.cfg.msg_cost.client_recv
@@ -2375,8 +2639,13 @@ impl ClientNode {
             .transport
             .admit_completion(ctx.now(), done.data.len() + done.bucket.len());
         ctx.trace_interval(trace, simnet::obs::stage::ENGINE, ctx.now(), ready);
-        let _ = ready; // engine occupancy is tracked; latency impact is
-                       // folded into rma_op_cpu to keep the event count low.
+        // Engine occupancy is tracked; latency impact is folded into
+        // rma_op_cpu to keep the event count low. The admission backlog is
+        // the cheapest live proxy for remote engine pressure, so the
+        // controller taps it here.
+        if let Some(ctl) = self.adaptive.as_mut() {
+            ctl.observe_engine(ready.since(ctx.now()).nanos());
+        }
         self.charge_rma_op(ctx, trace);
         // Fabric + target-serve round trip, as a hardware timestamper on
         // the NIC would report it (the Fig. 16 quantity).
@@ -2407,7 +2676,9 @@ impl ClientNode {
             .sum();
         let ready = self.transport.admit_completion(ctx.now(), total);
         ctx.trace_interval(rep_trace, simnet::obs::stage::ENGINE, ctx.now(), ready);
-        let _ = ready;
+        if let Some(ctl) = self.adaptive.as_mut() {
+            ctl.observe_engine(ready.since(ctx.now()).nanos());
+        }
         ctx.metrics().record_id(self.m().rma_rtt_ns, done.rtt_ns);
         let replica = done.op.dst;
         if done.subs.is_empty() {
@@ -2460,7 +2731,11 @@ impl ClientNode {
                 return;
             }
         }
-        match (self.cfg.strategy, phase) {
+        let strategy = match self.ops.get(&op_id) {
+            Some(OpState::Get(get)) => get.strategy,
+            _ => return,
+        };
+        match (strategy, phase) {
             (LookupStrategy::TwoR, 0) => {
                 self.on_index_response(ctx, op_id, attempt, replica, &data)
             }
@@ -2612,6 +2887,10 @@ impl ClientNode {
             OpState::Mutation(m) => (m.retry.started_at, m.batch, false),
             OpState::Parked(..) => (at, None, false),
         };
+        let arm_feedback = match &state {
+            OpState::Get(g) => Some((g.strategy, g.consulted as u64)),
+            _ => None,
+        };
         ctx.trace_close(
             self.trace_of(ctx, op_id),
             started,
@@ -2636,6 +2915,23 @@ impl ClientNode {
             .map(|s| s.round_trip_overhead() + s.per_op_cpu(0).saturating_mul(2))
             .unwrap_or(SimDuration::ZERO);
         let observed = latency + shim_overhead;
+        // Feed the arm that actually served this GET: the caller-observed
+        // latency plus the model-derived client CPU for the fan-out the op
+        // really used. Mutations are strategy-independent (always RPC) and
+        // carry no signal.
+        if let Some((strategy, consulted)) = arm_feedback {
+            if self.adaptive.is_some() {
+                let cpu = self.strategy_cpu_ns(strategy, consulted);
+                if let Some(ctl) = self.adaptive.as_mut() {
+                    ctl.observe(
+                        lookup_to_arm(strategy),
+                        batch.is_some(),
+                        observed.nanos(),
+                        cpu,
+                    );
+                }
+            }
+        }
         if let Some(shim) = &self.cfg.shim {
             let cost = shim.per_op_cpu(0);
             ctx.charge_cpu(cost);
@@ -2863,6 +3159,9 @@ impl Node for ClientNode {
                 } else if let Some(rma_id) = RmaOpTable::op_of_timer(token) {
                     if let Some(op) = self.rma.expire(rma_id) {
                         ctx.metrics().add_id(self.m().rma_timeouts, 1);
+                        if let Some(ctl) = self.adaptive.as_mut() {
+                            ctl.record_timeout(op.dst.0, adaptive::Path::Rma);
+                        }
                         if op.user_tag & BATCH_TAG_BIT != 0 {
                             // A lost batch frame fails every member's vote
                             // from this replica; retries go unbatched.
@@ -2918,6 +3217,9 @@ impl Node for ClientNode {
                                 // A lost batched RPC frame: every member
                                 // gets the same verdict a lost single call
                                 // would have produced.
+                                if let Some(ctl) = self.adaptive.as_mut() {
+                                    ctl.record_timeout(call.dst.0, adaptive::Path::Rpc);
+                                }
                                 if let Some(batch) = self.rpc_batches.remove(&tag) {
                                     let mutation = batch.mutation;
                                     for sub in batch.subs {
@@ -2953,6 +3255,9 @@ impl Node for ClientNode {
                             }
                             tag => {
                                 let (op_id, attempt, phase) = split_tag(tag);
+                                if let Some(ctl) = self.adaptive.as_mut() {
+                                    ctl.record_timeout(call.dst.0, adaptive::Path::Rpc);
+                                }
                                 if self.ops.contains_key(&op_id) {
                                     let trace = self.trace_of(ctx, op_id);
                                     ctx.trace_interval(

@@ -29,16 +29,20 @@ pub mod stage {
     pub const SERVER_CPU: u8 = 5;
     /// Retry tier: attempt-timeout waits and backoff sleeps.
     pub const RETRY: u8 = 6;
+    /// Durable-log device time: WAL group-commit fsyncs on the append
+    /// path (only recorded when a backend runs with durability on).
+    pub const WAL: u8 = 7;
     /// Number of stages.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Attribution priority when intervals overlap: the most *causally
     /// specific* stage wins a contended segment. Retry waits dominate
-    /// (they subsume the failed attempt under them), then CPU execution,
-    /// then engine occupancy, then the wire.
+    /// (they subsume the failed attempt under them), then device time,
+    /// then CPU execution, then engine occupancy, then the wire.
     pub const fn priority(s: u8) -> u8 {
         match s {
-            RETRY => 7,
+            RETRY => 8,
+            WAL => 7,
             SERVER_CPU => 6,
             ENGINE => 5,
             CLIENT_CPU => 4,
@@ -58,6 +62,7 @@ pub mod stage {
             ENGINE => "engine",
             SERVER_CPU => "server_cpu",
             RETRY => "retry",
+            WAL => "wal",
             _ => "unknown",
         }
     }
@@ -131,7 +136,8 @@ mod tests {
 
     #[test]
     fn priorities_rank_specific_over_generic() {
-        assert!(stage::priority(stage::RETRY) > stage::priority(stage::SERVER_CPU));
+        assert!(stage::priority(stage::RETRY) > stage::priority(stage::WAL));
+        assert!(stage::priority(stage::WAL) > stage::priority(stage::SERVER_CPU));
         assert!(stage::priority(stage::SERVER_CPU) > stage::priority(stage::ENGINE));
         assert!(stage::priority(stage::ENGINE) > stage::priority(stage::CLIENT_CPU));
         assert!(stage::priority(stage::CLIENT_CPU) > stage::priority(stage::SER));

@@ -37,7 +37,7 @@ pub use chrome::chrome_trace_json;
 pub use event::{kind, stage, TraceEvent};
 pub use recorder::{OpTrace, Recorder};
 pub use report::{BurnRate, Postmortem, Verdict};
-pub use sketch::Sketch;
+pub use sketch::{Sketch, Tap};
 
 /// FNV-1a 64-bit hash (the repo's standard fingerprint for determinism
 /// golden tests).

@@ -137,6 +137,17 @@ impl Sketch {
         }
     }
 
+    /// Compact read-side snapshot for controllers that poll a sketch's
+    /// headline numbers every decision without cloning its bucket map.
+    pub fn tap(&self) -> Tap {
+        Tap {
+            count: self.count,
+            p50: self.quantile(0.5),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+
     /// Reset to empty, keeping the bucket geometry.
     pub fn clear(&mut self) {
         self.counts.clear();
@@ -145,6 +156,20 @@ impl Sketch {
         self.min = u64::MAX;
         self.max = 0;
     }
+}
+
+/// The fixed-size signal snapshot returned by [`Sketch::tap`]: four `u64`s
+/// a control loop can copy by value on every poll.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tap {
+    /// Observations recorded so far.
+    pub count: u64,
+    /// Median, to the sketch's relative-error bound.
+    pub p50: u64,
+    /// 99th percentile, to the sketch's relative-error bound.
+    pub p99: u64,
+    /// Largest observation.
+    pub max: u64,
 }
 
 #[cfg(test)]
@@ -245,5 +270,19 @@ mod tests {
         s.clear();
         assert_eq!(s.count(), 0);
         assert_eq!(s.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn tap_mirrors_sketch_headlines() {
+        let mut s = Sketch::default();
+        assert_eq!(s.tap(), Tap::default());
+        for v in 1..=1000u64 {
+            s.record(v * 100);
+        }
+        let t = s.tap();
+        assert_eq!(t.count, s.count());
+        assert_eq!(t.p50, s.quantile(0.5));
+        assert_eq!(t.p99, s.quantile(0.99));
+        assert_eq!(t.max, s.max());
     }
 }

@@ -133,6 +133,55 @@ fn same_fault_plan_and_seed_runs_are_metric_identical() {
     assert!(dump_a.contains("simnet.fault.frames_dropped"));
 }
 
+/// The adaptive controller sits on the op hot path (per-GET strategy
+/// choices, explorer RNG draws, health bookkeeping) and must cost the
+/// simulator none of its determinism: two same-seed chaos runs with the
+/// controller enabled end with identical event counts, bit-identical
+/// metric dumps, and identical per-client strategy-choice hashes.
+#[test]
+fn adaptive_chaos_runs_are_metric_and_choice_identical() {
+    use cliquemap::client::ClientNode;
+
+    let run = || {
+        let mut cell = bench::experiments::chaos::chaos_cell_custom(
+            321,
+            LookupStrategy::TwoR,
+            Some(bench::experiments::adaptive::adaptive_cfg()),
+        );
+        cell.run_for(SimDuration::from_millis(120));
+        let choices: Vec<(u64, u64)> = cell
+            .clients
+            .clone()
+            .into_iter()
+            .map(|c| {
+                cell.sim
+                    .with_node::<ClientNode, _>(c, |n| {
+                        (
+                            n.adaptive_choice_hash().expect("controller on"),
+                            n.adaptive_stats().expect("controller on").0,
+                        )
+                    })
+                    .unwrap()
+            })
+            .collect();
+        (
+            cell.sim.events_processed(),
+            cell.sim.metrics().dump(),
+            choices,
+        )
+    };
+    let (events_a, dump_a, choices_a) = run();
+    let (events_b, dump_b, choices_b) = run();
+    assert!(events_a > 10_000, "adaptive chaos run too small to check");
+    assert!(
+        choices_a.iter().map(|&(_, d)| d).sum::<u64>() > 0,
+        "controller made no decisions"
+    );
+    assert_eq!(events_a, events_b, "event counts diverged with adaptive on");
+    assert_eq!(dump_a, dump_b, "metric dumps diverged with adaptive on");
+    assert_eq!(choices_a, choices_b, "strategy-choice streams diverged");
+}
+
 #[test]
 fn handle_api_writes_are_indistinguishable_from_string_api() {
     let mut by_name = Metrics::new();

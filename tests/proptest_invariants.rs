@@ -600,6 +600,78 @@ proptest! {
     }
 }
 
+// ---- adaptive controller determinism ---------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Two seeded runs of an adaptive cell produce identical strategy-
+    /// choice streams, for ANY cell seed: each client's controller keeps an
+    /// incremental FNV-1a hash over its (decision index, chosen strategy)
+    /// stream, and folding every client's (hash, decision count) into one
+    /// digest must reproduce bit-identically across runs. This is the
+    /// whole-system determinism claim for the explorer's forked RNG — not
+    /// just the unit-level controller check in `crates/adaptive`.
+    #[test]
+    fn adaptive_choice_streams_are_deterministic(seed in any::<u64>()) {
+        use cliquemap::cell::{Cell, CellSpec};
+        use cliquemap::client::ClientNode;
+        use cliquemap::config::ReplicationMode;
+        use cliquemap::workload::{UniformWorkload, Workload};
+        use simnet::SimDuration;
+
+        let run = || {
+            let mut spec = CellSpec {
+                replication: ReplicationMode::R32,
+                num_backends: 4,
+                clients_per_host: 2,
+                seed,
+                host: simnet::HostCfg::default().no_cstates(),
+                ..CellSpec::default()
+            };
+            spec.adaptive = Some(adaptive::ControllerCfg::default());
+            let wls: Vec<Box<dyn Workload>> = (0..3)
+                .map(|_| {
+                    Box::new(UniformWorkload::mix(200, 256, 0.8, 20_000.0, u64::MAX))
+                        as Box<dyn Workload>
+                })
+                .collect();
+            let mut cell = Cell::build(spec, wls);
+            cell.run_for(SimDuration::from_millis(40));
+            // FNV-1a over the choice dump: every client's stream hash and
+            // decision count, in client order.
+            let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut fold = |v: u64| {
+                for b in v.to_le_bytes() {
+                    digest ^= b as u64;
+                    digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            };
+            let mut decisions = 0u64;
+            for &c in &cell.clients {
+                let (hash, d) = cell
+                    .sim
+                    .with_node::<ClientNode, _>(c, |n| {
+                        (
+                            n.adaptive_choice_hash().expect("controller on"),
+                            n.adaptive_stats().expect("controller on").0,
+                        )
+                    })
+                    .unwrap();
+                fold(hash);
+                fold(d);
+                decisions += d;
+            }
+            (digest, decisions)
+        };
+        let (digest_a, decisions_a) = run();
+        let (digest_b, decisions_b) = run();
+        prop_assert!(decisions_a > 0, "no adaptive decisions were made");
+        prop_assert_eq!(decisions_a, decisions_b, "decision counts diverged");
+        prop_assert_eq!(digest_a, digest_b, "choice streams diverged");
+    }
+}
+
 // ---- calendar event queue vs. reference heap -------------------------
 
 use std::cmp::Reverse;
